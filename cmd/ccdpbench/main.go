@@ -1,0 +1,123 @@
+// Command ccdpbench regenerates the paper's evaluation: Table 1 (speedups
+// of BASE and CCDP over sequential) and Table 2 (% improvement of CCDP over
+// BASE) for MXM, VPENTA, TOMCATV and SWIM across 1–64 PEs, plus the
+// ablation experiments DESIGN.md defines.
+//
+// Usage:
+//
+//	ccdpbench [-table 1|2|all] [-apps MXM,VPENTA,TOMCATV,SWIM] [-pes 1,2,4,...]
+//	          [-scale small|paper] [-ablation vpg|mbp|nonstale] [-details]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1, 2 or all")
+	apps := flag.String("apps", "MXM,VPENTA,TOMCATV,SWIM", "comma-separated application list")
+	pes := flag.String("pes", "1,2,4,8,16,32,64", "comma-separated PE counts")
+	scale := flag.String("scale", "paper", "problem scale: small or paper")
+	details := flag.Bool("details", false, "print per-configuration details")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	ablation := flag.String("ablation", "", "run an ablation instead: vpg, mbp or nonstale")
+	sweep := flag.String("sweep", "", "run an architectural parameter sweep instead: remote, cache, queue or line")
+	flag.Parse()
+
+	peCounts, err := parsePEs(*pes)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *ablation != "" {
+		if err := runAblation(*ablation, peCounts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *sweep != "" {
+		if err := runSweep(*sweep, peCounts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	specs, err := selectApps(*apps, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var results []*harness.AppResult
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Description)
+		ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts})
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, ar)
+		if *details {
+			fmt.Println(report.Details(ar))
+		}
+	}
+
+	if *csv {
+		fmt.Print(report.CSV(results))
+		return
+	}
+	switch *table {
+	case "1":
+		fmt.Println(report.Table1(results))
+	case "2":
+		fmt.Println(report.Table2(results))
+	default:
+		fmt.Println(report.Table1(results))
+		fmt.Println(report.Table2(results))
+	}
+}
+
+func selectApps(list, scale string) ([]*workloads.Spec, error) {
+	all := workloads.Paper()
+	if scale == "small" {
+		all = workloads.Small()
+	} else if scale != "paper" {
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	byName := map[string]*workloads.Spec{}
+	for _, s := range all {
+		byName[s.Name] = s
+	}
+	var out []*workloads.Spec
+	for _, name := range strings.Split(list, ",") {
+		s, ok := byName[strings.TrimSpace(strings.ToUpper(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown application %q", name)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parsePEs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad PE count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccdpbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// runSweep measures the interaction of the CCDP scheme with one
+// architectural parameter — the "detailed simulation studies ... and the
+// interaction of the compiler implementation with various important
+// architectural parameters" the paper's §6 plans as future work.
+func runSweep(name string, peCounts []int) error {
+	type point struct {
+		label string
+		tune  func(*machine.Params)
+	}
+	var points []point
+	var app *workloads.Spec
+	switch name {
+	case "remote":
+		app = workloads.TOMCATV(257, 3)
+		for _, lat := range []int64{50, 100, 150, 300, 600} {
+			lat := lat
+			points = append(points, point{
+				label: fmt.Sprintf("remote=%d", lat),
+				tune:  func(mp *machine.Params) { mp.RemoteReadCost = lat },
+			})
+		}
+	case "cache":
+		app = workloads.SWIM(257, 3)
+		for _, words := range []int64{256, 512, 1024, 4096, 16384} {
+			words := words
+			points = append(points, point{
+				label: fmt.Sprintf("cache=%dKB", words*8/1024),
+				tune: func(mp *machine.Params) {
+					mp.CacheWords = words
+					if mp.VectorMaxWords > words {
+						mp.VectorMaxWords = words / 2
+					}
+				},
+			})
+		}
+	case "queue":
+		app = workloads.TOMCATV(257, 3)
+		for _, depth := range []int{1, 4, 16, 64, 256} {
+			depth := depth
+			points = append(points, point{
+				label: fmt.Sprintf("queue=%d", depth),
+				tune: func(mp *machine.Params) {
+					mp.PrefetchQueueWords = depth
+					mp.VectorMaxWords = 0 // force word-prefetch paths
+				},
+			})
+		}
+	case "line":
+		app = workloads.SWIM(257, 3)
+		for _, lw := range []int64{2, 4, 8, 16} {
+			lw := lw
+			points = append(points, point{
+				label: fmt.Sprintf("line=%dB", lw*8),
+				tune:  func(mp *machine.Params) { mp.LineWords = lw },
+			})
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q (want remote, cache, queue or line)", name)
+	}
+
+	fmt.Printf("Architectural sweep %q on %s\n", name, app.Name)
+	fmt.Printf("%14s", "")
+	for _, p := range peCounts {
+		fmt.Printf(" %14s", fmt.Sprintf("P=%d improv", p))
+	}
+	fmt.Println()
+	for _, pt := range points {
+		ar, err := harness.RunApp(app, harness.Config{PECounts: peCounts, Tune: pt.tune})
+		if err != nil {
+			return fmt.Errorf("%s: %w", pt.label, err)
+		}
+		fmt.Printf("%14s", pt.label)
+		for _, r := range ar.Rows {
+			fmt.Printf(" %13.2f%%", r.Improvement)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command ccdpc is the CCDP "compiler" driver: it runs the three analysis
+// phases of the paper on a workload program and prints their results — the
+// epoch partition and potentially-stale references (stale reference
+// analysis, §4.1), the prefetch target set (Figure 1), the scheduling
+// decisions (Figure 2) — and optionally the transformed program.
+//
+// Usage:
+//
+//	ccdpc -app MXM [-pes 8] [-scale small|paper] [-phase stale|target|sched|all] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/parse"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "MXM", "workload: MXM, VPENTA, TOMCATV or SWIM")
+	file := flag.String("file", "", "compile a program from a source file instead of a built-in workload")
+	pes := flag.Int("pes", 8, "number of PEs to compile for")
+	scale := flag.String("scale", "small", "problem scale: small or paper")
+	phase := flag.String("phase", "all", "phase to report: stale, target, sched or all")
+	dump := flag.Bool("dump", false, "print the transformed program")
+	flag.Parse()
+
+	var prog *ir.Program
+	var title string
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpc:", err)
+			os.Exit(1)
+		}
+		prog, err = parse.Program(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccdpc:", err)
+			os.Exit(1)
+		}
+		title = fmt.Sprintf("%s (from %s)", prog.Name, *file)
+	} else {
+		var pool []*workloads.Spec
+		if *scale == "paper" {
+			pool = workloads.Paper()
+		} else {
+			pool = workloads.Small()
+		}
+		var spec *workloads.Spec
+		for _, s := range pool {
+			if strings.EqualFold(s.Name, *app) {
+				spec = s
+			}
+		}
+		if spec == nil {
+			fmt.Fprintf(os.Stderr, "ccdpc: unknown app %q\n", *app)
+			os.Exit(1)
+		}
+		prog = spec.Prog
+		title = fmt.Sprintf("%s (%s)", spec.Name, spec.Description)
+	}
+
+	c, err := core.Compile(prog, core.ModeCCDP, machine.T3D(*pes))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccdpc:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, compiled for %d PEs\n\n", title, *pes)
+	switch *phase {
+	case "stale":
+		fmt.Println(c.Stale.Report())
+	case "target":
+		fmt.Println(c.Targets.Report(c.Prog))
+	case "sched":
+		fmt.Println(c.Sched.Report())
+	default:
+		fmt.Println(c.Stale.Report())
+		fmt.Println(c.Targets.Report(c.Prog))
+		fmt.Println(c.Sched.Report())
+	}
+	if *dump {
+		fmt.Println(ir.Format(c.Prog))
+	}
+}

@@ -1,0 +1,97 @@
+// Command t3dsim runs one workload in one mode on the simulated Cray T3D
+// and prints the cycle count and machine metrics.
+//
+// Usage:
+//
+//	t3dsim -app TOMCATV -mode ccdp -pes 16 [-scale small|paper] [-races] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "MXM", "workload: MXM, VPENTA, TOMCATV or SWIM")
+	mode := flag.String("mode", "ccdp", "execution mode: seq, base, ccdp or incoherent")
+	pes := flag.Int("pes", 8, "number of PEs")
+	scale := flag.String("scale", "small", "problem scale: small or paper")
+	races := flag.Bool("races", false, "enable the epoch-model race detector (slow)")
+	verify := flag.Bool("verify", false, "also run sequentially and compare results")
+	flag.Parse()
+
+	var pool []*workloads.Spec
+	if *scale == "paper" {
+		pool = workloads.Paper()
+	} else {
+		pool = workloads.Small()
+	}
+	var spec *workloads.Spec
+	for _, s := range pool {
+		if strings.EqualFold(s.Name, *app) {
+			spec = s
+		}
+	}
+	if spec == nil {
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	var m core.Mode
+	switch strings.ToLower(*mode) {
+	case "seq":
+		m = core.ModeSeq
+	case "base":
+		m = core.ModeBase
+	case "ccdp":
+		m = core.ModeCCDP
+	case "incoherent":
+		m = core.ModeIncoherent
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	c, err := core.Compile(spec.Prog, m, machine.T3D(*pes))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := exec.Run(c, exec.Options{DetectRaces: *races})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s %v on %d PEs: %d cycles\n", spec.Name, m, *pes, res.Cycles)
+	fmt.Println(res.Stats.String())
+
+	if *verify {
+		cs, err := core.Compile(spec.Prog, core.ModeSeq, machine.T3D(1))
+		if err != nil {
+			fatal(err)
+		}
+		ref, err := exec.Run(cs, exec.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range spec.CheckArrays {
+			arr := spec.Prog.ArrayByName(name)
+			a := ref.Mem.ArrayData(arr)
+			b := res.Mem.ArrayData(arr)
+			for i := range a {
+				if a[i] != b[i] {
+					fatal(fmt.Errorf("verification FAILED: %s[%d] = %v, sequential %v", name, i, b[i], a[i]))
+				}
+			}
+		}
+		fmt.Println("verification PASSED: results identical to sequential run")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "t3dsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a tiny parallel program, compile it with the CCDP
+// pipeline, run it on the simulated Cray T3D, and check the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func main() {
+	// A two-epoch program: epoch 0 initializes a distributed array A in
+	// parallel; epoch 1 reads it REVERSED, so most PEs read data another PE
+	// wrote — the cache-coherence hazard the CCDP scheme handles.
+	const n = 256
+	b := ir.NewBuilder("quickstart")
+	a := b.SharedArray("A", n)
+	c := b.SharedArray("C", n)
+	b.Routine("main",
+		ir.DoAll("i", ir.K(0), ir.K(n-1),
+			ir.Set(ir.At(a, ir.I("i")), ir.Mul(ir.IV(ir.I("i")), ir.IV(ir.I("i"))))),
+		ir.DoAll("j", ir.K(0), ir.K(n-1),
+			ir.Set(ir.At(c, ir.I("j")),
+				ir.L(ir.At(a, ir.I("j").Neg().AddConst(n-1))))),
+	)
+	prog := b.Build()
+
+	for _, mode := range []core.Mode{core.ModeSeq, core.ModeBase, core.ModeCCDP} {
+		pes := 8
+		if mode == core.ModeSeq {
+			pes = 1
+		}
+		compiled, err := core.Compile(prog, mode, machine.T3D(pes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exec.Run(compiled, exec.Options{FailOnStale: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5v on %d PEs: %8d cycles  (stale-value reads: %d)\n",
+			mode, pes, res.Cycles, res.Stats.StaleValueReads)
+
+		// The compiler found the reversed read stale and prefetched it:
+		if mode == core.ModeCCDP {
+			fmt.Println("\nCCDP analysis of the reversed read:")
+			fmt.Print(compiled.Stale.Report())
+			fmt.Print(compiled.Sched.Report())
+		}
+
+		// Spot-check results: C(j) == A(n-1-j) == (n-1-j)².
+		data := res.Mem.ArrayData(c)
+		for j := int64(0); j < n; j++ {
+			want := float64((n - 1 - j) * (n - 1 - j))
+			if data[j] != want {
+				log.Fatalf("%v: C[%d] = %v, want %v", mode, j, data[j], want)
+			}
+		}
+	}
+	fmt.Println("\nall modes produced identical, coherent results")
+}

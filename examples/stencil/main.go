@@ -1,0 +1,91 @@
+// Stencil: a 1-D Jacobi smoother with genuine halo traffic, showing (1) how
+// incoherent caching silently corrupts results, (2) how the engine's
+// stale-value checker catches it, and (3) how the CCDP scheme fixes it with
+// invalidation + prefetching at a fraction of the non-caching BASE cost.
+//
+//	go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func buildStencil(n, steps int64) *ir.Program {
+	b := ir.NewBuilder("stencil")
+	a := b.SharedArray("A", n)
+	tmp := b.SharedArray("T", n)
+	b.Routine("main",
+		ir.DoAll("i0", ir.K(0), ir.K(n-1),
+			ir.Set(ir.At(a, ir.I("i0")), ir.Mul(ir.IV(ir.I("i0")), ir.IV(ir.I("i0"))))),
+		ir.DoSerial("t", ir.K(1), ir.K(steps),
+			// Each PE's chunk-edge reads A(i±1) owned by its neighbour:
+			// potentially stale after the neighbour's update.
+			ir.DoAll("i", ir.K(1), ir.K(n-2),
+				ir.Set(ir.At(tmp, ir.I("i")),
+					ir.Mul(ir.N(0.5),
+						ir.Add(ir.L(ir.At(a, ir.I("i").AddConst(-1))),
+							ir.L(ir.At(a, ir.I("i").AddConst(1))))))),
+			ir.DoAll("j", ir.K(1), ir.K(n-2),
+				ir.Set(ir.At(a, ir.I("j")), ir.L(ir.At(tmp, ir.I("j"))))),
+		),
+	)
+	return b.Build()
+}
+
+func main() {
+	prog := buildStencil(4096, 10)
+	const pes = 16
+
+	run := func(mode core.Mode, p int) *exec.Result {
+		c, err := core.Compile(prog, mode, machine.T3D(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := exec.Run(c, exec.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	seq := run(core.ModeSeq, 1)
+	inc := run(core.ModeIncoherent, pes)
+	base := run(core.ModeBase, pes)
+	ccdp := run(core.ModeCCDP, pes)
+
+	diff := func(r *exec.Result) int {
+		n := 0
+		a := prog.ArrayByName("A")
+		x, y := seq.Mem.ArrayData(a), r.Mem.ArrayData(a)
+		for i := range x {
+			if x[i] != y[i] {
+				n++
+			}
+		}
+		return n
+	}
+
+	fmt.Printf("sequential:        %10d cycles\n", seq.Cycles)
+	fmt.Printf("incoherent caching:%10d cycles  stale reads=%-6d wrong elements=%d\n",
+		inc.Cycles, inc.Stats.StaleValueReads, diff(inc))
+	fmt.Printf("BASE (no caching): %10d cycles  stale reads=%-6d wrong elements=%d\n",
+		base.Cycles, base.Stats.StaleValueReads, diff(base))
+	fmt.Printf("CCDP:              %10d cycles  stale reads=%-6d wrong elements=%d\n",
+		ccdp.Cycles, ccdp.Stats.StaleValueReads, diff(ccdp))
+	fmt.Printf("\nCCDP vs BASE improvement: %.1f%%  (prefetches issued: %d, vector words: %d, lines invalidated: %d)\n",
+		100*(1-float64(ccdp.Cycles)/float64(base.Cycles)),
+		ccdp.Stats.PrefetchIssued, ccdp.Stats.VectorWords, ccdp.Stats.InvalidatedLines)
+
+	if inc.Stats.StaleValueReads == 0 || diff(inc) == 0 {
+		log.Fatal("expected the incoherent run to corrupt results")
+	}
+	if ccdp.Stats.StaleValueReads != 0 || diff(ccdp) != 0 {
+		log.Fatal("CCDP run was not coherent")
+	}
+}

@@ -1,0 +1,69 @@
+// Tuning: sweep the prefetch scheduler's empirical parameters — the
+// software-pipelining ahead-distance range and the moving-back window —
+// exactly the knobs the paper says "can be empirically determined and tuned
+// to suit a particular system" (§4.3.2), on the SWIM workload.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	spec := workloads.SWIM(129, 3)
+	const pes = 8
+
+	run := func(tune func(*machine.Params)) int64 {
+		mp := machine.T3D(pes)
+		tune(&mp)
+		c, err := core.Compile(spec.Prog, core.ModeCCDP, mp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := exec.Run(c, exec.Options{FailOnStale: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.Cycles
+	}
+
+	fmt.Println("SWIM 129², 3 steps, 8 PEs — scheduler parameter sweeps")
+	fmt.Println("\nmax software-pipelining ahead distance (iterations):")
+	for _, ahead := range []int64{1, 2, 4, 8, 16} {
+		cycles := run(func(mp *machine.Params) {
+			mp.MaxAheadIters = ahead
+			if mp.MinAheadIters > ahead {
+				mp.MinAheadIters = ahead
+			}
+			// Disable vector prefetching so SP actually fires.
+			mp.VectorMaxWords = 0
+		})
+		fmt.Printf("  ahead ≤ %2d: %10d cycles\n", ahead, cycles)
+	}
+
+	fmt.Println("\nminimum useful moving-back distance (cycles):")
+	for _, dist := range []int64{5, 20, 40, 200, 2000} {
+		cycles := run(func(mp *machine.Params) {
+			mp.MinMoveBackCycles = dist
+			if mp.MaxMoveBackCycles < dist {
+				mp.MaxMoveBackCycles = dist
+			}
+			mp.VectorMaxWords = 0
+			mp.PrefetchQueueWords = 1 // starve SP so MBP/bypass decide
+		})
+		fmt.Printf("  min dist %4d: %10d cycles\n", dist, cycles)
+	}
+
+	fmt.Println("\nvector prefetch capacity cap (words):")
+	for _, cap := range []int64{0, 64, 128, 256, 512, 1024} {
+		cycles := run(func(mp *machine.Params) { mp.VectorMaxWords = cap })
+		fmt.Printf("  cap %5d: %10d cycles\n", cap, cycles)
+	}
+}

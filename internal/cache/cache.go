@@ -1,0 +1,134 @@
+// Package cache models the per-PE data cache of the simulated T3D: the
+// Alpha 21064's 8 KB direct-mapped write-through D-cache with 32-byte
+// lines. Lines carry the cached VALUES and the memory GENERATION of each
+// word at fill time: a hit whose cached generation is older than memory's
+// current generation is a stale-value read — the event the CCDP scheme must
+// make impossible. Keeping values in the cache (rather than reading through
+// to memory) makes staleness observable in computed results, which is how
+// the engine's golden-value check proves coherence end to end.
+package cache
+
+// Line is one cache line's state.
+type Line struct {
+	Tag     int64 // word address of the line start; -1 when invalid
+	Vals    []float64
+	Gens    []uint32
+	ReadyAt int64 // cycle at which the fill completes (0 = ready)
+}
+
+// Cache is a direct-mapped write-through cache.
+type Cache struct {
+	lineWords int64
+	numLines  int64
+	lines     []Line
+
+	// Counters.
+	Hits, Misses, Evictions, Installs, InvalidatedLines int64
+}
+
+// New builds a cache with the given total capacity and line size in words.
+func New(capacityWords, lineWords int64) *Cache {
+	n := capacityWords / lineWords
+	c := &Cache{lineWords: lineWords, numLines: n, lines: make([]Line, n)}
+	for i := range c.lines {
+		c.lines[i] = Line{Tag: -1, Vals: make([]float64, lineWords), Gens: make([]uint32, lineWords)}
+	}
+	return c
+}
+
+// LineWords returns the line size in words.
+func (c *Cache) LineWords() int64 { return c.lineWords }
+
+// NumLines returns the number of lines.
+func (c *Cache) NumLines() int64 { return c.numLines }
+
+// lineAddr returns the line-aligned address containing addr.
+func (c *Cache) lineAddr(addr int64) int64 { return addr - addr%c.lineWords }
+
+// slot returns the direct-mapped index for a line address.
+func (c *Cache) slot(lineAddr int64) int64 { return (lineAddr / c.lineWords) % c.numLines }
+
+// Lookup probes the cache for addr. On a hit it returns the cached value,
+// its fill-time generation, and the line's ready time.
+func (c *Cache) Lookup(addr int64) (val float64, gen uint32, readyAt int64, hit bool) {
+	la := c.lineAddr(addr)
+	l := &c.lines[c.slot(la)]
+	if l.Tag != la {
+		c.Misses++
+		return 0, 0, 0, false
+	}
+	c.Hits++
+	off := addr - la
+	return l.Vals[off], l.Gens[off], l.ReadyAt, true
+}
+
+// Contains reports whether addr is cached, without touching counters.
+func (c *Cache) Contains(addr int64) bool {
+	la := c.lineAddr(addr)
+	return c.lines[c.slot(la)].Tag == la
+}
+
+// Install fills the line containing addr with the given words and
+// generations (len == LineWords, indexed from the line start), available at
+// readyAt. It returns true if a valid line was evicted.
+func (c *Cache) Install(addr int64, vals []float64, gens []uint32, readyAt int64) bool {
+	la := c.lineAddr(addr)
+	l := &c.lines[c.slot(la)]
+	evicted := l.Tag != -1 && l.Tag != la
+	if evicted {
+		c.Evictions++
+	}
+	l.Tag = la
+	copy(l.Vals, vals)
+	copy(l.Gens, gens)
+	l.ReadyAt = readyAt
+	c.Installs++
+	return evicted
+}
+
+// UpdateWord updates a cached word in place (write-through keeps the cached
+// copy current on the writer's own PE). Returns false if the line is not
+// present (no-write-allocate).
+func (c *Cache) UpdateWord(addr int64, val float64, gen uint32) bool {
+	la := c.lineAddr(addr)
+	l := &c.lines[c.slot(la)]
+	if l.Tag != la {
+		return false
+	}
+	off := addr - la
+	l.Vals[off] = val
+	l.Gens[off] = gen
+	return true
+}
+
+// InvalidateRange invalidates every line that intersects the word range
+// [lo, hi] and returns the number of lines dropped. The scan cost is
+// bounded by the cache size: a real implementation walks the cache once.
+func (c *Cache) InvalidateRange(lo, hi int64) int64 {
+	var n int64
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.Tag < 0 {
+			continue
+		}
+		if l.Tag+c.lineWords-1 >= lo && l.Tag <= hi {
+			l.Tag = -1
+			n++
+		}
+	}
+	c.InvalidatedLines += n
+	return n
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() int64 {
+	var n int64
+	for i := range c.lines {
+		if c.lines[i].Tag >= 0 {
+			c.lines[i].Tag = -1
+			n++
+		}
+	}
+	c.InvalidatedLines += n
+	return n
+}

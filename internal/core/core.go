@@ -1,0 +1,185 @@
+// Package core is the CCDP compiler pipeline — the paper's primary
+// contribution assembled from its three phases. Compile takes a source
+// program and produces an executable lowering for one of the execution
+// modes the evaluation compares:
+//
+//   - ModeSeq:   the sequential program (1 PE, everything local and cached);
+//     the baseline for the Table 1 speedups.
+//   - ModeBase:  the paper's BASE version: CRAFT shared data is NOT cached;
+//     every shared access pays the CRAFT shared-access overhead
+//     plus local or remote memory latency.
+//   - ModeCCDP:  shared data is cached; the stale reference analysis,
+//     prefetch target analysis and prefetch scheduling insert
+//     the coherence-preserving prefetch operations.
+//   - ModeIncoherent: shared data is cached with NO coherence actions —
+//     the broken scheme the paper's problem statement warns
+//     about. Used by tests to show stale-value reads occur
+//     and that the checker catches them.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/stale"
+	"repro/internal/target"
+)
+
+// Mode selects the lowering.
+type Mode int
+
+const (
+	ModeSeq Mode = iota
+	ModeBase
+	ModeCCDP
+	ModeIncoherent
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSeq:
+		return "SEQ"
+	case ModeBase:
+		return "BASE"
+	case ModeCCDP:
+		return "CCDP"
+	case ModeIncoherent:
+		return "INCOHERENT"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Compiled is a program lowered for one mode and machine configuration.
+type Compiled struct {
+	Prog       *ir.Program
+	Mode       Mode
+	Machine    machine.Params
+	TotalWords int64
+
+	// Analysis results (CCDP mode only; nil otherwise).
+	Stale   *stale.Result
+	Targets *target.Result
+	Sched   *sched.Result
+}
+
+var layoutMu sync.Mutex
+
+// Compile lowers src for the given mode and machine. src is cloned, never
+// mutated (beyond the shared array layout, which is deterministic and
+// identical across modes).
+func Compile(src *ir.Program, mode Mode, mp machine.Params) (*Compiled, error) {
+	if err := mp.Validate(); err != nil {
+		return nil, err
+	}
+	if mode == ModeSeq && mp.NumPE != 1 {
+		mp.NumPE = 1
+	}
+
+	// Lay out the shared array metadata once, under a lock: clones share
+	// the Array values, and concurrent compiles of the same source must
+	// not race on Base assignment.
+	layoutMu.Lock()
+	total := mem.Layout(src, mp.LineWords)
+	layoutMu.Unlock()
+
+	prog := ir.CloneProgram(src)
+	prog.Finalize()
+
+	c := &Compiled{Prog: prog, Mode: mode, Machine: mp, TotalWords: total}
+
+	switch mode {
+	case ModeSeq, ModeIncoherent:
+		// No transformation: plain cached execution.
+	case ModeBase:
+		lowerBase(prog)
+	case ModeCCDP:
+		sres, err := stale.Analyze(prog, mp.NumPE)
+		if err != nil {
+			return nil, fmt.Errorf("core: stale analysis: %w", err)
+		}
+		candidates := sres.StaleReads
+		if mp.PrefetchNonStale {
+			// Paper §6 extension: also prefetch non-stale remote reads.
+			candidates = make(map[ir.RefID]bool, len(sres.StaleReads)+len(sres.RemoteReads))
+			for id := range sres.StaleReads {
+				candidates[id] = true
+			}
+			for id := range sres.RemoteReads {
+				candidates[id] = true
+			}
+		}
+		tres := target.Analyze(prog, candidates, mp.LineWords)
+		scres := sched.Schedule(prog, sres, tres, mp)
+		// Re-finalizing after the insertions assigns new RefIDs; remap the
+		// analysis maps so they key on the final IDs.
+		old := append([]*ir.Ref(nil), prog.Refs()...)
+		prog.Finalize()
+		remapIDs(sres, tres, old)
+		if err := ir.Validate(prog); err != nil {
+			return nil, fmt.Errorf("core: scheduled program invalid: %w", err)
+		}
+		c.Stale = sres
+		c.Targets = tres
+		c.Sched = scres
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", mode)
+	}
+	return c, nil
+}
+
+// remapIDs rewrites the RefID-keyed analysis maps after re-finalization.
+// old[i] is the ref that held ID i before; its .ID now carries the new ID.
+func remapIDs(sres *stale.Result, tres *target.Result, old []*ir.Ref) {
+	newBool := func(m map[ir.RefID]bool) map[ir.RefID]bool {
+		out := make(map[ir.RefID]bool, len(m))
+		for id, v := range m {
+			out[old[id].ID] = v
+		}
+		return out
+	}
+	sres.StaleReads = newBool(sres.StaleReads)
+	sres.RemoteReads = newBool(sres.RemoteReads)
+	tres.Targets = newBool(tres.Targets)
+	dropped := make(map[ir.RefID]target.Drop, len(tres.Dropped))
+	for id, v := range tres.Dropped {
+		dropped[old[id].ID] = v
+	}
+	tres.Dropped = dropped
+	covered := make(map[ir.RefID]ir.RefID, len(tres.CoveredBy))
+	for id, leader := range tres.CoveredBy {
+		covered[old[id].ID] = old[leader].ID
+	}
+	tres.CoveredBy = covered
+	regions := make(map[ir.RefID]*ir.Region, len(tres.RegionOf))
+	for id, reg := range tres.RegionOf {
+		regions[old[id].ID] = reg
+	}
+	tres.RegionOf = regions
+}
+
+// lowerBase marks every reference to a shared array as non-cached (the
+// CRAFT rule: shared data is not cached, so BASE never violates coherence).
+func lowerBase(p *ir.Program) {
+	for _, r := range p.Refs() {
+		if !r.IsScalar() && r.Array.Shared {
+			r.NonCached = true
+		}
+	}
+}
+
+// Report summarizes the compilation for the ccdpc driver.
+func (c *Compiled) Report() string {
+	s := fmt.Sprintf("mode %s on %d PEs, %d words of shared address space\n",
+		c.Mode, c.Machine.NumPE, c.TotalWords)
+	if c.Mode == ModeCCDP {
+		s += c.Stale.Report()
+		s += c.Targets.Report(c.Prog)
+		s += c.Sched.Report()
+	}
+	return s
+}

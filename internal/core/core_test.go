@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func buildProg(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("coretest")
+	a := b.SharedArray("A", 64)
+	c := b.SharedArray("C", 64)
+	tp := b.Array("T", 8)
+	b.Routine("main",
+		ir.DoAll("i", ir.K(0), ir.K(63), ir.Set(ir.At(a, ir.I("i")), ir.IV(ir.I("i")))),
+		ir.DoAll("j", ir.K(0), ir.K(63),
+			ir.Set(ir.At(c, ir.I("j")), ir.L(ir.At(a, ir.I("j").Neg().AddConst(63))))),
+		ir.Set(ir.At(tp, ir.K(0)), ir.N(1)),
+	)
+	return b.Build()
+}
+
+func TestModeStrings(t *testing.T) {
+	cases := map[Mode]string{ModeSeq: "SEQ", ModeBase: "BASE", ModeCCDP: "CCDP", ModeIncoherent: "INCOHERENT"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestSeqForcesOnePE(t *testing.T) {
+	p := buildProg(t)
+	c, err := Compile(p, ModeSeq, machine.T3D(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machine.NumPE != 1 {
+		t.Errorf("SEQ NumPE = %d", c.Machine.NumPE)
+	}
+}
+
+func TestBaseLoweringMarksOnlySharedRefs(t *testing.T) {
+	p := buildProg(t)
+	c, err := Compile(p, ModeBase, machine.T3D(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.Prog.Refs() {
+		if r.IsScalar() {
+			continue
+		}
+		if r.Array.Shared && !r.NonCached {
+			t.Errorf("shared ref %s not marked NonCached", r)
+		}
+		if !r.Array.Shared && r.NonCached {
+			t.Errorf("private ref %s marked NonCached", r)
+		}
+	}
+	// The source program must be untouched.
+	for _, r := range p.Refs() {
+		if r.NonCached || r.Stale {
+			t.Errorf("source ref %s mutated by compile", r)
+		}
+	}
+}
+
+func TestCCDPRemapsIDsConsistently(t *testing.T) {
+	p := buildProg(t)
+	c, err := Compile(p, ModeCCDP, machine.T3D(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ID in the remapped maps must resolve, and every flagged-stale
+	// ref's ID must be in StaleReads.
+	for id := range c.Stale.StaleReads {
+		r := c.Prog.Ref(id)
+		if r == nil || !r.Stale {
+			t.Errorf("StaleReads id %d resolves to %v (Stale=%v)", id, r, r != nil && r.Stale)
+		}
+	}
+	for _, r := range c.Prog.Refs() {
+		if r.Stale && !c.Stale.StaleReads[r.ID] {
+			t.Errorf("ref %s flagged Stale but absent from remapped StaleReads", r)
+		}
+	}
+	for id, leader := range c.Targets.CoveredBy {
+		if c.Prog.Ref(id) == nil || c.Prog.Ref(leader) == nil {
+			t.Errorf("CoveredBy %d->%d dangles", id, leader)
+		}
+	}
+}
+
+func TestCompileRejectsBadMachine(t *testing.T) {
+	p := buildProg(t)
+	mp := machine.T3D(4)
+	mp.PrefetchQueueWords = 0
+	if _, err := Compile(p, ModeCCDP, mp); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestReportIncludesPhases(t *testing.T) {
+	p := buildProg(t)
+	c, err := Compile(p, ModeCCDP, machine.T3D(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	for _, want := range []string{"CCDP", "stale reference analysis", "prefetch target analysis", "prefetch scheduling"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	cb, _ := Compile(p, ModeBase, machine.T3D(4))
+	if strings.Contains(cb.Report(), "stale reference") {
+		t.Error("BASE report should not include analysis phases")
+	}
+}
+
+func TestLayoutDeterministicAcrossModes(t *testing.T) {
+	p := buildProg(t)
+	c1, err := Compile(p, ModeBase, machine.T3D(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1 := p.ArrayByName("A").Base
+	c2, err := Compile(p, ModeCCDP, machine.T3D(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ArrayByName("A").Base != base1 {
+		t.Error("layout changed between compiles")
+	}
+	if c1.TotalWords != c2.TotalWords {
+		t.Errorf("total words differ: %d vs %d", c1.TotalWords, c2.TotalWords)
+	}
+}

@@ -1,0 +1,138 @@
+// Package cost is the compiler's static cycle estimator. Software
+// pipelining needs the execution time of one loop iteration to compute how
+// many iterations ahead a prefetch must be issued (paper §4.3.2: "the
+// compiler can compute the loop execution time since the number of clock
+// cycles taken by each instruction is known"), and moving-back measures its
+// motion distance in estimated cycles.
+//
+// The estimate deliberately assumes cache hits for memory references: the
+// point of the schedule is to make that assumption true.
+package cost
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// DefaultTripCount is assumed for loops whose bounds the compiler cannot
+// evaluate.
+const DefaultTripCount = 50
+
+// Model estimates statement costs for one machine configuration.
+type Model struct {
+	Params  machine.Params
+	Prog    *ir.Program
+	envVals map[string]int64
+}
+
+// NewModel builds a cost model for the program (params are read from the
+// program's compile-time parameter table).
+func NewModel(p machine.Params, prog *ir.Program) *Model {
+	env := make(map[string]int64, len(prog.Params))
+	for k, v := range prog.Params {
+		env[k] = v
+	}
+	return &Model{Params: p, Prog: prog, envVals: env}
+}
+
+// Stmt estimates the cycles of executing statement s once (loops: the whole
+// loop).
+func (m *Model) Stmt(s ir.Stmt) int64 {
+	switch st := s.(type) {
+	case *ir.Loop:
+		body := m.Body(st.Body)
+		trip := m.trip(st)
+		return trip * (body + m.Params.LoopIterCost)
+	case *ir.Assign:
+		return m.Params.StmtOverheadCost + m.expr(st.RHS) + m.refCost(st.LHS)
+	case *ir.If:
+		c := m.expr(st.Cond.L) + m.expr(st.Cond.R) + m.Params.StmtOverheadCost
+		t := m.Body(st.Then)
+		e := m.Body(st.Else)
+		// Branch estimate: the heavier side (conservative for move-back
+		// distances, which must not be overestimated... the heavier side
+		// overestimates; use the average to stay neutral).
+		return c + (t+e)/2
+	case *ir.Call:
+		if rt := m.Prog.Routine(st.Name); rt != nil {
+			return m.Body(rt.Body)
+		}
+		return m.Params.StmtOverheadCost
+	case *ir.Prefetch:
+		return m.Params.PrefetchIssueCost
+	case *ir.VectorPrefetch:
+		return m.Params.ShmemStartupCost + st.Words*m.Params.ShmemPerWordCost
+	default:
+		return m.Params.StmtOverheadCost
+	}
+}
+
+// Body estimates the cycles of executing a statement list once.
+func (m *Model) Body(body []ir.Stmt) int64 {
+	var c int64
+	for _, s := range body {
+		c += m.Stmt(s)
+	}
+	return c
+}
+
+// IterCost estimates the cycles of one iteration of the loop body
+// (excluding nested-loop multiplication of the loop itself, including
+// everything inside).
+func (m *Model) IterCost(l *ir.Loop) int64 {
+	return m.Body(l.Body) + m.Params.LoopIterCost
+}
+
+// AheadIterations returns the software-pipelining prefetch distance for the
+// loop: ceil(prefetch latency / iteration time), clamped to the machine's
+// tunable range (paper §4.3.2).
+func (m *Model) AheadIterations(l *ir.Loop) int64 {
+	iter := m.IterCost(l)
+	if iter <= 0 {
+		iter = 1
+	}
+	lat := m.Params.AvgPrefetchLatency()
+	ahead := (lat + iter - 1) / iter
+	if ahead < m.Params.MinAheadIters {
+		ahead = m.Params.MinAheadIters
+	}
+	if ahead > m.Params.MaxAheadIters {
+		ahead = m.Params.MaxAheadIters
+	}
+	return ahead
+}
+
+func (m *Model) trip(l *ir.Loop) int64 {
+	if tc, ok := ir.TripCount(m.Prog, l); ok {
+		return tc
+	}
+	return DefaultTripCount
+}
+
+func (m *Model) expr(e ir.Expr) int64 {
+	switch x := e.(type) {
+	case ir.Num:
+		return 0
+	case ir.IVal:
+		return 1
+	case ir.Load:
+		return m.refCost(x.Ref)
+	case ir.Bin:
+		return m.Params.FlopCost + m.expr(x.L) + m.expr(x.R)
+	case ir.Un:
+		c := m.Params.FlopCost
+		if x.Op == ir.OpSqrt {
+			c *= 8 // sqrt is many-cycle on the 21064
+		}
+		return c + m.expr(x.X)
+	default:
+		return 0
+	}
+}
+
+func (m *Model) refCost(r *ir.Ref) int64 {
+	if r.IsScalar() {
+		return 0 // register-resident
+	}
+	return m.Params.HitCost
+}

@@ -1,0 +1,123 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func model(t *testing.T) (*Model, *ir.Array) {
+	t.Helper()
+	b := ir.NewBuilder("cost")
+	b.Param("N", 100)
+	a := b.Array("A", 100)
+	b.Routine("main", ir.Set(ir.At(a, ir.K(0)), ir.N(1)))
+	p := b.Build()
+	return NewModel(machine.T3D(4), p), a
+}
+
+func TestAssignCost(t *testing.T) {
+	m, a := model(t)
+	mp := m.Params
+	// A(0) = A(1) + 2.0: overhead + 1 flop + 2 ref hits
+	s := ir.Set(ir.At(a, ir.K(0)), ir.Add(ir.L(ir.At(a, ir.K(1))), ir.N(2)))
+	want := mp.StmtOverheadCost + mp.FlopCost + 2*mp.HitCost
+	if got := m.Stmt(s); got != want {
+		t.Errorf("assign cost = %d, want %d", got, want)
+	}
+}
+
+func TestScalarRefsFree(t *testing.T) {
+	m, _ := model(t)
+	s := ir.Set(ir.S("x"), ir.L(ir.S("y")))
+	if got := m.Stmt(s); got != m.Params.StmtOverheadCost {
+		t.Errorf("scalar assign = %d, want bare overhead %d", got, m.Params.StmtOverheadCost)
+	}
+}
+
+func TestLoopCostMultipliesTrip(t *testing.T) {
+	m, a := model(t)
+	body := ir.Set(ir.At(a, ir.I("i")), ir.N(0))
+	l := ir.DoSerial("i", ir.K(0), ir.K(9), body)
+	per := m.Stmt(body) + m.Params.LoopIterCost
+	if got := m.Stmt(l); got != 10*per {
+		t.Errorf("loop cost = %d, want %d", got, 10*per)
+	}
+}
+
+func TestUnknownTripUsesDefault(t *testing.T) {
+	m, a := model(t)
+	body := ir.Set(ir.At(a, ir.I("i")), ir.N(0))
+	l := &ir.Loop{Var: "i", Lo: ir.K(0), Hi: ir.I("unknown"), Step: ir.K(1), Body: []ir.Stmt{body}}
+	per := m.Stmt(body) + m.Params.LoopIterCost
+	if got := m.Stmt(l); got != DefaultTripCount*per {
+		t.Errorf("unknown-trip loop cost = %d, want %d", got, DefaultTripCount*per)
+	}
+}
+
+func TestParamBoundTripEvaluated(t *testing.T) {
+	m, a := model(t)
+	l := ir.DoSerial("i", ir.K(0), ir.I("N").AddConst(-1),
+		ir.Set(ir.At(a, ir.I("i")), ir.N(0)))
+	per := m.Stmt(l.Body[0]) + m.Params.LoopIterCost
+	if got := m.Stmt(l); got != 100*per {
+		t.Errorf("param-bound loop cost = %d, want %d", got, 100*per)
+	}
+}
+
+func TestCallCostUsesCalleeBody(t *testing.T) {
+	b := ir.NewBuilder("c2")
+	a := b.Array("A", 8)
+	b.Routine("main", ir.CallTo("sub"))
+	b.Routine("sub", ir.Set(ir.At(a, ir.K(0)), ir.N(1)))
+	p := b.Build()
+	m := NewModel(machine.T3D(4), p)
+	call := p.MainRoutine().Body[0]
+	sub := p.Routine("sub").Body[0]
+	if m.Stmt(call) != m.Stmt(sub) {
+		t.Errorf("call cost %d != callee body cost %d", m.Stmt(call), m.Stmt(sub))
+	}
+}
+
+func TestAheadIterationsClamped(t *testing.T) {
+	m, a := model(t)
+	// Tiny body: ahead would be latency/small -> clamp to MaxAheadIters.
+	small := ir.DoSerial("i", ir.K(0), ir.K(9),
+		ir.Set(ir.At(a, ir.I("i")), ir.N(0)))
+	if got := m.AheadIterations(small); got != m.Params.MaxAheadIters {
+		t.Errorf("small-body ahead = %d, want max %d", got, m.Params.MaxAheadIters)
+	}
+	// Huge body: ahead = 1 (>= MinAheadIters).
+	var big []ir.Stmt
+	for k := 0; k < 200; k++ {
+		big = append(big, ir.Set(ir.At(a, ir.I("i")), ir.Sqrt(ir.L(ir.At(a, ir.I("i"))))))
+	}
+	huge := ir.DoSerial("i", ir.K(0), ir.K(9), big...)
+	if got := m.AheadIterations(huge); got != m.Params.MinAheadIters {
+		t.Errorf("huge-body ahead = %d, want min %d", got, m.Params.MinAheadIters)
+	}
+}
+
+func TestPrefetchStmtCosts(t *testing.T) {
+	m, a := model(t)
+	pf := &ir.Prefetch{Target: ir.At(a, ir.K(0))}
+	if got := m.Stmt(pf); got != m.Params.PrefetchIssueCost {
+		t.Errorf("prefetch cost = %d", got)
+	}
+	vp := &ir.VectorPrefetch{Target: ir.At(a, ir.K(0)), LoopVar: "v", Lo: ir.K(0), Hi: ir.K(9), Step: ir.K(1), Words: 10}
+	want := m.Params.ShmemStartupCost + 10*m.Params.ShmemPerWordCost
+	if got := m.Stmt(vp); got != want {
+		t.Errorf("vector prefetch cost = %d, want %d", got, want)
+	}
+}
+
+func TestIfCostAveragesBranches(t *testing.T) {
+	m, a := model(t)
+	heavy := ir.Set(ir.At(a, ir.K(0)), ir.Sqrt(ir.L(ir.At(a, ir.K(1)))))
+	s := ir.When(ir.CondOf(ir.CmpLT, ir.N(0), ir.N(1)), []ir.Stmt{heavy, heavy}, nil)
+	lone := ir.When(ir.CondOf(ir.CmpLT, ir.N(0), ir.N(1)), []ir.Stmt{heavy, heavy}, []ir.Stmt{heavy, heavy})
+	if m.Stmt(s) >= m.Stmt(lone) {
+		t.Errorf("one-sided if should cost less than two-sided: %d vs %d", m.Stmt(s), m.Stmt(lone))
+	}
+}

@@ -1,0 +1,46 @@
+package craft_test
+
+import (
+	"fmt"
+
+	"repro/internal/craft"
+	"repro/internal/ir"
+)
+
+func ExampleBlockChunk() {
+	// 64 loop iterations over 4 PEs: contiguous 16-iteration blocks.
+	for pe := 0; pe < 4; pe++ {
+		c := craft.BlockChunk(0, 63, 4, pe)
+		fmt.Printf("PE %d: %d..%d\n", pe, c.Lo, c.Hi)
+	}
+	// Output:
+	// PE 0: 0..15
+	// PE 1: 16..31
+	// PE 2: 32..47
+	// PE 3: 48..63
+}
+
+func ExampleAlignedChunk() {
+	// An interior loop 1..62 aligned with a 64-extent distribution: each
+	// PE runs exactly the iterations inside its own slab, so chunk edges
+	// coincide with ownership boundaries (no spurious remote traffic).
+	for pe := 0; pe < 4; pe++ {
+		c := craft.AlignedChunk(1, 62, 64, 4, pe)
+		fmt.Printf("PE %d: %d..%d\n", pe, c.Lo, c.Hi)
+	}
+	// Output:
+	// PE 0: 1..15
+	// PE 1: 16..31
+	// PE 2: 32..47
+	// PE 3: 48..62
+}
+
+func ExampleOwnerOfOffset() {
+	// Column-major 8×8 matrix, columns block-distributed over 4 PEs:
+	// element (3, 5) lives in column 5, owned by PE 2.
+	a := &ir.Array{Name: "A", Dims: []int64{8, 8}, Shared: true, Dist: ir.DistBlock}
+	off := a.LinearOffset([]int64{3, 5})
+	fmt.Println(craft.OwnerOfOffset(a, 4, off))
+	// Output:
+	// 2
+}

@@ -1,0 +1,224 @@
+// Package depend implements the data-dependence tests the prefetch
+// scheduler needs to establish legality: whether pulling a reference out of
+// a loop (vector prefetch generation) or moving a prefetch back across
+// statements (moving-back) can change which value a read observes.
+//
+// The tests are the classical conservative subscript tests on affine
+// subscripts: a GCD divisibility test and a Banerjee extreme-value test per
+// dimension. "May alias" answers of true are conservative (the scheduler
+// then declines the motion); answers of false are proofs of independence.
+package depend
+
+import (
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// Bounds gives the inclusive range of every in-scope loop variable.
+type Bounds struct {
+	Lo, Hi map[string]int64
+}
+
+// NewBounds returns an empty bounds environment.
+func NewBounds() Bounds {
+	return Bounds{Lo: map[string]int64{}, Hi: map[string]int64{}}
+}
+
+// Clone deep-copies the bounds.
+func (b Bounds) Clone() Bounds {
+	c := NewBounds()
+	for k, v := range b.Lo {
+		c.Lo[k] = v
+	}
+	for k, v := range b.Hi {
+		c.Hi[k] = v
+	}
+	return c
+}
+
+// With returns a copy of b extended with variable v ranging lo..hi.
+func (b Bounds) With(v string, lo, hi int64) Bounds {
+	c := b.Clone()
+	c.Lo[v] = lo
+	c.Hi[v] = hi
+	return c
+}
+
+// WithLoop returns a copy of b extended with the loop's induction variable,
+// using extreme-value bounds of the loop's own bound expressions; ok is
+// false when the bounds involve variables absent from b.
+func (b Bounds) WithLoop(l *ir.Loop, params map[string]int64) (Bounds, bool) {
+	env := b.withParams(params)
+	lo, _, ok1 := l.Lo.Bounds(env.Lo, env.Hi)
+	_, hi, ok2 := l.Hi.Bounds(env.Lo, env.Hi)
+	if !ok1 || !ok2 {
+		return Bounds{}, false
+	}
+	return b.With(l.Var, lo, hi), true
+}
+
+// withParams extends the bounds with [v,v] ranges for every param.
+func (b Bounds) withParams(params map[string]int64) Bounds {
+	c := b.Clone()
+	for k, v := range params {
+		if _, exists := c.Lo[k]; !exists {
+			c.Lo[k] = v
+			c.Hi[k] = v
+		}
+	}
+	return c
+}
+
+// MayAlias reports whether references a and b may touch a common array
+// element, with a's loop variables ranging over ba, b's over bb, and the
+// two instances chosen independently (different iterations, or different
+// statements). Parameters are shared constants. Scalar references alias
+// iff they name the same scalar.
+func MayAlias(a, b *ir.Ref, ba, bb Bounds, params map[string]int64) bool {
+	return MayAliasShared(a, b, ba, bb, NewBounds(), params)
+}
+
+// MayAliasShared is MayAlias with an additional set of SHARED symbolic
+// variables: variables (such as the induction variable of an enclosing
+// epoch-level time-step loop) that take the same — though unknown — value
+// in both instances. A subscript pair like rx(i,j-1) vs rx(i',j) with j
+// shared is proven independent regardless of j's value.
+func MayAliasShared(a, b *ir.Ref, ba, bb, shared Bounds, params map[string]int64) bool {
+	if a.IsScalar() || b.IsScalar() {
+		return a.IsScalar() && b.IsScalar() && a.Scalar == b.Scalar
+	}
+	if a.Array != b.Array {
+		return false
+	}
+	const renameSuffix = "·b"
+	ea := ba.withParams(params)
+	eb := bb.withParams(params)
+	for v := range shared.Lo {
+		// Shared variables participate unrenamed with their shared range.
+		if _, clash := ea.Lo[v]; !clash {
+			ea.Lo[v], ea.Hi[v] = shared.Lo[v], shared.Hi[v]
+		}
+	}
+
+	for d := 0; d < len(a.Index); d++ {
+		sa := substParams(a.Index[d], params)
+		sb := substParams(b.Index[d], params)
+		// Rename b's loop variables so the two instances are independent.
+		sbRen := sb
+		for _, v := range sb.Vars() {
+			if _, isLoopVar := bb.Lo[v]; isLoopVar {
+				sbRen = sbRen.Subst(v, expr.Var(v+renameSuffix))
+			}
+		}
+		diff := sa.Sub(sbRen)
+
+		// GCD test: diff = k + Σ c_i v_i can be 0 only if gcd(c_i) | k.
+		if g := gcdOfCoefs(diff); g != 0 && diff.ConstPart()%g != 0 {
+			return false // proven independent in this dimension
+		}
+
+		// Banerjee test: 0 must lie within [min,max] of diff.
+		lo := map[string]int64{}
+		hi := map[string]int64{}
+		for k, v := range ea.Lo {
+			lo[k] = v
+		}
+		for k, v := range ea.Hi {
+			hi[k] = v
+		}
+		for k, v := range eb.Lo {
+			lo[k+renameSuffix] = v
+		}
+		for k, v := range eb.Hi {
+			hi[k+renameSuffix] = v
+		}
+		mn, mx, ok := diff.Bounds(lo, hi)
+		if !ok {
+			continue // unbounded variable: stay conservative for this dim
+		}
+		if mn > 0 || mx < 0 {
+			return false // 0 unreachable: independent in this dimension
+		}
+	}
+	return true
+}
+
+// substParams replaces parameter variables with their constant values.
+func substParams(a expr.Affine, params map[string]int64) expr.Affine {
+	for _, v := range a.Vars() {
+		if k, ok := params[v]; ok {
+			a = a.Subst(v, expr.Const(k))
+		}
+	}
+	return a
+}
+
+func gcdOfCoefs(a expr.Affine) int64 {
+	var g int64
+	for _, t := range a.Terms() {
+		g = gcd(g, abs64(t.Coef))
+	}
+	return g
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// AnyWriteMayConflict reports whether any write reference inside body may
+// alias target. Both target and the writes range over bounds extended by
+// any loops nested inside body; shared variables take one common value in
+// both instances. Used to decide whether a read can legally be prefetched
+// ahead of the loop (VPG) or ahead of preceding statements (MBP): a
+// potentially conflicting write means the value is produced inside the
+// region, so fetching early could observe a stale value.
+func AnyWriteMayConflict(body []ir.Stmt, target *ir.Ref, outer, shared Bounds, params map[string]int64) bool {
+	conflict := false
+	var scan func(ss []ir.Stmt, b Bounds)
+	scan = func(ss []ir.Stmt, b Bounds) {
+		for _, s := range ss {
+			if conflict {
+				return
+			}
+			switch st := s.(type) {
+			case *ir.Loop:
+				inner, ok := b.WithLoop(st, params)
+				if !ok {
+					// Unbounded loop variable: be conservative only if the
+					// loop writes the same array at all.
+					inner = b.With(st.Var, -1<<40, 1<<40)
+				}
+				scan(st.Body, inner)
+			case *ir.Assign:
+				if MayAliasShared(st.LHS, target, b, outer, shared, params) {
+					conflict = true
+				}
+			case *ir.If:
+				scan(st.Then, b)
+				scan(st.Else, b)
+			case *ir.Call:
+				// Callee bodies are checked by the caller via routine
+				// summaries; a bare Call here is treated as opaque.
+				conflict = true
+			}
+		}
+	}
+	scan(body, outer)
+	return conflict
+}
+
+// StmtMayWriteRef reports whether statement s (recursively) contains a
+// write that may alias target.
+func StmtMayWriteRef(s ir.Stmt, target *ir.Ref, b, shared Bounds, params map[string]int64) bool {
+	return AnyWriteMayConflict([]ir.Stmt{s}, target, b, shared, params)
+}

@@ -1,0 +1,250 @@
+package depend
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+func mkArr(name string, dims ...int64) *ir.Array {
+	return &ir.Array{Name: name, Dims: dims}
+}
+
+func ref(a *ir.Array, idx ...expr.Affine) *ir.Ref {
+	return &ir.Ref{Array: a, Index: idx}
+}
+
+func TestScalarAliasing(t *testing.T) {
+	b := NewBounds()
+	s1 := &ir.Ref{Scalar: "x"}
+	s2 := &ir.Ref{Scalar: "x"}
+	s3 := &ir.Ref{Scalar: "y"}
+	if !MayAlias(s1, s2, b, b, nil) {
+		t.Error("same scalar should alias")
+	}
+	if MayAlias(s1, s3, b, b, nil) {
+		t.Error("different scalars should not alias")
+	}
+	a := mkArr("A", 10)
+	if MayAlias(s1, ref(a, ir.K(0)), b, b, nil) {
+		t.Error("scalar vs array should not alias")
+	}
+}
+
+func TestDifferentArraysNeverAlias(t *testing.T) {
+	a, c := mkArr("A", 10), mkArr("C", 10)
+	b := NewBounds().With("i", 0, 9)
+	if MayAlias(ref(a, ir.I("i")), ref(c, ir.I("i")), b, b, nil) {
+		t.Error("different arrays alias")
+	}
+}
+
+func TestGCDTest(t *testing.T) {
+	a := mkArr("A", 100)
+	b := NewBounds().With("i", 0, 40)
+	// A(2i) vs A(2i'+1): even vs odd, never alias.
+	r1 := ref(a, expr.Scaled("i", 2))
+	r2 := ref(a, expr.Scaled("i", 2).AddConst(1))
+	if MayAlias(r1, r2, b, b, nil) {
+		t.Error("even/odd subscripts reported aliasing")
+	}
+	// A(2i) vs A(2i'+4): may alias (i=i'+2).
+	r3 := ref(a, expr.Scaled("i", 2).AddConst(4))
+	if !MayAlias(r1, r3, b, b, nil) {
+		t.Error("reachable subscripts reported independent")
+	}
+}
+
+func TestBanerjeeRangeTest(t *testing.T) {
+	a := mkArr("A", 1000)
+	// A(i) with i in 0..9 vs A(j+100) with j in 0..9: ranges disjoint.
+	ba := NewBounds().With("i", 0, 9)
+	bb := NewBounds().With("j", 0, 9)
+	r1 := ref(a, ir.I("i"))
+	r2 := ref(a, ir.I("j").AddConst(100))
+	if MayAlias(r1, r2, ba, bb, nil) {
+		t.Error("disjoint ranges reported aliasing")
+	}
+	// A(i) vs A(j+5): overlap at 5..9.
+	r3 := ref(a, ir.I("j").AddConst(5))
+	if !MayAlias(r1, r3, ba, bb, nil) {
+		t.Error("overlapping ranges reported independent")
+	}
+}
+
+func TestSameVariableRenamedAcrossInstances(t *testing.T) {
+	// A(i) vs A(i-1) within the same loop: different iterations may meet
+	// (i=3 reads what i'=4 wrote), so they alias.
+	a := mkArr("A", 100)
+	b := NewBounds().With("i", 1, 10)
+	r1 := ref(a, ir.I("i"))
+	r2 := ref(a, ir.I("i").AddConst(-1))
+	if !MayAlias(r1, r2, b, b, nil) {
+		t.Error("cross-iteration dependence missed")
+	}
+}
+
+func TestMultiDimIndependence(t *testing.T) {
+	a := mkArr("A", 64, 64)
+	b := NewBounds().With("i", 0, 30)
+	// A(i, 3) vs A(i', 7): second dim constants differ -> independent.
+	r1 := ref(a, ir.I("i"), ir.K(3))
+	r2 := ref(a, ir.I("i"), ir.K(7))
+	if MayAlias(r1, r2, b, b, nil) {
+		t.Error("distinct columns reported aliasing")
+	}
+	// A(i, j) vs A(i', j'): same space -> alias.
+	bj := b.With("j", 0, 63)
+	r3 := ref(a, ir.I("i"), ir.I("j"))
+	if !MayAlias(r3, r3, bj, bj, nil) {
+		t.Error("self-alias missed")
+	}
+}
+
+func TestParamsSubstituted(t *testing.T) {
+	a := mkArr("A", 1000)
+	params := map[string]int64{"N": 100}
+	b := NewBounds().With("i", 0, 9)
+	// A(i) vs A(j+N) with N=100: disjoint.
+	r1 := ref(a, ir.I("i"))
+	r2 := ref(a, ir.I("i").Add(ir.I("N")))
+	if MayAlias(r1, r2, b, b, params) {
+		t.Error("param offset not substituted")
+	}
+}
+
+func TestWithLoopBounds(t *testing.T) {
+	params := map[string]int64{"N": 16}
+	outer := NewBounds()
+	l := ir.DoSerial("i", ir.K(2), ir.I("N").AddConst(-2))
+	b, ok := outer.WithLoop(l, params)
+	if !ok || b.Lo["i"] != 2 || b.Hi["i"] != 14 {
+		t.Errorf("WithLoop = [%d,%d] ok=%v", b.Lo["i"], b.Hi["i"], ok)
+	}
+	// Triangular: inner bound depends on outer var.
+	inner := ir.DoSerial("j", ir.K(0), ir.I("i"))
+	bj, ok := b.WithLoop(inner, params)
+	if !ok || bj.Lo["j"] != 0 || bj.Hi["j"] != 14 {
+		t.Errorf("triangular WithLoop = [%d,%d] ok=%v", bj.Lo["j"], bj.Hi["j"], ok)
+	}
+}
+
+func TestAnyWriteMayConflict(t *testing.T) {
+	a := mkArr("A", 100)
+	c := mkArr("C", 100)
+	params := map[string]int64{}
+	outer := NewBounds().With("i", 0, 99)
+
+	// Loop writes C(j); target A(i): no conflict.
+	body := []ir.Stmt{
+		ir.DoSerial("j", ir.K(0), ir.K(99),
+			ir.Set(ref(c, ir.I("j")), ir.L(ref(a, ir.I("j"))))),
+	}
+	if AnyWriteMayConflict(body, ref(a, ir.I("i")), outer, NewBounds(), params) {
+		t.Error("write to different array flagged")
+	}
+
+	// Loop writes A(j): conflicts with A(i).
+	body2 := []ir.Stmt{
+		ir.DoSerial("j", ir.K(0), ir.K(99),
+			ir.Set(ref(a, ir.I("j")), ir.N(0))),
+	}
+	if !AnyWriteMayConflict(body2, ref(a, ir.I("i")), outer, NewBounds(), params) {
+		t.Error("conflicting write missed")
+	}
+
+	// Write confined to A(0..9), target A(i) with i in 50..99: no conflict.
+	body3 := []ir.Stmt{
+		ir.DoSerial("j", ir.K(0), ir.K(9),
+			ir.Set(ref(a, ir.I("j")), ir.N(0))),
+	}
+	tight := NewBounds().With("i", 50, 99)
+	if AnyWriteMayConflict(body3, ref(a, ir.I("i")), tight, NewBounds(), params) {
+		t.Error("disjoint write range flagged")
+	}
+
+	// Opaque call is conservatively a conflict.
+	body4 := []ir.Stmt{ir.CallTo("mystery")}
+	if !AnyWriteMayConflict(body4, ref(a, ir.I("i")), outer, NewBounds(), params) {
+		t.Error("opaque call not conservative")
+	}
+
+	// Writes under if-statements still count.
+	body5 := []ir.Stmt{
+		ir.When(ir.CondOf(ir.CmpLT, ir.N(0), ir.N(1)),
+			[]ir.Stmt{ir.Set(ref(a, ir.K(60)), ir.N(1))}, nil),
+	}
+	if !AnyWriteMayConflict(body5, ref(a, ir.I("i")), tight, NewBounds(), params) {
+		t.Error("write under if missed")
+	}
+}
+
+// Property: MayAlias is conservative — brute-force enumeration over small
+// iteration spaces never finds an actual collision that MayAlias denies.
+func TestPropMayAliasConservative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		arr := mkArr("A", 1<<30) // huge so subscripts never wrap
+		mkSub := func() expr.Affine {
+			a := expr.Const(r.Int63n(21) - 10)
+			a = a.Add(expr.Scaled("i", r.Int63n(7)-3))
+			a = a.Add(expr.Scaled("j", r.Int63n(7)-3))
+			return a
+		}
+		s1, s2 := mkSub(), mkSub()
+		lo1, lo2 := r.Int63n(5), r.Int63n(5)
+		b1 := NewBounds().With("i", lo1, lo1+r.Int63n(6)).With("j", 0, 4)
+		b2 := NewBounds().With("i", lo2, lo2+r.Int63n(6)).With("j", 0, 4)
+		r1, r2 := ref(arr, s1), ref(arr, s2)
+
+		alias := MayAlias(r1, r2, b1, b2, nil)
+		if alias {
+			return true // conservative answer is always acceptable
+		}
+		// Proven independent: verify by enumeration.
+		for i1 := b1.Lo["i"]; i1 <= b1.Hi["i"]; i1++ {
+			for j1 := b1.Lo["j"]; j1 <= b1.Hi["j"]; j1++ {
+				v1, _ := s1.Eval(map[string]int64{"i": i1, "j": j1})
+				for i2 := b2.Lo["i"]; i2 <= b2.Hi["i"]; i2++ {
+					for j2 := b2.Lo["j"]; j2 <= b2.Hi["j"]; j2++ {
+						v2, _ := s2.Eval(map[string]int64{"i": i2, "j": j2})
+						if v1 == v2 {
+							return false // collision that MayAlias denied
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMayAliasSharedContextVariable(t *testing.T) {
+	// rx(i, j-1) read vs rx(i', j) write with j SHARED (fixed epoch-context
+	// value): independent regardless of j. Without sharing, conservative.
+	a := mkArr("RX", 300, 300)
+	ba := NewBounds().With("i", 1, 255)
+	bb := NewBounds().With("i", 1, 255)
+	shared := NewBounds().With("j", 2, 255)
+	rd := ref(a, ir.I("i"), ir.I("j").AddConst(-1))
+	wr := ref(a, ir.I("i"), ir.I("j"))
+	if MayAliasShared(rd, wr, ba, bb, shared, nil) {
+		t.Error("column j-1 vs column j with shared j reported aliasing")
+	}
+	// Same-column access with shared j DOES alias.
+	rd2 := ref(a, ir.I("i").AddConst(1), ir.I("j"))
+	if !MayAliasShared(rd2, wr, ba, bb, shared, nil) {
+		t.Error("same shared column reported independent")
+	}
+	// Coefficient mismatch on the shared var: 2j vs j may collide for some j.
+	rd3 := ref(a, ir.I("i"), expr.Scaled("j", 2).AddConst(-10))
+	if !MayAliasShared(rd3, wr, ba, bb, shared, nil) {
+		t.Error("2j vs j with shared j must stay conservative")
+	}
+}

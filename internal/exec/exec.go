@@ -1,0 +1,354 @@
+// Package exec is the T3D execution engine: it interprets a compiled
+// program (real float64 arithmetic over the simulated distributed memory),
+// drives the per-PE caches and prefetch queues, and charges cycle costs.
+//
+// Execution follows the paper's epoch model (§3.1): parallel epochs run
+// their DOALL chunks on all PEs concurrently (one goroutine per PE — PEs
+// touch disjoint data inside an epoch, so the simulation is race-free
+// exactly when the program respects the model); serial epochs run on PE 0;
+// every epoch boundary is a barrier, and write-through caches keep home
+// memory current so the boundary memory-update is implicit.
+//
+// Coherence is CHECKED, not assumed: every cached word carries the memory
+// generation it was filled with, and a hit on an out-of-date word is
+// counted as a stale-value read (and poisons the computed results, which
+// the golden-value comparison then catches). SEQ, BASE and CCDP runs must
+// report zero; the deliberately naive INCOHERENT mode demonstrates the
+// failure the scheme prevents.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/craft"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/pfq"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options controls optional engine verification features.
+type Options struct {
+	// DetectRaces records per-epoch read/write address sets of shared
+	// arrays and reports cross-PE conflicts inside one epoch (violations
+	// of the "no data dependences between tasks of a parallel epoch"
+	// model). Expensive; for tests.
+	DetectRaces bool
+	// FailOnStale makes Run return an error on the first stale-value read
+	// instead of only counting it.
+	FailOnStale bool
+	// TrackStaleRefs records which reference sites observed stale values
+	// (used by the analysis-soundness property tests).
+	TrackStaleRefs bool
+	// Trace, when non-nil, collects the full memory reference stream
+	// (build with trace.New(numPE)). Expensive; for analysis tooling.
+	Trace *trace.Trace
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Stats    stats.Stats
+	Cycles   int64
+	PECycles []int64
+	Mem      *mem.Memory
+	// StaleByRef attributes observed stale-value reads to the reference
+	// sites that performed them (populated when Options.TrackStaleRefs).
+	StaleByRef map[ir.RefID]int64
+}
+
+// Run executes a compiled program.
+func Run(c *core.Compiled, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: %v", r)
+		}
+	}()
+
+	prog := c.Prog
+	mp := c.Machine
+	m := mem.New(prog, mp.NumPE, c.TotalWords)
+	graph, err := ir.BuildEpochGraph(prog)
+	if err != nil {
+		return nil, err
+	}
+	if c.Stale != nil && len(c.Stale.Invalidate) != len(graph.Nodes) {
+		return nil, fmt.Errorf("exec: invalidation table has %d nodes, graph has %d",
+			len(c.Stale.Invalidate), len(graph.Nodes))
+	}
+
+	eng := &engine{c: c, mem: m, graph: graph, opts: opts}
+	eng.pes = make([]*peState, mp.NumPE)
+	for p := 0; p < mp.NumPE; p++ {
+		eng.pes[p] = &peState{
+			id:      p,
+			eng:     eng,
+			cache:   cache.New(mp.CacheWords, mp.LineWords),
+			pq:      pfq.New(mp.PrefetchQueueWords),
+			scalars: map[string]float64{},
+			env:     map[string]int64{},
+		}
+		if opts.Trace != nil {
+			if len(opts.Trace.PerPE) != mp.NumPE {
+				return nil, fmt.Errorf("exec: trace has %d PEs, machine has %d", len(opts.Trace.PerPE), mp.NumPE)
+			}
+			eng.pes[p].trace = opts.Trace.PerPE[p]
+		}
+		for k, v := range prog.Params {
+			eng.pes[p].env[k] = v
+		}
+	}
+
+	if err := eng.run(); err != nil {
+		return nil, err
+	}
+
+	res = &Result{Stats: eng.stats, Mem: m, PECycles: make([]int64, mp.NumPE)}
+	if opts.TrackStaleRefs {
+		res.StaleByRef = map[ir.RefID]int64{}
+		for _, pe := range eng.pes {
+			for id, n := range pe.staleByRef {
+				res.StaleByRef[id] += n
+			}
+		}
+	}
+	for p, pe := range eng.pes {
+		res.PECycles[p] = pe.now
+	}
+	res.Cycles = res.PECycles[0]
+	res.Stats.Cycles = res.Cycles
+	return res, nil
+}
+
+type engine struct {
+	c     *core.Compiled
+	mem   *mem.Memory
+	graph *ir.EpochGraph
+	opts  Options
+	pes   []*peState
+	stats stats.Stats
+
+	staleErr error
+	staleMu  sync.Mutex
+}
+
+func (e *engine) run() error {
+	err := e.graph.ForEachEpochInstance(func(inst ir.EpochInstance) error {
+		return e.epoch(inst)
+	})
+	if err != nil {
+		return err
+	}
+	// Final accounting: flush queues, merge PE stats.
+	for _, pe := range e.pes {
+		e.stats.PrefetchUnused += pe.pq.Flush()
+		e.mergePE(pe)
+	}
+	return e.staleErr
+}
+
+// epoch executes one dynamic epoch instance, including the boundary
+// actions (invalidation before, barrier and queue flush after).
+func (e *engine) epoch(inst ir.EpochInstance) error {
+	mp := e.c.Machine
+	node := inst.Node
+	e.stats.Epochs++
+
+	// Compiler-directed invalidation (CCDP): each PE drops the cached
+	// regions the analysis says may be dirty for it.
+	if e.c.Mode == core.ModeCCDP && e.c.Stale != nil {
+		for p, pe := range e.pes {
+			inv := e.c.Stale.Invalidate[node.Index][p]
+			var dropped int64
+			for name, set := range inv {
+				arr := e.c.Prog.ArrayByName(name)
+				for _, r := range set.Rects() {
+					lo := mem.AddrOf(arr, r.Lo)
+					hi := mem.AddrOf(arr, r.Hi)
+					dropped += pe.cache.InvalidateRange(lo, hi)
+				}
+			}
+			if len(inv) > 0 {
+				pe.now += 10 + dropped*mp.InvalidateLineCost
+			}
+			pe.stats.InvalidatedLines += dropped
+		}
+	}
+
+	// Set the context environment on every PE.
+	for _, pe := range e.pes {
+		for k, v := range inst.Env {
+			pe.env[k] = v
+		}
+	}
+
+	if node.Parallel {
+		if err := e.parallelEpoch(node); err != nil {
+			return err
+		}
+	} else {
+		pe0 := e.pes[0]
+		if err := pe0.runStmts(node.Stmts); err != nil {
+			return err
+		}
+		// Scalars written in a serial epoch are broadcast at the barrier.
+		for _, pe := range e.pes[1:] {
+			for k, v := range pe0.scalars {
+				pe.scalars[k] = v
+			}
+		}
+	}
+
+	// Barrier: everyone advances to the slowest PE.
+	var maxNow int64
+	for _, pe := range e.pes {
+		if pe.now > maxNow {
+			maxNow = pe.now
+		}
+	}
+	if mp.NumPE > 1 {
+		maxNow += mp.BarrierCost
+		e.stats.Barriers++
+	}
+	for _, pe := range e.pes {
+		pe.now = maxNow
+		e.stats.PrefetchUnused += pe.pq.Flush()
+		pe.buffered = nil
+		for k := range inst.Env {
+			delete(pe.env, k)
+		}
+	}
+
+	if e.opts.DetectRaces && node.Parallel {
+		if err := e.checkRaces(node); err != nil {
+			return err
+		}
+	}
+	for _, pe := range e.pes {
+		pe.reads, pe.writes = nil, nil
+	}
+	return nil
+}
+
+// parallelEpoch runs the DOALL on all PEs concurrently — one goroutine per
+// PE, safe because tasks of one epoch touch disjoint data. Under
+// DetectRaces the PEs run sequentially instead: a program that VIOLATES the
+// model must be caught by the engine's own checker deterministically, not
+// by the Go race detector.
+func (e *engine) parallelEpoch(node *ir.EpochNode) error {
+	mp := e.c.Machine
+	l := node.Loop
+	errs := make([]error, len(e.pes))
+	runPE := func(p int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[p] = fmt.Errorf("PE %d: %v", p, r)
+			}
+		}()
+		pe := e.pes[p]
+		if e.opts.DetectRaces {
+			pe.reads = map[int64]struct{}{}
+			pe.writes = map[int64]struct{}{}
+		}
+		switch e.c.Mode {
+		case core.ModeBase:
+			pe.now += mp.CraftDosharedSetupCost
+		case core.ModeCCDP:
+			pe.now += mp.CCDPLoopSetupCost
+		}
+		errs[p] = pe.runDoall(l)
+	}
+	if e.opts.DetectRaces {
+		for p := range e.pes {
+			runPE(p)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for p := range e.pes {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				runPE(p)
+			}(p)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRaces verifies that no two PEs conflicted inside the epoch.
+func (e *engine) checkRaces(node *ir.EpochNode) error {
+	for p, pa := range e.pes {
+		for q := p + 1; q < len(e.pes); q++ {
+			pb := e.pes[q]
+			for a := range pa.writes {
+				if _, ok := pb.writes[a]; ok {
+					return fmt.Errorf("exec: epoch %d: PEs %d and %d both write addr %d", node.Index, p, q, a)
+				}
+				if _, ok := pb.reads[a]; ok {
+					return fmt.Errorf("exec: epoch %d: PE %d writes addr %d read by PE %d", node.Index, p, a, q)
+				}
+			}
+			for a := range pa.reads {
+				if _, ok := pb.writes[a]; ok {
+					return fmt.Errorf("exec: epoch %d: PE %d reads addr %d written by PE %d", node.Index, p, a, q)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *engine) mergePE(pe *peState) {
+	e.stats.Merge(&pe.stats)
+	e.stats.Hits += pe.cache.Hits
+	e.stats.Misses += pe.cache.Misses
+	e.stats.PrefetchIssued += pe.pq.Issued
+	e.stats.PrefetchDropped += pe.pq.Dropped
+	e.stats.PrefetchConsumed += pe.pq.Consumed
+}
+
+// reportStale records a stale-value read on PE pe at addr through ref r.
+func (e *engine) reportStale(pe *peState, r *ir.Ref, addr int64) {
+	pe.stats.StaleValueReads++
+	if e.opts.TrackStaleRefs {
+		if pe.staleByRef == nil {
+			pe.staleByRef = map[ir.RefID]int64{}
+		}
+		pe.staleByRef[r.ID]++
+	}
+	if e.opts.FailOnStale {
+		e.staleMu.Lock()
+		if e.staleErr == nil {
+			arr := e.mem.ArrayOf(addr)
+			name := "?"
+			if arr != nil {
+				name = arr.Name
+			}
+			e.staleErr = fmt.Errorf("exec: stale-value read on PE %d, addr %d (array %s)", pe.id, addr, name)
+		}
+		e.staleMu.Unlock()
+	}
+}
+
+// sortedKeys is a test helper for deterministic map iteration in dumps.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ = sortedKeys
+var _ = craft.BlockChunk

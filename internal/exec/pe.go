@@ -1,0 +1,550 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/craft"
+	"repro/internal/expr"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/pfq"
+	"repro/internal/shmem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// peState is one processing element: its cycle clock, cache, prefetch
+// queue, scalar registers and induction-variable environment.
+type peState struct {
+	id      int
+	eng     *engine
+	now     int64
+	cache   *cache.Cache
+	pq      *pfq.Queue
+	scalars map[string]float64
+	env     map[string]int64
+	stats   stats.Stats
+
+	// regs models compiler register allocation: within one iteration of the
+	// innermost executing loop, repeated loads of the same address are
+	// register hits costing nothing — in every mode, exactly as the Fortran
+	// compiler eliminates redundant loads in both the BASE and CCDP codes.
+	// Cleared at each iteration boundary; updated by the PE's own stores.
+	regs map[int64]float64
+
+	// buffered records the cache lines fetched by a vector prefetch in the
+	// current epoch: shmem_get lands the data in a LOCAL buffer, so a line
+	// evicted from the cache refills from local DRAM, not from the remote
+	// home. Cleared at every epoch boundary (the buffer contents are only
+	// coherent for the epoch the get served).
+	buffered map[int64]struct{}
+
+	// Race-detection address sets (shared arrays only), per epoch.
+	reads, writes map[int64]struct{}
+
+	// staleByRef attributes stale-value reads to reference sites
+	// (Options.TrackStaleRefs).
+	staleByRef map[ir.RefID]int64
+
+	// trace, when non-nil, receives one event per memory operation.
+	trace *trace.Collector
+}
+
+// runDoall executes the PE's share of a parallel epoch.
+func (pe *peState) runDoall(l *ir.Loop) error {
+	mp := pe.eng.c.Machine
+	lo := pe.evalAffine(l.Lo)
+	hi := pe.evalAffine(l.Hi)
+	step := l.Step.ConstPart()
+
+	// Prologue: vector prefetches hoisted to the epoch entry. A vector
+	// over the DOALL's own variable covers only this PE's chunk.
+	chunk := craft.Chunk{Lo: lo, Hi: hi}
+	if l.Sched == ir.SchedStatic && step == 1 {
+		if l.AlignExtent > 0 {
+			chunk = craft.AlignedChunk(lo, hi, l.AlignExtent, mp.NumPE, pe.id)
+		} else {
+			chunk = craft.BlockChunk(lo, hi, mp.NumPE, pe.id)
+		}
+	}
+	for _, s := range l.Prologue {
+		if vp, ok := s.(*ir.VectorPrefetch); ok {
+			if vp.LoopVar == l.Var {
+				pe.vectorPrefetch(vp, chunk.Lo, chunk.Hi, step)
+			} else {
+				pe.vectorPrefetch(vp, pe.evalAffine(vp.Lo), pe.evalAffine(vp.Hi), vp.Step.ConstPart())
+			}
+			continue
+		}
+		if err := pe.runStmt(s); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case l.Sched == ir.SchedDynamic:
+		// Deterministic round-robin stand-in for runtime self-scheduling.
+		for it := lo; it <= hi; it += step {
+			if int((it-lo)/step)%mp.NumPE != pe.id {
+				continue
+			}
+			pe.now += mp.DynamicSchedCost + mp.LoopIterCost
+			pe.env[l.Var] = it
+			pe.clearRegs()
+			if err := pe.runStmts(l.Body); err != nil {
+				return err
+			}
+		}
+	default:
+		if step != 1 {
+			return fmt.Errorf("exec: DOALL %q with step %d unsupported", l.Var, step)
+		}
+		if chunk.Empty() {
+			break
+		}
+		for it := chunk.Lo; it <= chunk.Hi; it++ {
+			pe.now += mp.LoopIterCost
+			pe.env[l.Var] = it
+			pe.clearRegs()
+			if err := pe.runStmts(l.Body); err != nil {
+				return err
+			}
+		}
+	}
+	delete(pe.env, l.Var)
+	return nil
+}
+
+func (pe *peState) clearRegs() {
+	for k := range pe.regs {
+		delete(pe.regs, k)
+	}
+}
+
+func (pe *peState) runStmts(body []ir.Stmt) error {
+	for _, s := range body {
+		if err := pe.runStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (pe *peState) runStmt(s ir.Stmt) error {
+	mp := pe.eng.c.Machine
+	switch st := s.(type) {
+	case *ir.Loop:
+		if st.Parallel {
+			return fmt.Errorf("exec: nested parallel loop %q", st.Var)
+		}
+		return pe.runSerialLoop(st)
+	case *ir.Assign:
+		pe.now += mp.StmtOverheadCost
+		v := pe.evalExpr(st.RHS)
+		pe.writeRef(st.LHS, v)
+		return nil
+	case *ir.If:
+		pe.now += mp.StmtOverheadCost
+		l := pe.evalExpr(st.Cond.L)
+		r := pe.evalExpr(st.Cond.R)
+		if evalCmp(st.Cond.Op, l, r) {
+			return pe.runStmts(st.Then)
+		}
+		return pe.runStmts(st.Else)
+	case *ir.Call:
+		rt := pe.eng.c.Prog.Routine(st.Name)
+		if rt == nil {
+			return fmt.Errorf("exec: call to undefined routine %q", st.Name)
+		}
+		return pe.runStmts(rt.Body)
+	case *ir.Prefetch:
+		pe.issuePrefetch(st.Target)
+		return nil
+	case *ir.VectorPrefetch:
+		pe.vectorPrefetch(st, pe.evalAffine(st.Lo), pe.evalAffine(st.Hi), st.Step.ConstPart())
+		return nil
+	default:
+		return fmt.Errorf("exec: unknown statement %T", s)
+	}
+}
+
+// runSerialLoop interprets a serial loop, driving any software-pipelined
+// prefetch streams attached to it.
+func (pe *peState) runSerialLoop(l *ir.Loop) error {
+	mp := pe.eng.c.Machine
+	lo := pe.evalAffine(l.Lo)
+	hi := pe.evalAffine(l.Hi)
+	step := l.Step.ConstPart()
+	if hi < lo {
+		return nil
+	}
+
+	// Pipeline prologue: prime `ahead` iterations per stream.
+	for _, pp := range l.Pipelined {
+		for d := int64(0); d < pp.Ahead; d++ {
+			it := lo + d*step
+			if it > hi {
+				break
+			}
+			pe.issuePrefetchAt(pp.Target, l.Var, it)
+		}
+	}
+
+	for it := lo; it <= hi; it += step {
+		pe.now += mp.LoopIterCost
+		pe.env[l.Var] = it
+		pe.clearRegs()
+		// Steady state: prefetch `ahead` iterations forward.
+		for _, pp := range l.Pipelined {
+			fut := it + pp.Ahead*step
+			if fut <= hi {
+				pe.issuePrefetchAt(pp.Target, l.Var, fut)
+			}
+		}
+		if err := pe.runStmts(l.Body); err != nil {
+			return err
+		}
+	}
+	delete(pe.env, l.Var)
+	return nil
+}
+
+// --- Value evaluation -----------------------------------------------------
+
+func (pe *peState) evalExpr(e ir.Expr) float64 {
+	mp := pe.eng.c.Machine
+	switch x := e.(type) {
+	case ir.Num:
+		return x.V
+	case ir.IVal:
+		pe.now++
+		return float64(pe.evalAffine(x.A))
+	case ir.Load:
+		return pe.readRef(x.Ref)
+	case ir.Bin:
+		l := pe.evalExpr(x.L)
+		r := pe.evalExpr(x.R)
+		pe.now += mp.FlopCost
+		pe.stats.FlopCycles += mp.FlopCost
+		switch x.Op {
+		case ir.OpAdd:
+			return l + r
+		case ir.OpSub:
+			return l - r
+		case ir.OpMul:
+			return l * r
+		case ir.OpDiv:
+			return l / r
+		case ir.OpMin:
+			return math.Min(l, r)
+		case ir.OpMax:
+			return math.Max(l, r)
+		}
+	case ir.Un:
+		v := pe.evalExpr(x.X)
+		switch x.Op {
+		case ir.OpNeg:
+			pe.now += mp.FlopCost
+			pe.stats.FlopCycles += mp.FlopCost
+			return -v
+		case ir.OpAbs:
+			pe.now += mp.FlopCost
+			pe.stats.FlopCycles += mp.FlopCost
+			return math.Abs(v)
+		case ir.OpSqrt:
+			pe.now += 8 * mp.FlopCost
+			pe.stats.FlopCycles += 8 * mp.FlopCost
+			return math.Sqrt(v)
+		}
+	}
+	panic(fmt.Sprintf("exec: unknown expression %T", e))
+}
+
+func evalCmp(op ir.CmpOp, l, r float64) bool {
+	switch op {
+	case ir.CmpLT:
+		return l < r
+	case ir.CmpLE:
+		return l <= r
+	case ir.CmpGT:
+		return l > r
+	case ir.CmpGE:
+		return l >= r
+	case ir.CmpEQ:
+		return l == r
+	case ir.CmpNE:
+		return l != r
+	}
+	return false
+}
+
+func (pe *peState) evalAffine(a expr.Affine) int64 {
+	return a.MustEval(pe.env)
+}
+
+// addrOf resolves an array reference to a word address.
+func (pe *peState) addrOf(r *ir.Ref) int64 {
+	idx := make([]int64, len(r.Index))
+	for d := range r.Index {
+		idx[d] = r.Index[d].MustEval(pe.env)
+	}
+	return mem.AddrOf(r.Array, idx)
+}
+
+// --- Memory reference paths ------------------------------------------------
+
+// readRef performs a read through the mode-appropriate path.
+func (pe *peState) readRef(r *ir.Ref) float64 {
+	if r.IsScalar() {
+		return pe.scalars[r.Scalar]
+	}
+	addr := pe.addrOf(r)
+	if pe.reads != nil && r.Array.Shared {
+		pe.reads[addr] = struct{}{}
+	}
+
+	// Register reuse: the compiler keeps a value loaded earlier in the same
+	// iteration in a register (all modes).
+	if v, ok := pe.regs[addr]; ok {
+		pe.stats.RegisterHits++
+		if pe.trace != nil {
+			pe.trace.Record(addr, pe.now, trace.KindRegister)
+		}
+		return v
+	}
+	v := pe.readMem(r, addr)
+	if pe.regs == nil {
+		pe.regs = map[int64]float64{}
+	}
+	pe.regs[addr] = v
+	return v
+}
+
+// readMem performs the actual memory access for a read that missed the
+// register window.
+func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
+	mp := pe.eng.c.Machine
+	m := pe.eng.mem
+	local := m.OwnerOf(addr) == pe.id
+
+	// BASE: CRAFT shared data is never cached.
+	if r.NonCached {
+		pe.stats.NonCachedRefs++
+		pe.now += mp.CraftSharedAccessCost
+		if local {
+			pe.now += mp.LocalReadCost // read-ahead buffered local DRAM read
+			pe.stats.LocalReads++
+			pe.record(addr, trace.KindLocalRead)
+		} else {
+			pe.now += mp.RemoteReadCost
+			pe.stats.RemoteReads++
+			pe.record(addr, trace.KindRemote)
+		}
+		return m.Value(addr)
+	}
+
+	// Bypass-cache fetch: stale read not worth prefetching, or dropped
+	// prefetch (paper §3.2) — read memory directly around the cache.
+	if r.Bypass {
+		pe.stats.BypassReads++
+		if local {
+			pe.now += mp.LocalReadCost
+			pe.stats.LocalReads++
+			pe.record(addr, trace.KindLocalRead)
+		} else {
+			pe.now += mp.RemoteReadCost
+			pe.stats.RemoteReads++
+			pe.record(addr, trace.KindRemote)
+		}
+		return m.Value(addr)
+	}
+
+	// Cached path.
+	if val, gen, readyAt, hit := pe.cache.Lookup(addr); hit {
+		pe.now += mp.HitCost
+		if readyAt > pe.now {
+			pe.now = readyAt
+		}
+		if gen != m.Gen(addr) {
+			pe.eng.reportStale(pe, r, addr)
+		}
+		pe.record(addr, trace.KindHit)
+		return val
+	}
+
+	// Prefetch queue: the compiler scheduled this word ahead of time.
+	if e, ok := pe.pq.Take(addr); ok {
+		pe.now += mp.PrefetchExtractCost
+		if e.ReadyAt > pe.now {
+			pe.stats.PrefetchLate++
+			pe.now = e.ReadyAt
+		}
+		if e.Gen != m.Gen(addr) {
+			pe.eng.reportStale(pe, r, addr)
+		}
+		pe.record(addr, trace.KindPrefetched)
+		return e.Val
+	}
+
+	lineAddr := addr - addr%mp.LineWords
+	if _, buf := pe.buffered[lineAddr]; local || buf {
+		// Local miss (or a vector-buffered remote line): fill the line
+		// from local DRAM.
+		pe.now += mp.LocalMemCost
+		pe.stats.LocalReads++
+		pe.installLine(addr, pe.now)
+		pe.record(addr, trace.KindMiss)
+		v, _ := m.Read(addr)
+		return v
+	}
+
+	// Remote word. The T3D does not cache remote memory: direct read —
+	// except in the deliberately broken INCOHERENT mode, which caches it
+	// with no coherence action (the failure the paper's scheme prevents).
+	if pe.eng.c.Mode == core.ModeIncoherent {
+		pe.now += mp.RemoteReadCost
+		pe.stats.RemoteReads++
+		pe.installLine(addr, pe.now)
+		pe.record(addr, trace.KindRemote)
+		v, _ := m.Read(addr)
+		return v
+	}
+	pe.now += mp.RemoteReadCost
+	pe.stats.RemoteReads++
+	pe.record(addr, trace.KindRemote)
+	return m.Value(addr)
+}
+
+// writeRef performs a write (write-through, no-write-allocate).
+func (pe *peState) writeRef(r *ir.Ref, v float64) {
+	if r.IsScalar() {
+		pe.scalars[r.Scalar] = v
+		return
+	}
+	mp := pe.eng.c.Machine
+	m := pe.eng.mem
+	addr := pe.addrOf(r)
+	if pe.writes != nil && r.Array.Shared {
+		pe.writes[addr] = struct{}{}
+	}
+	local := m.OwnerOf(addr) == pe.id
+
+	if pe.regs != nil {
+		if _, ok := pe.regs[addr]; ok {
+			pe.regs[addr] = v
+		}
+	}
+	pe.record(addr, trace.KindWrite)
+	gen := m.Write(addr, v)
+
+	if r.NonCached {
+		pe.stats.NonCachedRefs++
+		pe.now += mp.CraftSharedAccessCost
+		if local {
+			pe.now += mp.LocalWriteCost
+			pe.stats.LocalWrites++
+		} else {
+			pe.now += mp.RemoteWriteCost
+			pe.stats.RemoteWrites++
+		}
+		return
+	}
+	if local {
+		pe.now += mp.LocalWriteCost
+		pe.stats.LocalWrites++
+	} else {
+		pe.now += mp.RemoteWriteCost
+		pe.stats.RemoteWrites++
+	}
+	// Keep the writer's own cached copy current.
+	pe.cache.UpdateWord(addr, v, gen)
+}
+
+// record emits one trace event when tracing is enabled.
+func (pe *peState) record(addr int64, kind trace.Kind) {
+	if pe.trace != nil {
+		pe.trace.Record(addr, pe.now, kind)
+	}
+}
+
+// installLine fills the cache line containing addr from memory.
+func (pe *peState) installLine(addr int64, readyAt int64) {
+	m := pe.eng.mem
+	lw := pe.eng.c.Machine.LineWords
+	la := addr - addr%lw
+	vals := make([]float64, lw)
+	gens := make([]uint32, lw)
+	for k := int64(0); k < lw; k++ {
+		if la+k < m.Words() {
+			vals[k], gens[k] = m.Read(la + k)
+		}
+	}
+	pe.cache.Install(la, vals, gens, readyAt)
+}
+
+// --- Prefetch operations ----------------------------------------------------
+
+// issuePrefetch issues a single-word prefetch for the target at the current
+// environment.
+func (pe *peState) issuePrefetch(target *ir.Ref) {
+	pe.issueAt(pe.addrOf(target))
+}
+
+// issuePrefetchAt issues a prefetch for the target with loop variable v
+// bound to iteration it (software pipelining's future-iteration address).
+func (pe *peState) issuePrefetchAt(target *ir.Ref, v string, it int64) {
+	old, had := pe.env[v]
+	pe.env[v] = it
+	addr := pe.addrOf(target)
+	if had {
+		pe.env[v] = old
+	} else {
+		delete(pe.env, v)
+	}
+	pe.issueAt(addr)
+}
+
+func (pe *peState) issueAt(addr int64) {
+	mp := pe.eng.c.Machine
+	m := pe.eng.mem
+	pe.now += mp.PrefetchIssueCost
+	lat := mp.RemoteReadCost
+	if m.OwnerOf(addr) == pe.id {
+		lat = mp.LocalMemCost
+	}
+	v, g := m.Read(addr)
+	pe.pq.Issue(pfq.Entry{Addr: addr, Val: v, Gen: g, ReadyAt: pe.now + lat})
+}
+
+// vectorPrefetch performs one shmem_get realizing a vector prefetch over
+// the pulled loop range [lo,hi] step step.
+func (pe *peState) vectorPrefetch(vp *ir.VectorPrefetch, lo, hi, step int64) {
+	if hi < lo {
+		return
+	}
+	var addrs []int64
+	old, had := pe.env[vp.LoopVar]
+	for v := lo; v <= hi; v += step {
+		pe.env[vp.LoopVar] = v
+		addrs = append(addrs, pe.addrOf(vp.Target))
+	}
+	if had {
+		pe.env[vp.LoopVar] = old
+	} else {
+		delete(pe.env, vp.LoopVar)
+	}
+	cost := shmem.Get(pe.eng.mem, pe.cache, pe.eng.c.Machine, addrs, pe.now)
+	pe.now += cost
+	if pe.buffered == nil {
+		pe.buffered = map[int64]struct{}{}
+	}
+	lw := pe.eng.c.Machine.LineWords
+	for _, a := range addrs {
+		pe.buffered[a-a%lw] = struct{}{}
+	}
+	pe.stats.VectorPrefetches++
+	pe.stats.VectorWords += int64(len(addrs))
+}

@@ -1,0 +1,40 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+func ExampleAffine() {
+	// Build the subscript expression 2*i + j - 3 and evaluate it.
+	a := expr.Var("i").Scale(2).Add(expr.Var("j")).AddConst(-3)
+	fmt.Println(a)
+	v, _ := a.Eval(map[string]int64{"i": 10, "j": 4})
+	fmt.Println(v)
+	// Output:
+	// 2*i + j - 3
+	// 21
+}
+
+func ExampleAffine_DiffersOnlyInConst() {
+	// The "uniformly generated" test behind group-spatial locality:
+	// x(i+1,j) and x(i-1,j) differ only by a constant address offset.
+	lead := expr.Var("i").AddConst(1)
+	trail := expr.Var("i").AddConst(-1)
+	d, ok := lead.DiffersOnlyInConst(trail)
+	fmt.Println(d, ok)
+	// Output:
+	// 2 true
+}
+
+func ExampleAffine_Bounds() {
+	// Banerjee-style extreme values of 2*i - 3*j over i∈[0,4], j∈[1,5].
+	a := expr.Var("i").Scale(2).Sub(expr.Var("j").Scale(3))
+	lo := map[string]int64{"i": 0, "j": 1}
+	hi := map[string]int64{"i": 4, "j": 5}
+	min, max, _ := a.Bounds(lo, hi)
+	fmt.Println(min, max)
+	// Output:
+	// -15 5
+}

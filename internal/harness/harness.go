@@ -1,0 +1,181 @@
+// Package harness drives the paper's evaluation (§5): it runs each
+// application sequentially and in BASE and CCDP versions across the PE
+// counts of Tables 1 and 2, verifies every configuration's results against
+// the sequential run (and that zero stale-value reads occurred), and
+// computes the speedups and improvement percentages the tables report.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// PaperPEs are the PE counts of the paper's tables.
+var PaperPEs = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Row is one PE-count of one application.
+type Row struct {
+	PEs         int
+	BaseCycles  int64
+	CCDPCycles  int64
+	BaseSpeedup float64
+	CCDPSpeedup float64
+	// Improvement is the percentage reduction of execution time of the
+	// CCDP version over the BASE version (paper Table 2).
+	Improvement float64
+	BaseStats   stats.Stats
+	CCDPStats   stats.Stats
+}
+
+// AppResult holds one application's sweep.
+type AppResult struct {
+	Name      string
+	SeqCycles int64
+	Rows      []Row
+}
+
+// Config tunes a sweep.
+type Config struct {
+	PECounts []int
+	// Tune lets ablations modify the machine parameters per run.
+	Tune func(*machine.Params)
+	// Modes restricts which parallel modes run (default BASE and CCDP).
+	SkipBase bool
+}
+
+// RunApp sweeps one application. Every parallel run's check arrays are
+// verified bit-for-bit against the sequential run.
+func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
+	pes := cfg.PECounts
+	if len(pes) == 0 {
+		pes = PaperPEs
+	}
+	mk := func(p int) machine.Params {
+		mp := machine.T3D(p)
+		if cfg.Tune != nil {
+			cfg.Tune(&mp)
+		}
+		return mp
+	}
+
+	seq, err := runOne(s, core.ModeSeq, mk(1))
+	if err != nil {
+		return nil, fmt.Errorf("%s SEQ: %w", s.Name, err)
+	}
+	golden := snapshot(s, seq)
+
+	type job struct {
+		pe   int
+		mode core.Mode
+	}
+	type out struct {
+		res *exec.Result
+		err error
+	}
+	jobs := []job{}
+	for _, p := range pes {
+		if !cfg.SkipBase {
+			jobs = append(jobs, job{p, core.ModeBase})
+		}
+		jobs = append(jobs, job{p, core.ModeCCDP})
+	}
+	results := make(map[job]out, len(jobs))
+	var mu sync.Mutex
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)/2))
+	var wg sync.WaitGroup
+	for _, jb := range jobs {
+		wg.Add(1)
+		go func(jb job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := runOne(s, jb.mode, mk(jb.pe))
+			if err == nil {
+				err = verify(s, golden, r)
+			}
+			mu.Lock()
+			results[jb] = out{r, err}
+			mu.Unlock()
+		}(jb)
+	}
+	wg.Wait()
+
+	ar := &AppResult{Name: s.Name, SeqCycles: seq.Cycles}
+	for _, p := range pes {
+		row := Row{PEs: p}
+		if !cfg.SkipBase {
+			o := results[job{p, core.ModeBase}]
+			if o.err != nil {
+				return nil, fmt.Errorf("%s BASE P=%d: %w", s.Name, p, o.err)
+			}
+			row.BaseCycles = o.res.Cycles
+			row.BaseSpeedup = float64(seq.Cycles) / float64(o.res.Cycles)
+			row.BaseStats = o.res.Stats
+		}
+		o := results[job{p, core.ModeCCDP}]
+		if o.err != nil {
+			return nil, fmt.Errorf("%s CCDP P=%d: %w", s.Name, p, o.err)
+		}
+		row.CCDPCycles = o.res.Cycles
+		row.CCDPSpeedup = float64(seq.Cycles) / float64(o.res.Cycles)
+		row.CCDPStats = o.res.Stats
+		if row.BaseCycles > 0 {
+			row.Improvement = 100 * (1 - float64(row.CCDPCycles)/float64(row.BaseCycles))
+		}
+		ar.Rows = append(ar.Rows, row)
+	}
+	return ar, nil
+}
+
+func runOne(s *workloads.Spec, mode core.Mode, mp machine.Params) (*exec.Result, error) {
+	c, err := core.Compile(s.Prog, mode, mp)
+	if err != nil {
+		return nil, err
+	}
+	res, err := exec.Run(c, exec.Options{FailOnStale: true})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func snapshot(s *workloads.Spec, r *exec.Result) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, name := range s.CheckArrays {
+		data := r.Mem.ArrayData(s.Prog.ArrayByName(name))
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		out[name] = cp
+	}
+	return out
+}
+
+func verify(s *workloads.Spec, golden map[string][]float64, r *exec.Result) error {
+	if r.Stats.StaleValueReads != 0 {
+		return fmt.Errorf("%d stale-value reads", r.Stats.StaleValueReads)
+	}
+	for name, want := range golden {
+		got := r.Mem.ArrayData(s.Prog.ArrayByName(name))
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("array %s differs from sequential at %d: %v vs %v",
+					name, i, got[i], want[i])
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

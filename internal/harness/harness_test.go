@@ -1,0 +1,80 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func TestRunAppSmallSweep(t *testing.T) {
+	s := workloads.MXM(32, 16, 8)
+	ar, err := harness.RunApp(s, harness.Config{PECounts: []int{1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ar.Rows))
+	}
+	for _, r := range ar.Rows {
+		if r.BaseCycles <= 0 || r.CCDPCycles <= 0 {
+			t.Errorf("P=%d: zero cycles", r.PEs)
+		}
+		if r.CCDPCycles >= r.BaseCycles {
+			t.Errorf("P=%d: CCDP (%d) not faster than BASE (%d)", r.PEs, r.CCDPCycles, r.BaseCycles)
+		}
+		if r.Improvement <= 0 || r.Improvement >= 100 {
+			t.Errorf("P=%d: improvement %.2f%% out of range", r.PEs, r.Improvement)
+		}
+	}
+	// CCDP should show speedup growth with PEs on MXM.
+	if !(ar.Rows[2].CCDPSpeedup > ar.Rows[0].CCDPSpeedup) {
+		t.Errorf("CCDP speedup not growing: %v", ar.Rows)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := workloads.VPENTA(32, 2)
+	ar, err := harness.RunApp(s, harness.Config{PECounts: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := report.Table1([]*harness.AppResult{ar})
+	t2 := report.Table2([]*harness.AppResult{ar})
+	if !strings.Contains(t1, "VPENTA") || !strings.Contains(t1, "Speedups") {
+		t.Errorf("Table1:\n%s", t1)
+	}
+	if !strings.Contains(t2, "%") || !strings.Contains(t2, "Improvement") {
+		t.Errorf("Table2:\n%s", t2)
+	}
+	det := report.Details(ar)
+	if !strings.Contains(det, "sequential") {
+		t.Errorf("Details:\n%s", det)
+	}
+}
+
+func TestConfigTuneApplies(t *testing.T) {
+	s := workloads.MXM(32, 16, 8)
+	plain, err := harness.RunApp(s, harness.Config{PECounts: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Making remote reads free should shrink the BASE/CCDP gap.
+	tuned, err := harness.RunApp(s, harness.Config{
+		PECounts: []int{2},
+		Tune: func(mp *machine.Params) {
+			mp.RemoteReadCost = 1
+			mp.CraftSharedAccessCost = 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Rows[0].Improvement >= plain.Rows[0].Improvement {
+		t.Errorf("tuning did not shrink improvement: %.2f vs %.2f",
+			tuned.Rows[0].Improvement, plain.Rows[0].Improvement)
+	}
+}

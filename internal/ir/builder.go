@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Builder constructs programs tersely. Workload definitions and tests use
+// it; it panics on misuse (construction happens at init/test time, never on
+// a run-time data path).
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{
+		Name:     name,
+		Params:   map[string]int64{},
+		Routines: map[string]*Routine{},
+	}}
+}
+
+// Param defines a compile-time integer parameter and returns it as an
+// affine expression for use in bounds and subscripts.
+func (b *Builder) Param(name string, val int64) expr.Affine {
+	b.prog.Params[name] = val
+	return expr.Const(val)
+}
+
+// Array declares a private (non-shared) array.
+func (b *Builder) Array(name string, dims ...int64) *Array {
+	return b.addArray(name, dims, false, DistNone)
+}
+
+// SharedArray declares a shared array block-distributed along its last
+// dimension.
+func (b *Builder) SharedArray(name string, dims ...int64) *Array {
+	return b.addArray(name, dims, true, DistBlock)
+}
+
+func (b *Builder) addArray(name string, dims []int64, shared bool, dist DistKind) *Array {
+	if b.prog.ArrayByName(name) != nil {
+		panic(fmt.Sprintf("ir: duplicate array %q", name))
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("ir: array %q has non-positive extent %d", name, d))
+		}
+	}
+	a := &Array{Name: name, Dims: append([]int64(nil), dims...), Shared: shared, Dist: dist}
+	b.prog.Arrays = append(b.prog.Arrays, a)
+	return a
+}
+
+// Routine defines a routine with the given body. The first routine defined
+// becomes main unless SetMain overrides it.
+func (b *Builder) Routine(name string, body ...Stmt) *Routine {
+	if _, dup := b.prog.Routines[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate routine %q", name))
+	}
+	rt := &Routine{Name: name, Body: body}
+	b.prog.Routines[name] = rt
+	if b.prog.Main == "" {
+		b.prog.Main = name
+	}
+	return rt
+}
+
+// SetMain selects the entry routine.
+func (b *Builder) SetMain(name string) { b.prog.Main = name }
+
+// Build finalizes and returns the program.
+func (b *Builder) Build() *Program {
+	p := b.prog
+	p.Finalize()
+	if err := Validate(p); err != nil {
+		panic(fmt.Sprintf("ir: invalid program %q: %v", p.Name, err))
+	}
+	return p
+}
+
+// BuildUnchecked finalizes without validation (for tests that exercise the
+// validator itself).
+func (b *Builder) BuildUnchecked() *Program {
+	b.prog.Finalize()
+	return b.prog
+}
+
+// --- Statement/expression helpers ---------------------------------------
+
+// I returns the affine expression for an induction variable or parameter.
+func I(name string) expr.Affine { return expr.Var(name) }
+
+// K returns a constant affine expression.
+func K(v int64) expr.Affine { return expr.Const(v) }
+
+// At builds an array reference with the given affine subscripts.
+func At(a *Array, idx ...expr.Affine) *Ref {
+	if len(idx) != a.Rank() {
+		panic(fmt.Sprintf("ir: %s expects %d subscripts, got %d", a.Name, a.Rank(), len(idx)))
+	}
+	return &Ref{Array: a, Index: append([]expr.Affine(nil), idx...)}
+}
+
+// S builds a scalar reference.
+func S(name string) *Ref { return &Ref{Scalar: name} }
+
+// DoSerial builds a serial loop with compile-time-known bounds.
+func DoSerial(v string, lo, hi expr.Affine, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: expr.Const(1), BoundsKnown: true, Body: body}
+}
+
+// DoSerialUnknown builds a serial loop whose trip count the compiler must
+// treat as unknown.
+func DoSerialUnknown(v string, lo, hi expr.Affine, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: expr.Const(1), BoundsKnown: false, Body: body}
+}
+
+// DoAll builds a statically-scheduled DOALL loop with known bounds.
+func DoAll(v string, lo, hi expr.Affine, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: expr.Const(1), Parallel: true,
+		Sched: SchedStatic, BoundsKnown: true, Body: body}
+}
+
+// DoAllAligned builds a statically-scheduled DOALL whose iteration→PE
+// mapping is aligned with a block distribution of the given extent.
+func DoAllAligned(v string, lo, hi expr.Affine, extent int64, body ...Stmt) *Loop {
+	l := DoAll(v, lo, hi, body...)
+	l.AlignExtent = extent
+	return l
+}
+
+// DoAllDynamic builds a dynamically-scheduled DOALL loop.
+func DoAllDynamic(v string, lo, hi expr.Affine, body ...Stmt) *Loop {
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: expr.Const(1), Parallel: true,
+		Sched: SchedDynamic, BoundsKnown: true, Body: body}
+}
+
+// Step returns a copy of the loop with the given constant step.
+func Step(l *Loop, step int64) *Loop {
+	if step <= 0 {
+		panic("ir: loop step must be positive")
+	}
+	l.Step = expr.Const(step)
+	return l
+}
+
+// Set builds an assignment statement.
+func Set(lhs *Ref, rhs Expr) *Assign { return &Assign{LHS: lhs, RHS: rhs} }
+
+// L loads through a reference.
+func L(r *Ref) Expr { return Load{Ref: r} }
+
+// N is a float literal expression.
+func N(v float64) Expr { return Num{V: v} }
+
+// IV embeds an affine integer value as a float expression.
+func IV(a expr.Affine) Expr { return IVal{A: a} }
+
+// Add, Sub, Mul, Div, Minv, Maxv build binary arithmetic expressions.
+func Add(l, r Expr) Expr  { return Bin{Op: OpAdd, L: l, R: r} }
+func Sub(l, r Expr) Expr  { return Bin{Op: OpSub, L: l, R: r} }
+func Mul(l, r Expr) Expr  { return Bin{Op: OpMul, L: l, R: r} }
+func Div(l, r Expr) Expr  { return Bin{Op: OpDiv, L: l, R: r} }
+func Minv(l, r Expr) Expr { return Bin{Op: OpMin, L: l, R: r} }
+func Maxv(l, r Expr) Expr { return Bin{Op: OpMax, L: l, R: r} }
+
+// Neg, Abs, Sqrt build unary expressions.
+func Neg(x Expr) Expr  { return Un{Op: OpNeg, X: x} }
+func Abs(x Expr) Expr  { return Un{Op: OpAbs, X: x} }
+func Sqrt(x Expr) Expr { return Un{Op: OpSqrt, X: x} }
+
+// When builds an if-statement.
+func When(cond Cond, then []Stmt, els []Stmt) *If {
+	return &If{Cond: cond, Then: then, Else: els}
+}
+
+// CondOf builds a comparison condition.
+func CondOf(op CmpOp, l, r Expr) Cond { return Cond{Op: op, L: l, R: r} }
+
+// CallTo builds a call statement.
+func CallTo(name string) *Call { return &Call{Name: name} }

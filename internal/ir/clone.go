@@ -1,0 +1,85 @@
+package ir
+
+// CloneProgram deep-copies a program so that a transformation (BASE or CCDP
+// lowering) can annotate references and insert prefetch statements without
+// disturbing the original. Arrays are shared (they are immutable metadata
+// plus a layout base); statements, refs and routines are copied. The clone
+// is NOT finalized; callers re-Finalize after transforming.
+func CloneProgram(p *Program) *Program {
+	cp := &Program{
+		Name:     p.Name,
+		Arrays:   p.Arrays,
+		Params:   make(map[string]int64, len(p.Params)),
+		Routines: make(map[string]*Routine, len(p.Routines)),
+		Main:     p.Main,
+	}
+	for k, v := range p.Params {
+		cp.Params[k] = v
+	}
+	for name, rt := range p.Routines {
+		cp.Routines[name] = &Routine{Name: rt.Name, Body: CloneStmts(rt.Body)}
+	}
+	return cp
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(body []Stmt) []Stmt {
+	if body == nil {
+		return nil
+	}
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *Loop:
+		cp := *st
+		cp.Body = CloneStmts(st.Body)
+		cp.Prologue = CloneStmts(st.Prologue)
+		cp.Pipelined = make([]PipelinedPrefetch, len(st.Pipelined))
+		for i, pp := range st.Pipelined {
+			cp.Pipelined[i] = PipelinedPrefetch{Target: pp.Target.Clone(), Ahead: pp.Ahead}
+		}
+		if len(cp.Pipelined) == 0 {
+			cp.Pipelined = nil
+		}
+		return &cp
+	case *Assign:
+		return &Assign{LHS: st.LHS.Clone(), RHS: cloneExpr(st.RHS)}
+	case *If:
+		return &If{
+			Cond: Cond{Op: st.Cond.Op, L: cloneExpr(st.Cond.L), R: cloneExpr(st.Cond.R)},
+			Then: CloneStmts(st.Then),
+			Else: CloneStmts(st.Else),
+		}
+	case *Call:
+		return &Call{Name: st.Name}
+	case *Prefetch:
+		return &Prefetch{Target: st.Target.Clone(), MovedBack: st.MovedBack}
+	case *VectorPrefetch:
+		cp := *st
+		cp.Target = st.Target.Clone()
+		return &cp
+	default:
+		panic("ir: unknown statement type in clone")
+	}
+}
+
+func cloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case Num, IVal:
+		return x
+	case Load:
+		return Load{Ref: x.Ref.Clone()}
+	case Bin:
+		return Bin{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
+	case Un:
+		return Un{Op: x.Op, X: cloneExpr(x.X)}
+	default:
+		panic("ir: unknown expression type in clone")
+	}
+}

@@ -1,0 +1,422 @@
+// Package ir defines the loop-nest intermediate representation the CCDP
+// compiler analyses operate on and the T3D execution engine interprets.
+//
+// The IR models the information a parallelized Fortran program (the paper's
+// Polaris + CRAFT setting) carries: multi-dimensional shared arrays with
+// block distributions, serial and DOALL loops with static or dynamic
+// scheduling and compile-time-known or unknown bounds, assignments whose
+// subscripts are affine expressions, if-statements, and calls. It also
+// defines the prefetch operations the CCDP scheduler inserts: cache-line
+// prefetches (moved back), software-pipelined prefetches (a loop
+// annotation), vector prefetches, and bypass-fetch reference marks.
+//
+// Programs are built once (usually with Builder), then Finalize assigns
+// stable reference IDs; analyses return maps keyed by those IDs and the
+// transformation clones the program before mutating it.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// WordBytes is the machine word size: one float64 array element. All
+// addresses in the system are word addresses.
+const WordBytes = 8
+
+// DistKind says how a shared array is spread over PEs.
+type DistKind int
+
+const (
+	// DistNone: array is private (replicated per PE, or used only by the
+	// sequential version).
+	DistNone DistKind = iota
+	// DistBlock: the array is cut into P contiguous slabs along its last
+	// dimension (column blocks for column-major 2-D arrays, matching the
+	// paper's block distribution of matrix columns); slab p lives in PE p's
+	// local memory.
+	DistBlock
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case DistNone:
+		return "none"
+	case DistBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("DistKind(%d)", int(k))
+	}
+}
+
+// Array declares a (possibly shared, possibly distributed) array.
+// Linearization is column-major (Fortran): element (i0,i1,...) has offset
+// i0 + i1*Dims[0] + i2*Dims[0]*Dims[1] + ...
+type Array struct {
+	Name   string
+	Dims   []int64 // extent of each dimension
+	Shared bool    // shared between PEs (subject to coherence)
+	Dist   DistKind
+
+	// Base is the array's first word address, assigned by mem.Layout;
+	// always cache-line aligned (paper §4.2 requires arrays to start at a
+	// cache line boundary for the group-spatial mapping to be exact).
+	Base int64
+}
+
+// Size returns the number of elements (words) in the array.
+func (a *Array) Size() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (a *Array) Rank() int { return len(a.Dims) }
+
+// LinearOffset returns the column-major offset of the given index vector.
+func (a *Array) LinearOffset(idx []int64) int64 {
+	off := int64(0)
+	stride := int64(1)
+	for d := 0; d < len(a.Dims); d++ {
+		off += idx[d] * stride
+		stride *= a.Dims[d]
+	}
+	return off
+}
+
+// DimStride returns the linear stride (in words) of dimension d.
+func (a *Array) DimStride(d int) int64 {
+	stride := int64(1)
+	for k := 0; k < d; k++ {
+		stride *= a.Dims[k]
+	}
+	return stride
+}
+
+// RefID identifies an array reference site within a finalized program.
+type RefID int
+
+// Ref is a reference to an array element (Array != nil) or a scalar
+// (Array == nil, Scalar set). Scalars are PE-private values with no memory
+// cost; arrays live in the simulated distributed memory.
+type Ref struct {
+	ID     RefID
+	Array  *Array
+	Scalar string
+	Index  []expr.Affine // one affine subscript per dimension
+
+	// Flags set by the CCDP / BASE lowering on the cloned program.
+
+	// Stale marks a read identified as potentially-stale by the analysis.
+	Stale bool
+	// Bypass makes the read fetch directly from (home) memory around the
+	// cache: used for potentially-stale reads that were not worth
+	// prefetching and as the fallback for dropped prefetches (paper §3.2).
+	Bypass bool
+	// NonCached marks a shared-data access in the BASE version: CRAFT
+	// shared data is not cached at all (paper §5.2).
+	NonCached bool
+	// Prefetched marks a read covered by an inserted prefetch operation
+	// (the read then extracts from the prefetch queue / hits the cache).
+	Prefetched bool
+}
+
+// IsScalar reports whether the reference names a PE-private scalar.
+func (r *Ref) IsScalar() bool { return r.Array == nil }
+
+// Clone returns a deep copy of the reference (annotations included).
+func (r *Ref) Clone() *Ref {
+	cp := *r
+	cp.Index = make([]expr.Affine, len(r.Index))
+	copy(cp.Index, r.Index)
+	return &cp
+}
+
+func (r *Ref) String() string {
+	if r.IsScalar() {
+		return r.Scalar
+	}
+	s := r.Array.Name + "("
+	for i, ix := range r.Index {
+		if i > 0 {
+			s += ", "
+		}
+		s += ix.String()
+	}
+	return s + ")"
+}
+
+// --- Value expressions -------------------------------------------------
+
+// Expr is a floating-point value expression evaluated by the engine.
+type Expr interface{ isExpr() }
+
+// Num is a float64 literal.
+type Num struct{ V float64 }
+
+// Load reads a value through a reference.
+type Load struct{ Ref *Ref }
+
+// IVal converts an affine integer expression (over induction variables and
+// params) to float64; used to give initialization epochs real values.
+type IVal struct{ A expr.Affine }
+
+// BinOp enumerates binary arithmetic operators.
+type BinOp int
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMin
+	OpMax
+)
+
+// Bin is a binary arithmetic expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+const (
+	OpNeg UnOp = iota
+	OpAbs
+	OpSqrt
+)
+
+// Un is a unary arithmetic expression.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+func (Num) isExpr()  {}
+func (Load) isExpr() {}
+func (IVal) isExpr() {}
+func (Bin) isExpr()  {}
+func (Un) isExpr()   {}
+
+// CmpOp enumerates comparison operators for If conditions.
+type CmpOp int
+
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+// Cond is a comparison between two value expressions.
+type Cond struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// --- Statements ---------------------------------------------------------
+
+// Stmt is a node in a routine body.
+type Stmt interface{ isStmt() }
+
+// SchedKind is the iteration-scheduling policy of a DOALL loop.
+type SchedKind int
+
+const (
+	// SchedStatic assigns iterations to PEs in contiguous blocks aligned
+	// with the data distribution (the paper's block scheduling).
+	SchedStatic SchedKind = iota
+	// SchedDynamic hands out iterations at run time; the compiler cannot
+	// know the iteration→PE mapping (paper Fig. 2 case 3).
+	SchedDynamic
+)
+
+func (k SchedKind) String() string {
+	if k == SchedDynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Loop is a counted loop, serial or DOALL. Bounds are affine in enclosing
+// induction variables and program params; Step must be a positive constant.
+type Loop struct {
+	Var          string
+	Lo, Hi, Step expr.Affine
+	Parallel     bool      // DOALL
+	Sched        SchedKind // meaningful only when Parallel
+	// BoundsKnown reports whether the compiler may treat the trip count as
+	// known (paper Fig. 2 distinguishes known/unknown loop bounds). Bounds
+	// are always evaluable at run time; this flag models compile-time
+	// knowledge only.
+	BoundsKnown bool
+	// AlignExtent aligns a static DOALL's iteration→PE mapping with a
+	// block distribution of the given extent (CRAFT's doshared alignment:
+	// iteration v runs on the PE owning index v of a distributed dimension
+	// of that extent). Zero means plain block scheduling over [Lo,Hi].
+	AlignExtent int64
+	Body        []Stmt
+
+	// Pipelined holds the software-pipelined prefetches the scheduler
+	// attached to this (inner) loop: each entry prefetches the target
+	// reference Ahead iterations in advance, with a prologue before the
+	// first iteration (Mowry-style scheduling realized as an annotation).
+	Pipelined []PipelinedPrefetch
+
+	// Prologue holds prefetch statements each PE executes once when it
+	// enters this parallel epoch (after the epoch-boundary invalidation,
+	// before its first iteration). Vector prefetches whose address is
+	// invariant in the DOALL variable are hoisted here rather than above
+	// the loop, so the epoch structure is unchanged and the prefetch still
+	// follows the invalidation (coherence). Only meaningful when Parallel.
+	Prologue []Stmt
+}
+
+// PipelinedPrefetch is one software-pipelined prefetch stream on a loop.
+type PipelinedPrefetch struct {
+	Target *Ref
+	Ahead  int64 // iterations of lead distance
+}
+
+// Assign stores RHS into LHS.
+type Assign struct {
+	LHS *Ref
+	RHS Expr
+}
+
+// If executes Then or Else depending on Cond.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// Call invokes a routine by name (no parameters: routines communicate
+// through arrays and scalars, as the Fortran codes do through COMMON).
+type Call struct{ Name string }
+
+// Prefetch is a cache-line prefetch of a single reference, inserted by the
+// moving-back scheduler some distance before the use.
+type Prefetch struct {
+	Target *Ref
+	// MovedBack is the estimated cycle distance to the use (diagnostic).
+	MovedBack int64
+}
+
+// VectorPrefetch fetches the block of addresses Target touches as LoopVar
+// ranges over Lo..Hi (step Step): the pulled-out loop level of Gornish-style
+// vector prefetch generation, realized on the T3D with shmem_get.
+type VectorPrefetch struct {
+	Target       *Ref
+	LoopVar      string
+	Lo, Hi, Step expr.Affine
+	// Words is the compile-time estimate of the transfer size used when the
+	// scheduler checked the cache/queue capacity constraints.
+	Words int64
+}
+
+func (*Loop) isStmt()           {}
+func (*Assign) isStmt()         {}
+func (*If) isStmt()             {}
+func (*Call) isStmt()           {}
+func (*Prefetch) isStmt()       {}
+func (*VectorPrefetch) isStmt() {}
+
+// --- Program -------------------------------------------------------------
+
+// Routine is a named body of statements.
+type Routine struct {
+	Name string
+	Body []Stmt
+}
+
+// Program is a whole compilable/executable unit.
+type Program struct {
+	Name     string
+	Arrays   []*Array
+	Params   map[string]int64 // symbolic constants bound at compile time
+	Routines map[string]*Routine
+	Main     string // name of the entry routine
+
+	refs []*Ref // populated by Finalize: refs[id] == ref with that ID
+}
+
+// Routine returns the named routine or nil.
+func (p *Program) Routine(name string) *Routine { return p.Routines[name] }
+
+// MainRoutine returns the entry routine.
+func (p *Program) MainRoutine() *Routine { return p.Routines[p.Main] }
+
+// ArrayByName returns the named array or nil.
+func (p *Program) ArrayByName(name string) *Array {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Param returns the value of a named compile-time parameter.
+func (p *Program) Param(name string) (int64, bool) {
+	v, ok := p.Params[name]
+	return v, ok
+}
+
+// Refs returns the finalized reference table (index == RefID).
+func (p *Program) Refs() []*Ref { return p.refs }
+
+// Ref returns the reference with the given ID.
+func (p *Program) Ref(id RefID) *Ref { return p.refs[int(id)] }
+
+// Finalize assigns dense RefIDs to every reference site in the program (in
+// deterministic pre-order over routines sorted by name, main first) and
+// records the table. It must be called once after construction and again
+// after a transformation introduces new references.
+func (p *Program) Finalize() {
+	p.refs = p.refs[:0]
+	id := RefID(0)
+	assign := func(r *Ref) {
+		r.ID = id
+		p.refs = append(p.refs, r)
+		id++
+	}
+	for _, rt := range p.routinesInOrder() {
+		WalkRefs(rt.Body, func(r *Ref, _ bool) { assign(r) })
+	}
+}
+
+// routinesInOrder returns main first, then remaining routines sorted by name.
+func (p *Program) routinesInOrder() []*Routine {
+	out := []*Routine{}
+	if m := p.MainRoutine(); m != nil {
+		out = append(out, m)
+	}
+	names := make([]string, 0, len(p.Routines))
+	for n := range p.Routines {
+		if n != p.Main {
+			names = append(names, n)
+		}
+	}
+	sortStrings(names)
+	for _, n := range names {
+		out = append(out, p.Routines[n])
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestProg builds a small two-epoch program:
+//
+//	doall i = 0, N-1:  A(i) = real(i)       (epoch 0, parallel)
+//	s = A(0)                                 (epoch 1, serial)
+func buildTestProg(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("test")
+	n := b.Param("N", 16)
+	a := b.SharedArray("A", 16)
+	b.Routine("main",
+		DoAll("i", K(0), n.AddConst(-1),
+			Set(At(a, I("i")), IV(I("i"))),
+		),
+		Set(S("s"), L(At(a, K(0)))),
+	)
+	return b.Build()
+}
+
+func TestArrayLayoutHelpers(t *testing.T) {
+	a := &Array{Name: "X", Dims: []int64{4, 3, 2}}
+	if a.Size() != 24 || a.Rank() != 3 {
+		t.Fatalf("Size=%d Rank=%d", a.Size(), a.Rank())
+	}
+	// column-major: (i,j,k) -> i + 4j + 12k
+	if got := a.LinearOffset([]int64{1, 2, 1}); got != 1+8+12 {
+		t.Errorf("LinearOffset = %d", got)
+	}
+	if a.DimStride(0) != 1 || a.DimStride(1) != 4 || a.DimStride(2) != 12 {
+		t.Errorf("strides = %d,%d,%d", a.DimStride(0), a.DimStride(1), a.DimStride(2))
+	}
+}
+
+func TestFinalizeAssignsDenseIDs(t *testing.T) {
+	p := buildTestProg(t)
+	refs := p.Refs()
+	if len(refs) != 3 { // IVal has no ref; A(i) write, A(0) read, s write
+		t.Fatalf("got %d refs, want 3", len(refs))
+	}
+	for i, r := range refs {
+		if int(r.ID) != i {
+			t.Errorf("ref %d has ID %d", i, r.ID)
+		}
+		if p.Ref(r.ID) != r {
+			t.Errorf("Ref(%d) mismatch", r.ID)
+		}
+	}
+}
+
+func TestWalkRefsReadWrite(t *testing.T) {
+	p := buildTestProg(t)
+	var writes, reads []string
+	WalkRefs(p.MainRoutine().Body, func(r *Ref, w bool) {
+		if w {
+			writes = append(writes, r.String())
+		} else {
+			reads = append(reads, r.String())
+		}
+	})
+	if len(writes) != 2 || writes[0] != "A(i)" || writes[1] != "s" {
+		t.Errorf("writes = %v", writes)
+	}
+	if len(reads) != 1 || reads[0] != "A(0)" {
+		t.Errorf("reads = %v", reads)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func(f func(b *Builder)) error {
+		defer func() { recover() }()
+		b := NewBuilder("bad")
+		f(b)
+		return Validate(b.BuildUnchecked())
+	}
+
+	if err := mk(func(b *Builder) {
+		a := b.Array("A", 8)
+		b.Routine("main", Set(At(a, I("i")), N(0))) // i unbound
+	}); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("unbound var not caught: %v", err)
+	}
+
+	if err := mk(func(b *Builder) {
+		b.Routine("main", CallTo("nope"))
+	}); err == nil || !strings.Contains(err.Error(), "undefined routine") {
+		t.Errorf("undefined call not caught: %v", err)
+	}
+
+	if err := mk(func(b *Builder) {
+		b.Routine("main", CallTo("r1"))
+		b.Routine("r1", CallTo("r1"))
+	}); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Errorf("recursion not caught: %v", err)
+	}
+
+	if err := mk(func(b *Builder) {
+		a := b.Array("A", 8)
+		b.Routine("main",
+			DoAll("i", K(0), K(7),
+				DoAll("j", K(0), K(7), Set(At(a, I("j")), N(1)))))
+	}); err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("nested DOALL not caught: %v", err)
+	}
+
+	if err := mk(func(b *Builder) {
+		a := b.Array("A", 8)
+		b.Routine("main",
+			DoSerial("i", K(0), K(3),
+				DoSerial("i", K(0), K(3), Set(At(a, I("i")), N(1)))))
+	}); err == nil || !strings.Contains(err.Error(), "shadows") {
+		t.Errorf("shadowing not caught: %v", err)
+	}
+
+	if err := mk(func(b *Builder) {
+		a := b.Array("A", 8)
+		b.Routine("main",
+			When(CondOf(CmpLT, N(0), N(1)),
+				[]Stmt{DoAll("i", K(0), K(7), Set(At(a, I("i")), N(1)))}, nil))
+	}); err == nil || !strings.Contains(err.Error(), "if-statement at epoch level") {
+		t.Errorf("parallel under if not caught: %v", err)
+	}
+
+	if err := mk(func(b *Builder) {
+		ghost := &Array{Name: "ghost", Dims: []int64{4}}
+		a := b.Array("A", 4)
+		b.Routine("main", Set(At(a, K(0)), L(At(ghost, K(0)))))
+	}); err == nil || !strings.Contains(err.Error(), "undeclared array") {
+		t.Errorf("undeclared array not caught: %v", err)
+	}
+}
+
+func TestValidateRankMismatch(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Array("A", 4, 4)
+	r := &Ref{Array: a, Index: nil} // wrong rank
+	b.Routine("main", &Assign{LHS: r, RHS: Num{V: 1}})
+	if err := Validate(b.BuildUnchecked()); err == nil || !strings.Contains(err.Error(), "subscripts") {
+		t.Errorf("rank mismatch not caught: %v", err)
+	}
+}
+
+func TestCloneIsDeepForStmtsAndRefs(t *testing.T) {
+	p := buildTestProg(t)
+	cp := CloneProgram(p)
+	cp.Finalize()
+	// Mutate the clone's first write ref.
+	var cloneRef *Ref
+	WalkRefs(cp.MainRoutine().Body, func(r *Ref, w bool) {
+		if w && cloneRef == nil {
+			cloneRef = r
+		}
+	})
+	cloneRef.Stale = true
+	var origStale bool
+	WalkRefs(p.MainRoutine().Body, func(r *Ref, w bool) {
+		if r.Stale {
+			origStale = true
+		}
+	})
+	if origStale {
+		t.Error("mutating clone affected original")
+	}
+	if cp.ArrayByName("A") != p.ArrayByName("A") {
+		t.Error("arrays should be shared metadata")
+	}
+}
+
+func TestEpochGraphSimple(t *testing.T) {
+	p := buildTestProg(t)
+	g, err := BuildEpochGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 {
+		t.Fatalf("got %d epochs, want 2: %+v", len(g.Nodes), g.Nodes)
+	}
+	if !g.Nodes[0].Parallel || g.Nodes[1].Parallel {
+		t.Errorf("epoch kinds: %s, %s", g.Nodes[0].Kind(), g.Nodes[1].Kind())
+	}
+	if len(g.Succ[0]) != 1 || g.Succ[0][0] != 1 {
+		t.Errorf("Succ[0] = %v", g.Succ[0])
+	}
+	if len(g.Succ[1]) != 0 {
+		t.Errorf("Succ[1] = %v", g.Succ[1])
+	}
+}
+
+func TestEpochGraphTimeStepLoop(t *testing.T) {
+	// do t = 1,3 { doall i ...; serial; doall j ... } => 3 nodes, back edge 2->0
+	b := NewBuilder("ts")
+	a := b.SharedArray("A", 8)
+	b.Routine("main",
+		DoSerial("t", K(1), K(3),
+			DoAll("i", K(0), K(7), Set(At(a, I("i")), IV(I("i")))),
+			Set(S("x"), L(At(a, K(0)))),
+			DoAll("j", K(0), K(7), Set(At(a, I("j")), Add(L(At(a, I("j"))), N(1)))),
+		),
+	)
+	p := b.Build()
+	g, err := BuildEpochGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(g.Nodes))
+	}
+	hasBack := false
+	for _, s := range g.Succ[2] {
+		if s == 0 {
+			hasBack = true
+		}
+	}
+	if !hasBack {
+		t.Errorf("missing back edge from node 2 to 0: %v", g.Succ[2])
+	}
+	if len(g.Nodes[0].Context) != 1 || g.Nodes[0].Context[0].Var != "t" {
+		t.Errorf("context = %+v", g.Nodes[0].Context)
+	}
+	lo, hi, err := g.ContextBounds(g.Nodes[0])
+	if err != nil || lo["t"] != 1 || hi["t"] != 3 {
+		t.Errorf("ContextBounds t = [%d,%d], err=%v", lo["t"], hi["t"], err)
+	}
+
+	// Dynamic instances: 3 iterations × 3 epochs = 9 in order.
+	var seq []int
+	var tvals []int64
+	err = g.ForEachEpochInstance(func(inst EpochInstance) error {
+		seq = append(seq, inst.Node.Index)
+		tvals = append(tvals, inst.Env["t"])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if len(seq) != 9 {
+		t.Fatalf("instances = %v", seq)
+	}
+	for i := range wantSeq {
+		if seq[i] != wantSeq[i] {
+			t.Fatalf("instance order %v, want %v", seq, wantSeq)
+		}
+		if tvals[i] != int64(i/3+1) {
+			t.Fatalf("t values %v", tvals)
+		}
+	}
+}
+
+func TestEpochGraphInterprocedural(t *testing.T) {
+	b := NewBuilder("ip")
+	a := b.SharedArray("A", 8)
+	b.Routine("main",
+		Set(S("x"), N(0)),
+		CallTo("phase"),
+		Set(S("y"), N(1)),
+	)
+	b.Routine("phase",
+		DoAll("i", K(0), K(7), Set(At(a, I("i")), IV(I("i")))),
+	)
+	p := b.Build()
+	g, err := BuildEpochGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// serial(x=0), parallel(from callee), serial(y=1)
+	if len(g.Nodes) != 3 || g.Nodes[0].Parallel || !g.Nodes[1].Parallel || g.Nodes[2].Parallel {
+		t.Fatalf("epochs = %d: %v %v %v", len(g.Nodes), g.Nodes[0].Kind(), g.Nodes[1].Kind(), g.Nodes[2].Kind())
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	b := NewBuilder("tc")
+	n := b.Param("N", 10)
+	a := b.Array("A", 10)
+	l := DoSerial("i", K(2), n.AddConst(-1), Set(At(a, I("i")), N(0)))
+	b.Routine("main", l)
+	p := b.Build()
+	if tc, ok := TripCount(p, l); !ok || tc != 8 {
+		t.Errorf("TripCount = %d, %v", tc, ok)
+	}
+	l2 := &Loop{Var: "j", Lo: K(0), Hi: I("m"), Step: K(1)}
+	if _, ok := TripCount(p, l2); ok {
+		t.Error("TripCount with unbound bound should fail")
+	}
+}
+
+func TestInnerLoopAndIfDetection(t *testing.T) {
+	inner := DoSerial("j", K(0), K(3))
+	outer := DoSerial("i", K(0), K(3), inner)
+	if IsInnerLoop(outer) || !IsInnerLoop(inner) {
+		t.Error("IsInnerLoop wrong")
+	}
+	withIf := DoSerial("i", K(0), K(3),
+		When(CondOf(CmpLT, N(0), N(1)), []Stmt{Set(S("x"), N(1))}, nil))
+	if !LoopContainsIf(withIf) || LoopContainsIf(inner) {
+		t.Error("LoopContainsIf wrong")
+	}
+}
+
+func TestFormatStable(t *testing.T) {
+	p := buildTestProg(t)
+	s1, s2 := Format(p), Format(p)
+	if s1 != s2 {
+		t.Error("Format not deterministic")
+	}
+	for _, want := range []string{"program test", "doall[static] i = 0, 15", "A(i) = real(i)", "s = A(0)"} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("Format output missing %q:\n%s", want, s1)
+		}
+	}
+}
+
+func TestRefCloneIndependence(t *testing.T) {
+	p := buildTestProg(t)
+	r := p.Refs()[0]
+	c := r.Clone()
+	c.Stale = true
+	c.Index[0] = c.Index[0].AddConst(5)
+	if r.Stale || r.Index[0].Equal(c.Index[0]) {
+		t.Error("Ref.Clone is not deep")
+	}
+}

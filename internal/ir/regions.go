@@ -1,0 +1,105 @@
+package ir
+
+// Region is one "inner loop or serial code segment" (LSC) — the unit both
+// the prefetch target analysis (paper Fig. 1) and the prefetch scheduler
+// (paper Fig. 2) iterate over.
+type Region struct {
+	// Loop is the inner loop; nil for a serial code segment.
+	Loop *Loop
+	// Stmts are the statements of the region: the loop body, or the run of
+	// straight-line statements forming the segment.
+	Stmts []Stmt
+	// Owner points at the statement list that contains the region (the
+	// parent body); Index is the position of the loop (or of the first
+	// statement of the segment) within *Owner. The scheduler inserts
+	// prefetch statements into *Owner.
+	Owner *[]Stmt
+	Index int
+	// Len is the number of statements of the segment within *Owner
+	// (1 for a loop region).
+	Len int
+	// Enclosing lists the loops enclosing the region, outermost first
+	// (for a loop region, not including the loop itself).
+	Enclosing []*Loop
+	// InIf reports that the region sits inside an if-statement branch
+	// (paper Fig. 2 case 6).
+	InIf bool
+	// Routine names the routine containing the region.
+	Routine string
+}
+
+// IsLoop reports whether the region is an inner loop.
+func (r *Region) IsLoop() bool { return r.Loop != nil }
+
+// Regions decomposes every routine of the program into inner-loop and
+// serial-segment regions. Loops that contain other loops are not regions
+// themselves; their non-loop statement runs and their nested loops are.
+func Regions(p *Program) []*Region {
+	var out []*Region
+	for _, rt := range p.routinesInOrder() {
+		collectRegions(p, &rt.Body, rt.Name, nil, false, &out)
+	}
+	return out
+}
+
+func collectRegions(p *Program, body *[]Stmt, routine string, enclosing []*Loop, inIf bool, out *[]*Region) {
+	stmts := *body
+	runStart := -1
+	flushRun := func(end int) {
+		if runStart < 0 {
+			return
+		}
+		*out = append(*out, &Region{
+			Stmts:     stmts[runStart:end],
+			Owner:     body,
+			Index:     runStart,
+			Len:       end - runStart,
+			Enclosing: append([]*Loop(nil), enclosing...),
+			InIf:      inIf,
+			Routine:   routine,
+		})
+		runStart = -1
+	}
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case *Loop:
+			flushRun(i)
+			if LoopIsInner(p, st) {
+				*out = append(*out, &Region{
+					Loop:      st,
+					Stmts:     st.Body,
+					Owner:     body,
+					Index:     i,
+					Len:       1,
+					Enclosing: append([]*Loop(nil), enclosing...),
+					InIf:      inIf,
+					Routine:   routine,
+				})
+			} else {
+				collectRegions(p, &st.Body, routine, append(enclosing, st), inIf, out)
+			}
+		case *If:
+			flushRun(i)
+			collectRegions(p, &st.Then, routine, enclosing, true, out)
+			collectRegions(p, &st.Else, routine, enclosing, true, out)
+		default:
+			if runStart < 0 {
+				runStart = i
+			}
+		}
+	}
+	flushRun(len(stmts))
+}
+
+// RefsIn returns the references appearing in the region's statements, with
+// their read/write role. For a loop region this is the loop body.
+func (r *Region) RefsIn() (reads, writes []*Ref) {
+	WalkRefs(r.Stmts, func(ref *Ref, isWrite bool) {
+		if isWrite {
+			writes = append(writes, ref)
+		} else {
+			reads = append(reads, ref)
+		}
+	})
+	return reads, writes
+}

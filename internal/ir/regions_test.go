@@ -1,0 +1,102 @@
+package ir
+
+import "testing"
+
+func TestRegionsDecomposition(t *testing.T) {
+	b := NewBuilder("reg")
+	a := b.SharedArray("A", 64)
+	c := b.SharedArray("C", 64)
+	inner := DoSerial("k", K(0), K(7), Set(At(c, I("k")), L(At(a, I("k")))))
+	b.Routine("main",
+		Set(S("x"), N(0)), // segment (epoch level)
+		Set(S("y"), N(1)), // same segment
+		DoAll("i", K(0), K(63), // outer: contains inner loop
+			Set(At(a, I("i")), N(0)), // segment inside doall
+			inner,
+		),
+		Set(S("z"), N(2)), // segment
+	)
+	p := b.Build()
+	regs := Regions(p)
+	// Expect: segment{x,y}, segment{A(i)=0} (inside doall), loop{k}, segment{z}
+	if len(regs) != 4 {
+		for _, r := range regs {
+			t.Logf("region loop=%v inIf=%v len=%d enclosing=%d", r.IsLoop(), r.InIf, r.Len, len(r.Enclosing))
+		}
+		t.Fatalf("got %d regions, want 4", len(regs))
+	}
+	if regs[0].IsLoop() || regs[0].Len != 2 {
+		t.Errorf("region 0 should be the 2-stmt segment: %+v", regs[0])
+	}
+	if regs[1].IsLoop() || len(regs[1].Enclosing) != 1 {
+		t.Errorf("region 1 should be segment inside doall: %+v", regs[1])
+	}
+	if !regs[2].IsLoop() || regs[2].Loop != inner {
+		t.Errorf("region 2 should be the inner k loop")
+	}
+	if regs[3].IsLoop() || regs[3].Len != 1 {
+		t.Errorf("region 3 should be the trailing segment")
+	}
+}
+
+func TestRegionsInIfBranches(t *testing.T) {
+	b := NewBuilder("regif")
+	a := b.Array("A", 8)
+	b.Routine("main",
+		When(CondOf(CmpLT, N(0), N(1)),
+			[]Stmt{Set(At(a, K(0)), N(1))},
+			[]Stmt{Set(At(a, K(1)), N(2))}),
+	)
+	p := b.Build()
+	regs := Regions(p)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regions, want 2 (one per branch)", len(regs))
+	}
+	for _, r := range regs {
+		if !r.InIf {
+			t.Errorf("branch region not marked InIf")
+		}
+	}
+}
+
+func TestLoopWithLoopyCalleeNotInner(t *testing.T) {
+	b := NewBuilder("regcall")
+	a := b.Array("A", 8)
+	b.Routine("main",
+		DoSerial("i", K(0), K(3), CallTo("leaf"), CallTo("loopy")),
+	)
+	b.Routine("leaf", Set(At(a, K(0)), N(1)))
+	b.Routine("loopy", DoSerial("j", K(0), K(3), Set(At(a, I("j")), N(2))))
+	p := b.Build()
+	l := p.MainRoutine().Body[0].(*Loop)
+	if LoopIsInner(p, l) {
+		t.Error("loop calling a loopy routine reported inner")
+	}
+	if !LoopContainsCall(l) {
+		t.Error("LoopContainsCall missed calls")
+	}
+	leafLoop := p.Routine("loopy").Body[0].(*Loop)
+	if !LoopIsInner(p, leafLoop) {
+		t.Error("leaf loop should be inner")
+	}
+}
+
+func TestRegionRefsIn(t *testing.T) {
+	b := NewBuilder("regrefs")
+	a := b.SharedArray("A", 64)
+	c := b.SharedArray("C", 64)
+	l := DoSerial("k", K(0), K(7), Set(At(c, I("k")), L(At(a, I("k")))))
+	b.Routine("main", l)
+	p := b.Build()
+	regs := Regions(p)
+	if len(regs) != 1 {
+		t.Fatalf("want 1 region, got %d", len(regs))
+	}
+	reads, writes := regs[0].RefsIn()
+	if len(reads) != 1 || reads[0].Array.Name != "A" {
+		t.Errorf("reads = %v", reads)
+	}
+	if len(writes) != 1 || writes[0].Array.Name != "C" {
+		t.Errorf("writes = %v", writes)
+	}
+}

@@ -1,0 +1,181 @@
+// Package locality implements the reuse analysis of paper §4.2: detecting
+// group-spatial locality among uniformly generated references and selecting
+// the leading reference of each group.
+//
+// Two references are uniformly generated when their word-address
+// expressions (base + Σ subscript·stride, arrays cache-line aligned) differ
+// only in the constant term. A group of uniformly generated references
+// whose constant offsets fall within one cache line exhibits group-spatial
+// locality: prefetching the leading reference brings the line that serves
+// the whole group, and the rest are issued as normal reads.
+package locality
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// AddrExpr returns the symbolic word-address expression of an array
+// reference: Base + Σ Index[d]·DimStride(d). Scalar references have no
+// address; ok is false.
+func AddrExpr(r *ir.Ref) (expr.Affine, bool) {
+	if r.IsScalar() {
+		return expr.Affine{}, false
+	}
+	a := expr.Const(r.Array.Base)
+	for d, ix := range r.Index {
+		a = a.Add(ix.Scale(r.Array.DimStride(d)))
+	}
+	return a, true
+}
+
+// Group is one group-spatial equivalence class.
+type Group struct {
+	// Members are the references of the group in ascending address-offset
+	// order.
+	Members []*ir.Ref
+	// Offsets[i] is Members[i]'s constant address offset relative to
+	// Members[0].
+	Offsets []int64
+	// Leader is the member whose prefetch covers the group: the reference
+	// that touches a new cache line first in the direction of traversal.
+	Leader *ir.Ref
+}
+
+// SpanWords returns the address span of the group in words.
+func (g *Group) SpanWords() int64 {
+	if len(g.Offsets) == 0 {
+		return 0
+	}
+	return g.Offsets[len(g.Offsets)-1] - g.Offsets[0] + 1
+}
+
+// GroupSpatial partitions refs into group-spatial classes. innerVar is the
+// innermost loop's induction variable ("" for a serial code segment); its
+// coefficient in the address expression determines the traversal direction
+// and hence the leading reference. lineWords is the cache line size in
+// words. References whose mutual constant offset is at least a full line
+// are NOT grouped (they touch disjoint lines).
+//
+// Refs that are scalars are ignored. The result covers every array ref in
+// refs exactly once (singleton groups for ungrouped refs).
+func GroupSpatial(refs []*ir.Ref, innerVar string, lineWords int64) []*Group {
+	var entries []addrEntry
+	for _, r := range refs {
+		a, ok := AddrExpr(r)
+		if !ok {
+			continue
+		}
+		entries = append(entries, addrEntry{ref: r, addr: a})
+	}
+
+	used := make([]bool, len(entries))
+	var groups []*Group
+	for i := range entries {
+		if used[i] {
+			continue
+		}
+		members := []addrEntry{entries[i]}
+		used[i] = true
+		for j := i + 1; j < len(entries); j++ {
+			if used[j] {
+				continue
+			}
+			// Uniformly generated with the current group's representative?
+			if _, ok := entries[j].addr.DiffersOnlyInConst(entries[i].addr); ok {
+				members = append(members, entries[j])
+				used[j] = true
+			}
+		}
+		groups = append(groups, splitByLine(members, innerVar, lineWords)...)
+	}
+	return groups
+
+}
+
+type addrEntry struct {
+	ref  *ir.Ref
+	addr expr.Affine
+}
+
+type memberEntry struct {
+	ref    *ir.Ref
+	offset int64
+}
+
+// splitByLine orders a uniformly generated set by constant offset and cuts
+// it into runs whose consecutive gaps are smaller than a cache line; each
+// run is one group-spatial class.
+func splitByLine(members []addrEntry, innerVar string, lineWords int64) []*Group {
+	base := members[0].addr
+	es := make([]memberEntry, len(members))
+	for i, m := range members {
+		d, _ := m.addr.DiffersOnlyInConst(base)
+		es[i] = memberEntry{ref: m.ref, offset: d}
+	}
+	sort.SliceStable(es, func(i, j int) bool { return es[i].offset < es[j].offset })
+
+	dir := int64(1)
+	if innerVar != "" {
+		if c := base.Coef(innerVar); c < 0 {
+			dir = -1
+		}
+	}
+
+	var groups []*Group
+	start := 0
+	flush := func(end int) {
+		run := es[start:end]
+		g := &Group{}
+		for _, e := range run {
+			g.Members = append(g.Members, e.ref)
+			g.Offsets = append(g.Offsets, e.offset-run[0].offset)
+		}
+		// Leading reference: touches a new line first in traversal
+		// direction — the highest address for ascending traversal, the
+		// lowest for descending.
+		if dir > 0 {
+			g.Leader = run[len(run)-1].ref
+		} else {
+			g.Leader = run[0].ref
+		}
+		groups = append(groups, g)
+		start = end
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].offset-es[i-1].offset >= lineWords {
+			flush(i)
+		}
+	}
+	flush(len(es))
+	return groups
+}
+
+// InnermostVar returns the induction variable whose coefficient in the
+// reference's address expression is the contiguous (smallest-stride)
+// direction, preferring the given candidate loop variables innermost-first;
+// returns "" when the address doesn't vary with any of them. Used by
+// diagnostics and tests.
+func InnermostVar(r *ir.Ref, candidates []string) string {
+	a, ok := AddrExpr(r)
+	if !ok {
+		return ""
+	}
+	best := ""
+	var bestCoef int64
+	for _, v := range candidates {
+		c := a.Coef(v)
+		if c == 0 {
+			continue
+		}
+		if c < 0 {
+			c = -c
+		}
+		if best == "" || c < bestCoef {
+			best, bestCoef = v, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,145 @@
+package locality
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const lineWords = 4
+
+func mk2D(name string, rows, cols int64, base int64) *ir.Array {
+	return &ir.Array{Name: name, Dims: []int64{rows, cols}, Base: base}
+}
+
+func TestAddrExpr(t *testing.T) {
+	a := mk2D("A", 10, 10, 400)
+	r := ir.At(a, ir.I("i"), ir.I("j").AddConst(2))
+	addr, ok := AddrExpr(r)
+	if !ok {
+		t.Fatal("no address for array ref")
+	}
+	// 400 + i + 10*(j+2) = i + 10j + 420
+	if addr.Coef("i") != 1 || addr.Coef("j") != 10 || addr.ConstPart() != 420 {
+		t.Errorf("AddrExpr = %v", addr)
+	}
+	if _, ok := AddrExpr(ir.S("x")); ok {
+		t.Error("scalar has an address")
+	}
+}
+
+func TestGroupSpatialGroupsNeighbors(t *testing.T) {
+	a := mk2D("A", 100, 100, 0)
+	// x(i,j), x(i+1,j), x(i-1,j): offsets -1,0,1 within a line.
+	r0 := ir.At(a, ir.I("i"), ir.I("j"))
+	rp := ir.At(a, ir.I("i").AddConst(1), ir.I("j"))
+	rm := ir.At(a, ir.I("i").AddConst(-1), ir.I("j"))
+	groups := GroupSpatial([]*ir.Ref{r0, rp, rm}, "i", lineWords)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1: %+v", len(groups), groups)
+	}
+	g := groups[0]
+	if len(g.Members) != 3 {
+		t.Fatalf("group size %d", len(g.Members))
+	}
+	// Ascending i traversal: leader is the largest offset = x(i+1,j).
+	if g.Leader != rp {
+		t.Errorf("leader = %v, want %v", g.Leader, rp)
+	}
+	if g.SpanWords() != 3 {
+		t.Errorf("span = %d", g.SpanWords())
+	}
+}
+
+func TestGroupSpatialColumnNeighborsNotGrouped(t *testing.T) {
+	a := mk2D("A", 100, 100, 0)
+	// x(i,j) and x(i,j+1): offset 100 words — different lines.
+	r0 := ir.At(a, ir.I("i"), ir.I("j"))
+	r1 := ir.At(a, ir.I("i"), ir.I("j").AddConst(1))
+	groups := GroupSpatial([]*ir.Ref{r0, r1}, "i", lineWords)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Members) != 1 || g.Leader != g.Members[0] {
+			t.Errorf("singleton group malformed: %+v", g)
+		}
+	}
+}
+
+func TestGroupSpatialNotUniformlyGenerated(t *testing.T) {
+	a := mk2D("A", 100, 100, 0)
+	// x(i,j) and x(j,i) are not uniformly generated.
+	r0 := ir.At(a, ir.I("i"), ir.I("j"))
+	r1 := ir.At(a, ir.I("j"), ir.I("i"))
+	groups := GroupSpatial([]*ir.Ref{r0, r1}, "i", lineWords)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+}
+
+func TestGroupSpatialDifferentArrays(t *testing.T) {
+	a := mk2D("A", 100, 100, 0)
+	c := mk2D("C", 100, 100, 10000)
+	r0 := ir.At(a, ir.I("i"), ir.I("j"))
+	r1 := ir.At(c, ir.I("i"), ir.I("j"))
+	groups := GroupSpatial([]*ir.Ref{r0, r1}, "i", lineWords)
+	if len(groups) != 2 {
+		t.Fatalf("different arrays grouped together")
+	}
+}
+
+func TestGroupSpatialDescendingDirection(t *testing.T) {
+	a := mk2D("A", 100, 100, 0)
+	// Address coefficient of i is negative: descending traversal; leader is
+	// the lowest offset.
+	r0 := ir.At(a, ir.I("i").Neg().AddConst(50), ir.K(0))
+	r1 := ir.At(a, ir.I("i").Neg().AddConst(51), ir.K(0))
+	groups := GroupSpatial([]*ir.Ref{r0, r1}, "i", lineWords)
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	if groups[0].Leader != r0 {
+		t.Errorf("descending leader should be the lowest address ref")
+	}
+}
+
+func TestGroupSpatialGapSplit(t *testing.T) {
+	a := mk2D("A", 1000, 1, 0)
+	// Offsets 0,1, then 8,9: two groups split by the >= lineWords gap.
+	refs := []*ir.Ref{
+		ir.At(a, ir.I("i"), ir.K(0)),
+		ir.At(a, ir.I("i").AddConst(1), ir.K(0)),
+		ir.At(a, ir.I("i").AddConst(8), ir.K(0)),
+		ir.At(a, ir.I("i").AddConst(9), ir.K(0)),
+	}
+	groups := GroupSpatial(refs, "i", lineWords)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Members) != 2 {
+			t.Errorf("group size %d, want 2", len(g.Members))
+		}
+	}
+}
+
+func TestGroupSpatialIgnoresScalars(t *testing.T) {
+	a := mk2D("A", 10, 10, 0)
+	groups := GroupSpatial([]*ir.Ref{ir.S("x"), ir.At(a, ir.K(0), ir.K(0))}, "", lineWords)
+	if len(groups) != 1 || len(groups[0].Members) != 1 {
+		t.Fatalf("scalars not ignored: %+v", groups)
+	}
+}
+
+func TestInnermostVar(t *testing.T) {
+	a := mk2D("A", 100, 100, 0)
+	r := ir.At(a, ir.I("i"), ir.I("j"))
+	if got := InnermostVar(r, []string{"j", "i"}); got != "i" {
+		t.Errorf("InnermostVar = %q, want i (stride 1)", got)
+	}
+	rc := ir.At(a, ir.K(3), ir.K(4))
+	if got := InnermostVar(rc, []string{"i", "j"}); got != "" {
+		t.Errorf("constant ref InnermostVar = %q", got)
+	}
+}

@@ -1,0 +1,58 @@
+package machine
+
+import "testing"
+
+func TestT3DDefaultsValid(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		m := T3D(p)
+		if err := m.Validate(); err != nil {
+			t.Errorf("T3D(%d): %v", p, err)
+		}
+		if m.NumPE != p {
+			t.Errorf("NumPE = %d", m.NumPE)
+		}
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	m := T3D(4)
+	if m.CacheWords != 1024 || m.LineWords != 4 {
+		t.Errorf("cache geometry %d/%d, want 8KB/32B in words", m.CacheWords, m.LineWords)
+	}
+	if m.CacheLines() != 256 {
+		t.Errorf("CacheLines = %d, want 256", m.CacheLines())
+	}
+	if m.PrefetchQueueWords != 16 {
+		t.Errorf("queue = %d, want 16", m.PrefetchQueueWords)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	m := T3D(8)
+	if !(m.HitCost < m.LocalMemCost && m.LocalMemCost < m.RemoteReadCost) {
+		t.Error("latency hierarchy violated: hit < local < remote expected")
+	}
+	if m.RemoteWriteCost >= m.RemoteReadCost {
+		t.Error("buffered remote writes should be cheaper than remote reads")
+	}
+	if m.AvgPrefetchLatency() != m.RemoteReadCost {
+		t.Error("AvgPrefetchLatency should match remote read")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.NumPE = 0 },
+		func(p *Params) { p.CacheWords = 1022 }, // not divisible by line
+		func(p *Params) { p.PrefetchQueueWords = 0 },
+		func(p *Params) { p.MinAheadIters = 99 },
+		func(p *Params) { p.VectorMaxWords = p.CacheWords + 1 },
+	}
+	for i, mutate := range cases {
+		m := T3D(4)
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package mem implements the simulated physically-distributed, logically
+// shared memory of the T3D model: a single word address space laid out over
+// the program's arrays, an owner PE for every word (from the block
+// distributions), and a per-word generation counter used by the coherence
+// checker — a cached copy whose generation is older than memory's has been
+// overwritten since it was cached, and reading it is a stale-value read.
+package mem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/craft"
+	"repro/internal/ir"
+)
+
+// Layout assigns a base word address to every array of the program, each
+// aligned to a cache line boundary (the paper requires arrays to start at
+// the beginning of a cache line for the group-spatial mapping to be exact).
+// It returns the total extent of the address space in words.
+func Layout(p *ir.Program, lineWords int64) int64 {
+	next := int64(0)
+	align := func(x int64) int64 {
+		if r := x % lineWords; r != 0 {
+			return x + lineWords - r
+		}
+		return x
+	}
+	for _, a := range p.Arrays {
+		next = align(next)
+		a.Base = next
+		// One line of inter-array padding: packed power-of-two arrays
+		// (VPENTA's 128² matrices are an exact multiple of the 8 KB cache)
+		// would otherwise map every array's (i,j) element to the same
+		// direct-mapped slot and thrash; separately allocated arrays on a
+		// real machine do not share low-order address bits like that.
+		next += a.Size() + lineWords
+	}
+	return align(next)
+}
+
+// Memory is the simulated shared memory of one run.
+//
+// Words and generations are stored atomically: within a parallel epoch the
+// program-level reads and writes of different PEs are disjoint (the epoch
+// model), but the SIMULATED hardware reads whole cache lines, and a line
+// fill at a distribution boundary may touch words a neighbouring PE is
+// concurrently writing. Those fill-read values are never consumed — the
+// compiler-directed invalidation drops such lines before any PE reads the
+// foreign words — but the accesses themselves must be race-free.
+type Memory struct {
+	prog  *ir.Program
+	numPE int
+	words []uint64 // float64 bits
+	gen   []uint32
+
+	// bases[i] is the base address of arrays[i], sorted ascending, for
+	// address→array lookup.
+	bases  []int64
+	arrays []*ir.Array
+}
+
+// New builds the memory for a laid-out program. Layout must have been
+// called (every array needs a distinct Base).
+func New(p *ir.Program, numPE int, totalWords int64) *Memory {
+	m := &Memory{
+		prog:  p,
+		numPE: numPE,
+		words: make([]uint64, totalWords),
+		gen:   make([]uint32, totalWords),
+	}
+	arrays := append([]*ir.Array(nil), p.Arrays...)
+	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Base < arrays[j].Base })
+	for _, a := range arrays {
+		m.bases = append(m.bases, a.Base)
+		m.arrays = append(m.arrays, a)
+	}
+	return m
+}
+
+// ArrayOf returns the array containing the given word address, or nil.
+func (m *Memory) ArrayOf(addr int64) *ir.Array {
+	i := sort.Search(len(m.bases), func(i int) bool { return m.bases[i] > addr })
+	if i == 0 {
+		return nil
+	}
+	a := m.arrays[i-1]
+	if addr >= a.Base+a.Size() {
+		return nil
+	}
+	return a
+}
+
+// OwnerOf returns the PE owning the given word address (0 for private
+// arrays and for the sequential configuration).
+func (m *Memory) OwnerOf(addr int64) int {
+	a := m.ArrayOf(addr)
+	if a == nil {
+		return 0
+	}
+	return craft.OwnerOfOffset(a, m.numPE, addr-a.Base)
+}
+
+// Read returns the value and generation of the word at addr.
+func (m *Memory) Read(addr int64) (float64, uint32) {
+	return math.Float64frombits(atomic.LoadUint64(&m.words[addr])), atomic.LoadUint32(&m.gen[addr])
+}
+
+// Value returns just the value at addr.
+func (m *Memory) Value(addr int64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&m.words[addr]))
+}
+
+// Gen returns the current generation of addr.
+func (m *Memory) Gen(addr int64) uint32 { return atomic.LoadUint32(&m.gen[addr]) }
+
+// Write stores v at addr and bumps its generation. Within a parallel epoch
+// only one PE writes a given address (the epoch execution model); the
+// engine's race detector verifies this in tests.
+func (m *Memory) Write(addr int64, v float64) uint32 {
+	atomic.StoreUint64(&m.words[addr], math.Float64bits(v))
+	return atomic.AddUint32(&m.gen[addr], 1)
+}
+
+// ArrayData returns a snapshot of one array's contents (for golden-value
+// comparison after a run).
+func (m *Memory) ArrayData(a *ir.Array) []float64 {
+	out := make([]float64, a.Size())
+	for i := range out {
+		out[i] = math.Float64frombits(atomic.LoadUint64(&m.words[a.Base+int64(i)]))
+	}
+	return out
+}
+
+// Words returns the total address-space size.
+func (m *Memory) Words() int64 { return int64(len(m.words)) }
+
+// NumPE returns the configured PE count.
+func (m *Memory) NumPE() int { return m.numPE }
+
+// AddrOf computes the word address of an array element, panicking on
+// out-of-range subscripts with a diagnostic (an engine-level bounds check —
+// the "program bug" detector).
+func AddrOf(a *ir.Array, idx []int64) int64 {
+	for d, x := range idx {
+		if x < 0 || x >= a.Dims[d] {
+			panic(fmt.Sprintf("mem: %s subscript %d out of range: %d (extent %d)", a.Name, d, x, a.Dims[d]))
+		}
+	}
+	return a.Base + a.LinearOffset(idx)
+}

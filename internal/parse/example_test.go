@@ -1,0 +1,44 @@
+package parse_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/parse"
+)
+
+func Example() {
+	prog, err := parse.Program(`
+program saxpy
+  real X(64)  ! shared, dist=block
+  real Y(64)  ! shared, dist=block
+routine main
+  doall[static] i = 0, 63
+    X(i) = real(i)
+    Y(i) = real(2*i)
+  enddo
+  doall[static] j = 0, 63
+    Y(j) = ((X(j) * 3) + Y(j))
+  enddo
+end
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := core.Compile(prog, core.ModeCCDP, machine.T3D(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exec.Run(c, exec.Options{FailOnStale: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Mem.ArrayData(prog.ArrayByName("Y"))[10]) // 3*10 + 20
+	fmt.Println(res.Stats.StaleValueReads)
+	// Output:
+	// 50
+	// 0
+}

@@ -1,0 +1,666 @@
+// Package parse reads the Fortran-flavoured text form that ir.Format emits
+// back into an ir.Program, so programs can be stored in files, edited by
+// hand and fed to the drivers — and so the printer/parser round trip can be
+// property-tested. The accepted grammar is exactly the printer's source
+// subset (compiler-inserted prefetch statements and annotations are
+// rejected: they are an output of compilation, not an input):
+//
+//	program  := "program" name decl* routine+
+//	decl     := "param" name "=" int
+//	          | "real" name "(" int ("," int)* ")" "!" ("private" | "shared, dist=block")
+//	routine  := "routine" name stmt* "end"
+//	stmt     := loop | assign | if | call
+//	loop     := ("do" | "doall[static]" | "doall[dynamic]") name "=" affine "," affine
+//	            ["," int] ["?bounds"] ["align=" int] stmt* "enddo"
+//	assign   := ref "=" expr
+//	if       := "if" "(" expr cmp expr ")" "then" stmt* ["else" stmt*] "endif"
+//	call     := "call" name
+//	ref      := name | name "(" affine ("," affine)* ")"
+//	expr     := number | "real(" affine ")" | ref | "(" expr op expr ")"
+//	          | "(-" expr ")" | ("min"|"max") "(" expr "," expr ")"
+//	          | ("abs"|"sqrt") "(" expr ")"
+//	affine   := ["-"] term (("+"|"-") term)*    term := [int "*"] name | int
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// Program parses the text form of a whole program.
+func Program(src string) (*ir.Program, error) {
+	p := &parser{}
+	p.tokenize(src)
+	prog, err := p.program()
+	if err != nil {
+		return nil, fmt.Errorf("parse: line %d: %w", p.errLine, err)
+	}
+	prog.Finalize()
+	if err := ir.Validate(prog); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return prog, nil
+}
+
+type token struct {
+	text string
+	line int
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	errLine int
+	prog    *ir.Program
+	arrays  map[string]*ir.Array
+}
+
+// tokenize splits the source into tokens, dropping "!"-comments except the
+// array-attribute comment, which the line-based pre-pass rewrites into
+// pseudo tokens.
+func (p *parser) tokenize(src string) {
+	for ln, rawLine := range strings.Split(src, "\n") {
+		line := rawLine
+		// The program name is free-form (generated names contain dashes):
+		// take the rest of the line as a single token.
+		if trimmed := strings.TrimSpace(line); strings.HasPrefix(trimmed, "program ") {
+			p.toks = append(p.toks,
+				token{text: "program", line: ln + 1},
+				token{text: strings.TrimSpace(strings.TrimPrefix(trimmed, "program ")), line: ln + 1})
+			continue
+		}
+		// Array declarations carry their attributes in a comment; rewrite
+		// it into tokens before stripping comments.
+		if strings.Contains(line, "real ") && strings.Contains(line, "!") {
+			line = strings.Replace(line, "!", "@attr", 1)
+		} else if i := strings.Index(line, "!"); i >= 0 {
+			line = line[:i]
+		}
+		p.tokenizeLine(line, ln+1)
+	}
+}
+
+func isIdentRune(r byte) bool {
+	return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '.'
+}
+
+func (p *parser) tokenizeLine(line string, ln int) {
+	i := 0
+	emit := func(s string) { p.toks = append(p.toks, token{text: s, line: ln}) }
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c >= '0' && c <= '9' ||
+			(c == '.' && i+1 < len(line) && line[i+1] >= '0' && line[i+1] <= '9'):
+			j := i
+			for j < len(line) && (isIdentRune(line[j]) || line[j] == '+' && j > i && (line[j-1] == 'e' || line[j-1] == 'E') ||
+				line[j] == '-' && j > i && (line[j-1] == 'e' || line[j-1] == 'E')) {
+				j++
+			}
+			emit(line[i:j])
+			i = j
+		case isIdentRune(c):
+			j := i
+			for j < len(line) && isIdentRune(line[j]) {
+				j++
+			}
+			word := line[i:j]
+			// doall[static] / doall[dynamic] is one keyword token.
+			if word == "doall" && j < len(line) && line[j] == '[' {
+				k := strings.IndexByte(line[j:], ']')
+				if k >= 0 {
+					word = line[i : j+k+1]
+					j += k + 1
+				}
+			}
+			emit(word)
+			i = j
+		case c == '@':
+			j := i + 1
+			for j < len(line) && isIdentRune(line[j]) {
+				j++
+			}
+			emit(line[i:j])
+			i = j
+			// The rest of an @attr line is free text: capture it whole.
+			if p.toks[len(p.toks)-1].text == "@attr" {
+				rest := strings.TrimSpace(line[i:])
+				emit(rest)
+				i = len(line)
+			}
+		default:
+			// Multi-char operators the printer emits.
+			for _, op := range []string{"<=", ">=", "==", "!=", "?bounds"} {
+				if strings.HasPrefix(line[i:], op) {
+					emit(op)
+					i += len(op)
+					goto next
+				}
+			}
+			emit(string(c))
+			i++
+		next:
+		}
+	}
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.errLine = p.toks[p.pos].line
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("expected %q, got %q", want, got)
+	}
+	return nil
+}
+
+func (p *parser) program() (*ir.Program, error) {
+	if err := p.expect("program"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name == "" {
+		return nil, fmt.Errorf("missing program name")
+	}
+	p.prog = &ir.Program{Name: name, Params: map[string]int64{}, Routines: map[string]*ir.Routine{}}
+	p.arrays = map[string]*ir.Array{}
+
+	for {
+		switch p.peek() {
+		case "param":
+			p.next()
+			pname := p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			v, err := p.int64Tok()
+			if err != nil {
+				return nil, err
+			}
+			p.prog.Params[pname] = v
+		case "real":
+			if err := p.arrayDecl(); err != nil {
+				return nil, err
+			}
+		case "routine":
+			p.next()
+			rname := p.next()
+			body, err := p.stmts(map[string]bool{"end": true})
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("end"); err != nil {
+				return nil, err
+			}
+			p.prog.Routines[rname] = &ir.Routine{Name: rname, Body: body}
+			if p.prog.Main == "" {
+				p.prog.Main = rname
+			}
+		case "":
+			if p.prog.Main == "" {
+				return nil, fmt.Errorf("no routines defined")
+			}
+			return p.prog, nil
+		default:
+			return nil, fmt.Errorf("unexpected token %q at top level", p.peek())
+		}
+	}
+}
+
+func (p *parser) arrayDecl() error {
+	p.next() // "real"
+	name := p.next()
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var dims []int64
+	for {
+		d, err := p.int64Tok()
+		if err != nil {
+			return err
+		}
+		dims = append(dims, d)
+		if p.peek() != "," {
+			break
+		}
+		p.next()
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	a := &ir.Array{Name: name, Dims: dims}
+	if p.peek() == "@attr" {
+		p.next()
+		attr := p.next()
+		switch attr {
+		case "shared, dist=block":
+			a.Shared = true
+			a.Dist = ir.DistBlock
+		case "private":
+		default:
+			return fmt.Errorf("unknown array attribute %q", attr)
+		}
+	}
+	if p.arrays[name] != nil {
+		return fmt.Errorf("duplicate array %q", name)
+	}
+	p.arrays[name] = a
+	p.prog.Arrays = append(p.prog.Arrays, a)
+	return nil
+}
+
+// stmts parses statements until one of the stop keywords (not consumed).
+func (p *parser) stmts(stop map[string]bool) ([]ir.Stmt, error) {
+	var out []ir.Stmt
+	for {
+		t := p.peek()
+		if t == "" || stop[t] {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) stmt() (ir.Stmt, error) {
+	switch t := p.peek(); t {
+	case "do", "doall[static]", "doall[dynamic]":
+		return p.loop()
+	case "if":
+		return p.ifStmt()
+	case "call":
+		p.next()
+		return &ir.Call{Name: p.next()}, nil
+	case "prefetch", "vprefetch":
+		return nil, fmt.Errorf("%q is compiler output, not source", t)
+	default:
+		return p.assign()
+	}
+}
+
+func (p *parser) loop() (ir.Stmt, error) {
+	kw := p.next()
+	l := &ir.Loop{Step: expr.Const(1), BoundsKnown: true}
+	switch kw {
+	case "do":
+	case "doall[static]":
+		l.Parallel = true
+		l.Sched = ir.SchedStatic
+	case "doall[dynamic]":
+		l.Parallel = true
+		l.Sched = ir.SchedDynamic
+	}
+	l.Var = p.next()
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.affine(map[string]bool{",": true})
+	if err != nil {
+		return nil, err
+	}
+	l.Lo = lo
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	hi, err := p.affine(map[string]bool{",": true, "?bounds": true, "align": true})
+	if err != nil {
+		return nil, err
+	}
+	l.Hi = hi
+	if p.peek() == "," {
+		p.next()
+		step, err := p.int64Tok()
+		if err != nil {
+			return nil, err
+		}
+		l.Step = expr.Const(step)
+	}
+	if p.peek() == "?bounds" {
+		p.next()
+		l.BoundsKnown = false
+	}
+	if p.peek() == "align" {
+		p.next()
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		ext, err := p.int64Tok()
+		if err != nil {
+			return nil, err
+		}
+		l.AlignExtent = ext
+	}
+	body, err := p.stmts(map[string]bool{"enddo": true})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("enddo"); err != nil {
+		return nil, err
+	}
+	l.Body = body
+	return l, nil
+}
+
+func (p *parser) ifStmt() (ir.Stmt, error) {
+	p.next() // "if"
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	lhs, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	var op ir.CmpOp
+	switch t := p.next(); t {
+	case "<":
+		op = ir.CmpLT
+	case "<=":
+		op = ir.CmpLE
+	case ">":
+		op = ir.CmpGT
+	case ">=":
+		op = ir.CmpGE
+	case "==":
+		op = ir.CmpEQ
+	case "!=":
+		op = ir.CmpNE
+	default:
+		return nil, fmt.Errorf("bad comparison operator %q", t)
+	}
+	rhs, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmts(map[string]bool{"else": true, "endif": true})
+	if err != nil {
+		return nil, err
+	}
+	var els []ir.Stmt
+	if p.peek() == "else" {
+		p.next()
+		els, err = p.stmts(map[string]bool{"endif": true})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("endif"); err != nil {
+		return nil, err
+	}
+	return &ir.If{Cond: ir.Cond{Op: op, L: lhs, R: rhs}, Then: then, Else: els}, nil
+}
+
+func (p *parser) assign() (ir.Stmt, error) {
+	lhs, err := p.ref()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Assign{LHS: lhs, RHS: rhs}, nil
+}
+
+// ref parses an array reference or scalar name.
+func (p *parser) ref() (*ir.Ref, error) {
+	name := p.next()
+	if name == "" || !isIdentStart(name) {
+		return nil, fmt.Errorf("expected reference, got %q", name)
+	}
+	if p.peek() != "(" {
+		return &ir.Ref{Scalar: name}, nil
+	}
+	arr := p.arrays[name]
+	if arr == nil {
+		return nil, fmt.Errorf("reference to undeclared array %q", name)
+	}
+	p.next() // "("
+	var idx []expr.Affine
+	for {
+		a, err := p.affine(map[string]bool{",": true, ")": true})
+		if err != nil {
+			return nil, err
+		}
+		idx = append(idx, a)
+		if p.peek() != "," {
+			break
+		}
+		p.next()
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &ir.Ref{Array: arr, Index: idx}, nil
+}
+
+// expression parses a value expression in the printer's fully-parenthesized
+// form.
+func (p *parser) expression() (ir.Expr, error) {
+	switch t := p.peek(); {
+	case t == "(":
+		p.next()
+		if p.peek() == "-" {
+			p.next()
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return ir.Un{Op: ir.OpNeg, X: x}, nil
+		}
+		l, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		var op ir.BinOp
+		switch opTok {
+		case "+":
+			op = ir.OpAdd
+		case "-":
+			op = ir.OpSub
+		case "*":
+			op = ir.OpMul
+		case "/":
+			op = ir.OpDiv
+		default:
+			return nil, fmt.Errorf("bad operator %q", opTok)
+		}
+		r, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return ir.Bin{Op: op, L: l, R: r}, nil
+	case t == "real":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		a, err := p.affine(map[string]bool{")": true})
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return ir.IVal{A: a}, nil
+	case t == "min" || t == "max":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		l, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		r, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		op := ir.OpMin
+		if t == "max" {
+			op = ir.OpMax
+		}
+		return ir.Bin{Op: op, L: l, R: r}, nil
+	case t == "abs" || t == "sqrt":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		op := ir.OpAbs
+		if t == "sqrt" {
+			op = ir.OpSqrt
+		}
+		return ir.Un{Op: op, X: x}, nil
+	case t == "-":
+		// Negative numeric literal (%g prints the sign inline).
+		p.next()
+		num := p.next()
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number -%q", num)
+		}
+		return ir.Num{V: -v}, nil
+	case isNumberTok(t):
+		p.next()
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t)
+		}
+		return ir.Num{V: v}, nil
+	case isIdentStart(t):
+		r, err := p.ref()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Load{Ref: r}, nil
+	default:
+		return nil, fmt.Errorf("unexpected token %q in expression", t)
+	}
+}
+
+// affine parses a linear expression, stopping at any token in stop or at
+// the end of the source line it started on (loop bounds carry no closing
+// delimiter).
+func (p *parser) affine(stop map[string]bool) (expr.Affine, error) {
+	acc := expr.Const(0)
+	sign := int64(1)
+	first := true
+	line0 := -1
+	if p.pos < len(p.toks) {
+		line0 = p.toks[p.pos].line
+	}
+	for {
+		t := p.peek()
+		if t != "" && p.pos < len(p.toks) && p.toks[p.pos].line != line0 && !first {
+			return acc, nil
+		}
+		if t == "" || stop[t] {
+			if first {
+				return acc, fmt.Errorf("empty affine expression")
+			}
+			return acc, nil
+		}
+		switch t {
+		case "+":
+			sign = 1
+			p.next()
+			continue
+		case "-":
+			sign = -1
+			p.next()
+			continue
+		}
+		// term: number ['*' ident] | ident
+		if isNumberTok(t) {
+			p.next()
+			k, err := strconv.ParseInt(t, 10, 64)
+			if err != nil {
+				return acc, fmt.Errorf("bad integer %q in affine expression", t)
+			}
+			if p.peek() == "*" {
+				p.next()
+				v := p.next()
+				if !isIdentStart(v) {
+					return acc, fmt.Errorf("expected variable after %d*", k)
+				}
+				acc = acc.Add(expr.Scaled(v, sign*k))
+			} else {
+				acc = acc.AddConst(sign * k)
+			}
+		} else if isIdentStart(t) {
+			p.next()
+			acc = acc.Add(expr.Scaled(t, sign))
+		} else {
+			return acc, fmt.Errorf("unexpected token %q in affine expression", t)
+		}
+		sign = 1
+		first = false
+	}
+}
+
+func (p *parser) int64Tok() (int64, error) {
+	t := p.next()
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expected integer, got %q", t)
+	}
+	return v, nil
+}
+
+func isNumberTok(t string) bool {
+	return t != "" && (t[0] >= '0' && t[0] <= '9' || t[0] == '.')
+}
+
+func isIdentStart(t string) bool {
+	return t != "" && (t[0] == '_' || t[0] >= 'a' && t[0] <= 'z' || t[0] >= 'A' && t[0] <= 'Z')
+}

@@ -1,0 +1,163 @@
+package parse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/progen"
+	"repro/internal/workloads"
+)
+
+const simpleSrc = `
+program demo
+  param N = 16
+  real A(16)  ! shared, dist=block
+  real C(16)  ! shared, dist=block
+  real T(4)  ! private
+routine main
+  doall[static] i = 0, N - 1 align=16
+    A(i) = real(i)
+  enddo
+  doall[static] j = 0, 15
+    C(j) = (A(-j + 15) * 2)
+  enddo
+  T(0) = 1.5
+end
+`
+
+func TestParseSimpleProgram(t *testing.T) {
+	p, err := Program(simpleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || p.Params["N"] != 16 {
+		t.Errorf("header: name=%q params=%v", p.Name, p.Params)
+	}
+	a := p.ArrayByName("A")
+	if a == nil || !a.Shared || a.Dist != ir.DistBlock || a.Dims[0] != 16 {
+		t.Fatalf("array A = %+v", a)
+	}
+	if tp := p.ArrayByName("T"); tp == nil || tp.Shared {
+		t.Fatalf("array T = %+v", tp)
+	}
+	body := p.MainRoutine().Body
+	if len(body) != 3 {
+		t.Fatalf("main has %d statements", len(body))
+	}
+	l0 := body[0].(*ir.Loop)
+	if !l0.Parallel || l0.AlignExtent != 16 || !l0.Hi.Equal(ir.I("N").AddConst(-1)) {
+		t.Errorf("loop 0 = %+v", l0)
+	}
+}
+
+func TestParsedProgramExecutes(t *testing.T) {
+	p, err := Program(simpleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(p, core.ModeCCDP, machine.T3D(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(c, exec.Options{FailOnStale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := res.Mem.ArrayData(p.ArrayByName("C"))
+	for j := int64(0); j < 16; j++ {
+		if data[j] != float64(15-j)*2 {
+			t.Fatalf("C[%d] = %v", j, data[j])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantErr string
+	}{
+		{"routine main\nend", "expected \"program\""},
+		{"program p\nroutine main\n  x = (1 +\nend", "expected \")\""},
+		{"program p\nroutine main\n  A(0) = 1\nend", "undeclared array"},
+		{"program p\nroutine main\n  do i = , 5\n  enddo\nend", "empty affine"},
+		{"program p\nroutine main\n  prefetch x\nend", "compiler output"},
+		{"program p\n  real A(4)  ! sharedish\nroutine main\n  x = 1\nend", "unknown array attribute"},
+		{"program p", "no routines"},
+		{"program p\nroutine main\n  if (x ~ 1) then\n  endif\nend", "comparison"},
+	}
+	for _, tc := range cases {
+		_, err := Program(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("src %q: err = %v, want %q", tc.src, err, tc.wantErr)
+		}
+	}
+}
+
+// Round trip: Format(parse(Format(p))) == Format(p) for every workload
+// source program.
+func TestRoundTripWorkloads(t *testing.T) {
+	for _, s := range workloads.Small() {
+		text := ir.Format(s.Prog)
+		parsed, err := Program(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", s.Name, err, text)
+		}
+		if got := ir.Format(parsed); got != text {
+			t.Errorf("%s: round trip differs\n--- printed:\n%s\n--- reparsed:\n%s", s.Name, text, got)
+		}
+	}
+}
+
+// Property: round trip over the random program corpus.
+func TestPropRoundTripRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.Generate(rand.New(rand.NewSource(seed)), progen.DefaultConfig())
+		text := ir.Format(p)
+		parsed, err := Program(text)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, text)
+		}
+		if got := ir.Format(parsed); got != text {
+			t.Fatalf("seed %d: round trip differs\n--- printed:\n%s\n--- reparsed:\n%s", seed, text, got)
+		}
+	}
+}
+
+// Parsed programs behave identically to their originals.
+func TestPropParsedProgramsEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := progen.Generate(rand.New(rand.NewSource(seed+100)), progen.DefaultConfig())
+		parsed, err := Program(ir.Format(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(prog *ir.Program) *exec.Result {
+			c, err := core.Compile(prog, core.ModeCCDP, machine.T3D(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := exec.Run(c, exec.Options{FailOnStale: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		r1, r2 := run(p), run(parsed)
+		if r1.Cycles != r2.Cycles {
+			t.Errorf("seed %d: cycles differ: %d vs %d", seed, r1.Cycles, r2.Cycles)
+		}
+		for _, arr := range p.Arrays {
+			d1 := r1.Mem.ArrayData(arr)
+			d2 := r2.Mem.ArrayData(parsed.ArrayByName(arr.Name))
+			for i := range d1 {
+				if d1[i] != d2[i] {
+					t.Fatalf("seed %d: %s[%d] differs", seed, arr.Name, i)
+				}
+			}
+		}
+	}
+}

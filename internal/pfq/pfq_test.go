@@ -1,0 +1,66 @@
+package pfq
+
+import "testing"
+
+func TestIssueTakeFIFO(t *testing.T) {
+	q := New(4)
+	for i := int64(0); i < 4; i++ {
+		if !q.Issue(Entry{Addr: 100 + i, Val: float64(i), ReadyAt: i}) {
+			t.Fatalf("issue %d failed", i)
+		}
+	}
+	if q.Len() != 4 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	e, ok := q.Take(102)
+	if !ok || e.Val != 2 {
+		t.Errorf("Take = %+v %v", e, ok)
+	}
+	if q.Len() != 3 {
+		t.Errorf("len after take = %d", q.Len())
+	}
+	if _, ok := q.Take(102); ok {
+		t.Error("double take succeeded")
+	}
+}
+
+func TestDropOnFull(t *testing.T) {
+	q := New(2)
+	q.Issue(Entry{Addr: 1})
+	q.Issue(Entry{Addr: 2})
+	if q.Issue(Entry{Addr: 3}) {
+		t.Error("issue into full queue accepted")
+	}
+	if q.Dropped != 1 || q.Issued != 2 {
+		t.Errorf("dropped=%d issued=%d", q.Dropped, q.Issued)
+	}
+}
+
+func TestDuplicateAddrTakesOldest(t *testing.T) {
+	q := New(4)
+	q.Issue(Entry{Addr: 5, Val: 1})
+	q.Issue(Entry{Addr: 5, Val: 2})
+	e, _ := q.Take(5)
+	if e.Val != 1 {
+		t.Errorf("took %v, want oldest", e.Val)
+	}
+}
+
+func TestFlushCountsUnused(t *testing.T) {
+	q := New(4)
+	q.Issue(Entry{Addr: 1})
+	q.Issue(Entry{Addr: 2})
+	q.Take(1)
+	if n := q.Flush(); n != 1 {
+		t.Errorf("flushed %d, want 1", n)
+	}
+	if q.Len() != 0 {
+		t.Error("queue not empty after flush")
+	}
+	// Capacity restored.
+	for i := int64(0); i < 4; i++ {
+		if !q.Issue(Entry{Addr: i}) {
+			t.Fatal("capacity not restored after flush")
+		}
+	}
+}

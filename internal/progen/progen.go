@@ -1,0 +1,225 @@
+// Package progen generates random well-formed epoch programs for
+// property-based testing of the CCDP pipeline. Generated programs respect
+// the paper's execution model by construction — DOALL iterations write
+// disjoint elements (each epoch writes W(i) at its own iteration index),
+// and an epoch never reads what another task of the same epoch writes —
+// while exercising the analysis and scheduler with randomized read offsets
+// (halo crossings), time-step loops (epoch-graph back edges), inner serial
+// loops, conditional reads, serial epochs, and dynamic scheduling.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+)
+
+// Config bounds the generated programs.
+type Config struct {
+	MaxArrays    int // number of shared arrays (min 3)
+	MaxEpochs    int // epochs per program segment (min 2)
+	MaxOffset    int // |read offset| bound
+	MaxTimeSteps int // iterations of an optional enclosing time loop
+}
+
+// DefaultConfig is used by the property tests.
+func DefaultConfig() Config {
+	return Config{MaxArrays: 5, MaxEpochs: 5, MaxOffset: 3, MaxTimeSteps: 3}
+}
+
+// Generate builds one random program. Deterministic per rng state.
+func Generate(rng *rand.Rand, cfg Config) *ir.Program {
+	if cfg.MaxArrays < 3 {
+		cfg.MaxArrays = 3
+	}
+	if cfg.MaxEpochs < 2 {
+		cfg.MaxEpochs = 2
+	}
+	n := int64(32 + 8*rng.Intn(4)) // 32..56 elements
+	b := ir.NewBuilder(fmt.Sprintf("progen-%d", rng.Int63()))
+
+	numArrays := 3 + rng.Intn(cfg.MaxArrays-2)
+	arrays := make([]*ir.Array, numArrays)
+	twoD := rng.Intn(3) == 0 // a third of programs use 2-D matrices
+	rows := int64(8 + 4*rng.Intn(3))
+	for k := range arrays {
+		if twoD {
+			arrays[k] = b.SharedArray(fmt.Sprintf("A%d", k), rows, n)
+		} else {
+			arrays[k] = b.SharedArray(fmt.Sprintf("A%d", k), n)
+		}
+	}
+
+	g := &gen{rng: rng, cfg: cfg, n: n, rows: rows, twoD: twoD, arrays: arrays, vars: 0}
+
+	var body []ir.Stmt
+	// Initialization epoch: every array gets distinct nonlinear values so
+	// stale reads change results.
+	iv := g.freshVar()
+	var inits []ir.Stmt
+	for k, a := range arrays {
+		val := ir.Add(ir.Mul(ir.IV(ir.I(iv)), ir.IV(ir.I(iv).AddConst(int64(k+1)))), ir.N(float64(k)))
+		if twoD {
+			rv := g.freshVar()
+			inits = append(inits, ir.DoSerial(rv, ir.K(0), ir.K(rows-1),
+				ir.Set(ir.At(a, ir.I(rv), ir.I(iv)),
+					ir.Add(ir.Mul(ir.IV(ir.I(rv)), val), ir.IV(ir.I(iv))))))
+		} else {
+			inits = append(inits, ir.Set(ir.At(a, ir.I(iv)), val))
+		}
+	}
+	body = append(body, g.doall(iv, 0, n-1, inits))
+
+	// Optionally wrap the main epochs in a time-step loop (back edge).
+	epochs := g.epochs(2 + rng.Intn(cfg.MaxEpochs-1))
+	if cfg.MaxTimeSteps > 1 && rng.Intn(2) == 0 {
+		steps := int64(2 + rng.Intn(cfg.MaxTimeSteps-1))
+		tv := g.freshVar()
+		body = append(body, ir.DoSerial(tv, ir.K(1), ir.K(steps), epochs...))
+	} else {
+		body = append(body, epochs...)
+	}
+	// Occasionally a trailing epoch after the loop.
+	if rng.Intn(2) == 0 {
+		body = append(body, g.epochs(1)...)
+	}
+
+	b.Routine("main", body...)
+	return b.Build()
+}
+
+type gen struct {
+	rng    *rand.Rand
+	cfg    Config
+	n      int64 // extent of the distributed (last) dimension
+	rows   int64 // extent of the first dimension (2-D programs)
+	twoD   bool
+	arrays []*ir.Array
+	vars   int
+}
+
+// at builds a reference at the given column subscript; 2-D programs add a
+// row subscript (a fixed in-bounds row, or the named row variable).
+func (g *gen) at(a *ir.Array, col expr.Affine, rowVar string) *ir.Ref {
+	if !g.twoD {
+		return ir.At(a, col)
+	}
+	if rowVar != "" {
+		return ir.At(a, ir.I(rowVar), col)
+	}
+	return ir.At(a, ir.K(g.rng.Int63n(g.rows)), col)
+}
+
+func (g *gen) freshVar() string {
+	g.vars++
+	return fmt.Sprintf("v%d", g.vars)
+}
+
+// epochs generates count epoch-level statements.
+func (g *gen) epochs(count int) []ir.Stmt {
+	var out []ir.Stmt
+	for e := 0; e < count; e++ {
+		switch g.rng.Intn(10) {
+		case 0:
+			out = append(out, g.serialEpoch())
+		case 1:
+			out = append(out, g.dynamicEpoch())
+		default:
+			out = append(out, g.parallelEpoch())
+		}
+	}
+	return out
+}
+
+// pickWriteAndReads chooses a write array and read arrays different from it
+// (so no epoch reads what its own tasks write at other indices).
+func (g *gen) pickWriteAndReads() (*ir.Array, []*ir.Array) {
+	w := g.arrays[g.rng.Intn(len(g.arrays))]
+	var reads []*ir.Array
+	for k := 0; k < 1+g.rng.Intn(3); k++ {
+		r := g.arrays[g.rng.Intn(len(g.arrays))]
+		if r != w {
+			reads = append(reads, r)
+		}
+	}
+	if len(reads) == 0 {
+		for _, a := range g.arrays {
+			if a != w {
+				reads = append(reads, a)
+				break
+			}
+		}
+	}
+	return w, reads
+}
+
+// bodyStmts builds the statements of one iteration: W(...,i) = f(reads at
+// column i+delta). 2-D programs pick fixed rows per reference site, keeping
+// per-iteration write sets disjoint across columns.
+func (g *gen) bodyStmts(iv string, w *ir.Array, reads []*ir.Array) []ir.Stmt {
+	off := func() int64 { return int64(g.rng.Intn(2*g.cfg.MaxOffset+1) - g.cfg.MaxOffset) }
+	rhs := ir.Expr(ir.N(float64(1 + g.rng.Intn(5))))
+	for _, r := range reads {
+		load := ir.L(g.at(r, ir.I(iv).AddConst(off()), ""))
+		if g.rng.Intn(2) == 0 {
+			rhs = ir.Add(rhs, load)
+		} else {
+			rhs = ir.Add(ir.Mul(rhs, ir.N(0.5)), load)
+		}
+	}
+	wref := g.at(w, ir.I(iv), "")
+	stmts := []ir.Stmt{ir.Set(wref, rhs)}
+
+	switch g.rng.Intn(6) {
+	case 0:
+		// Inner serial loop accumulating more reads (exercises case 1).
+		kv := g.freshVar()
+		r := reads[0]
+		stmts = append(stmts, ir.DoSerial(kv, ir.K(0), ir.K(2),
+			ir.Set(wref.Clone(),
+				ir.Add(ir.L(wref.Clone()),
+					ir.Mul(ir.N(0.25), ir.L(g.at(r, ir.I(iv).Add(ir.I(kv)).AddConst(-1), "")))))))
+	case 1:
+		// Conditional extra update (exercises may-writes and case 5/6).
+		r := reads[0]
+		stmts = append(stmts, ir.When(
+			ir.CondOf(ir.CmpLT, ir.L(g.at(r, ir.I(iv), "")), ir.N(float64(g.rng.Intn(2000)))),
+			[]ir.Stmt{ir.Set(wref.Clone(),
+				ir.Mul(ir.L(wref.Clone()), ir.N(1.0625)))}, nil))
+	}
+	return stmts
+}
+
+func (g *gen) loopBounds() (int64, int64) {
+	lo := int64(g.cfg.MaxOffset + 1)
+	hi := g.n - int64(g.cfg.MaxOffset) - 2
+	return lo, hi
+}
+
+func (g *gen) doall(iv string, lo, hi int64, body []ir.Stmt) *ir.Loop {
+	l := ir.DoAllAligned(iv, ir.K(lo), ir.K(hi), g.n, body...)
+	return l
+}
+
+func (g *gen) parallelEpoch() ir.Stmt {
+	w, reads := g.pickWriteAndReads()
+	iv := g.freshVar()
+	lo, hi := g.loopBounds()
+	return g.doall(iv, lo, hi, g.bodyStmts(iv, w, reads))
+}
+
+func (g *gen) dynamicEpoch() ir.Stmt {
+	w, reads := g.pickWriteAndReads()
+	iv := g.freshVar()
+	lo, hi := g.loopBounds()
+	return ir.DoAllDynamic(iv, ir.K(lo), ir.K(hi), g.bodyStmts(iv, w, reads)...)
+}
+
+func (g *gen) serialEpoch() ir.Stmt {
+	w, reads := g.pickWriteAndReads()
+	iv := g.freshVar()
+	lo, hi := g.loopBounds()
+	return ir.DoSerial(iv, ir.K(lo), ir.K(hi), g.bodyStmts(iv, w, reads)...)
+}

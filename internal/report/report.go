@@ -1,0 +1,89 @@
+// Package report renders the paper's tables from harness results.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// Table1 renders speedups over sequential execution time for the BASE and
+// CCDP versions (paper Table 1).
+func Table1(results []*harness.AppResult) string {
+	var b strings.Builder
+	b.WriteString("Table 1. Speedups over sequential execution time.\n\n")
+	fmt.Fprintf(&b, "%6s", "#PEs")
+	for _, ar := range results {
+		fmt.Fprintf(&b, " | %8s %8s", ar.Name+":BASE", "CCDP")
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 6+len(results)*21) + "\n")
+	if len(results) == 0 {
+		return b.String()
+	}
+	for i := range results[0].Rows {
+		fmt.Fprintf(&b, "%6d", results[0].Rows[i].PEs)
+		for _, ar := range results {
+			r := ar.Rows[i]
+			fmt.Fprintf(&b, " | %8.2f %8.2f", r.BaseSpeedup, r.CCDPSpeedup)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table2 renders the percentage improvement in execution time of the CCDP
+// codes over the BASE codes (paper Table 2).
+func Table2(results []*harness.AppResult) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Improvement in execution time of CCDP codes over BASE codes.\n\n")
+	fmt.Fprintf(&b, "%6s", "#PEs")
+	for _, ar := range results {
+		fmt.Fprintf(&b, " | %8s", ar.Name)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 6+len(results)*11) + "\n")
+	if len(results) == 0 {
+		return b.String()
+	}
+	for i := range results[0].Rows {
+		fmt.Fprintf(&b, "%6d", results[0].Rows[i].PEs)
+		for _, ar := range results {
+			fmt.Fprintf(&b, " | %7.2f%%", ar.Rows[i].Improvement)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Details renders per-configuration cycle counts and key metrics for one
+// application (diagnostics beyond the paper's tables).
+func Details(ar *harness.AppResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: sequential %d cycles\n", ar.Name, ar.SeqCycles)
+	fmt.Fprintf(&b, "%4s %14s %14s %8s %10s %10s %10s %10s\n",
+		"PEs", "BASE cycles", "CCDP cycles", "improv", "hits", "remote", "pf", "vector-w")
+	for _, r := range ar.Rows {
+		fmt.Fprintf(&b, "%4d %14d %14d %7.2f%% %10d %10d %10d %10d\n",
+			r.PEs, r.BaseCycles, r.CCDPCycles, r.Improvement,
+			r.CCDPStats.Hits, r.CCDPStats.RemoteReads,
+			r.CCDPStats.PrefetchIssued, r.CCDPStats.VectorWords)
+	}
+	return b.String()
+}
+
+// CSV renders both tables' data in machine-readable form: one row per
+// (application, PE count) with cycles, speedups and improvement.
+func CSV(results []*harness.AppResult) string {
+	var b strings.Builder
+	b.WriteString("app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct\n")
+	for _, ar := range results {
+		for _, r := range ar.Rows {
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f\n",
+				ar.Name, r.PEs, ar.SeqCycles, r.BaseCycles, r.CCDPCycles,
+				r.BaseSpeedup, r.CCDPSpeedup, r.Improvement)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func fakeResults() []*harness.AppResult {
+	mk := func(name string, rows ...harness.Row) *harness.AppResult {
+		return &harness.AppResult{Name: name, SeqCycles: 1000, Rows: rows}
+	}
+	return []*harness.AppResult{
+		mk("ALPHA",
+			harness.Row{PEs: 1, BaseCycles: 2000, CCDPCycles: 1000, BaseSpeedup: 0.5, CCDPSpeedup: 1.0, Improvement: 50},
+			harness.Row{PEs: 4, BaseCycles: 600, CCDPCycles: 300, BaseSpeedup: 1.67, CCDPSpeedup: 3.33, Improvement: 50}),
+		mk("BETA",
+			harness.Row{PEs: 1, BaseCycles: 1100, CCDPCycles: 1050, BaseSpeedup: 0.91, CCDPSpeedup: 0.95, Improvement: 4.5},
+			harness.Row{PEs: 4, BaseCycles: 280, CCDPCycles: 270, BaseSpeedup: 3.57, CCDPSpeedup: 3.70, Improvement: 3.6}),
+	}
+}
+
+func TestTable1Layout(t *testing.T) {
+	out := Table1(fakeResults())
+	if !strings.Contains(out, "Speedups over sequential") {
+		t.Error("missing caption")
+	}
+	for _, want := range []string{"ALPHA", "BETA", "0.50", "3.33", "3.70"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// caption, blank, header, rule, 2 data rows
+	if len(lines) != 6 {
+		t.Errorf("Table1 has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTable2Layout(t *testing.T) {
+	out := Table2(fakeResults())
+	for _, want := range []string{"Improvement", "50.00%", "4.50%", "3.60%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDetailsLayout(t *testing.T) {
+	ar := fakeResults()[0]
+	ar.Rows[0].CCDPStats = stats.Stats{Hits: 42, RemoteReads: 7}
+	out := Details(ar)
+	for _, want := range []string{"ALPHA", "sequential 1000", "42", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Details missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyResults(t *testing.T) {
+	if out := Table1(nil); !strings.Contains(out, "Speedups") {
+		t.Errorf("empty Table1:\n%s", out)
+	}
+	if out := Table2(nil); !strings.Contains(out, "Improvement") {
+		t.Errorf("empty Table2:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(fakeResults())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("CSV rows = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "app,pes,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "ALPHA,1,1000,2000,1000,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,487 @@
+// Package sched implements the prefetch scheduling algorithm of paper §4.3
+// (Figure 2). For every inner loop or serial code segment containing
+// prefetch targets it picks a scheduling technique:
+//
+//   - Vector Prefetch Generation (VPG): Gornish-style pulling of an array
+//     reference out of a loop, one level at a time, capped by the cache and
+//     prefetch-queue capacity; realized on the T3D with shmem_get.
+//   - Software Pipelining (SP): Mowry-style prefetching `ahead` iterations
+//     in advance, the distance computed from the static cost model and
+//     clamped to a tunable range; dropped when the 16-word prefetch queue
+//     would overflow.
+//   - Moving Back Prefetches (MBP): dependence-limited backward motion of a
+//     single prefetch, bounded by a tunable useful-distance window, and
+//     restricted at if-statement boundaries.
+//
+// Technique order per region follows the paper's six cases:
+//
+//	case 1: serial inner loop           — VPG, SP, MBP (SP, MBP if bounds unknown)
+//	case 2: static DOALL inner loop     — VPG, MBP     (MBP if bounds unknown)
+//	case 3: dynamic DOALL inner loop    — MBP
+//	case 4: serial code segment         — MBP
+//	case 5: loop containing ifs         — MBP, not crossing branch boundaries
+//	case 6: region inside an if branch  — cases 1–4 confined to the branch
+//
+// Targets for which every technique fails are demoted to bypass-cache
+// fetches (paper §3.2).
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/depend"
+	"repro/internal/ir"
+	"repro/internal/locality"
+	"repro/internal/machine"
+	"repro/internal/stale"
+	"repro/internal/target"
+)
+
+// Technique identifies how a target was scheduled.
+type Technique int
+
+const (
+	// TechNone: no technique applied; the read becomes a bypass fetch.
+	TechNone Technique = iota
+	// TechVPG: vector prefetch generation.
+	TechVPG
+	// TechSP: software pipelining.
+	TechSP
+	// TechMBP: moving back prefetches.
+	TechMBP
+)
+
+func (t Technique) String() string {
+	switch t {
+	case TechVPG:
+		return "VPG"
+	case TechSP:
+		return "SP"
+	case TechMBP:
+		return "MBP"
+	default:
+		return "bypass"
+	}
+}
+
+// Decision records the scheduling outcome for one prefetch target.
+type Decision struct {
+	Ref       *ir.Ref
+	Case      int
+	Technique Technique
+	Ahead     int64  // SP: iterations of lead distance
+	MovedBack int64  // MBP: estimated cycles of motion
+	Words     int64  // VPG: words per vector prefetch
+	Hoisted   bool   // VPG: placed in the enclosing DOALL's prologue
+	Reason    string // why the target was bypassed (TechNone)
+}
+
+// Result is the scheduler output.
+type Result struct {
+	Decisions []Decision
+	// Counts by technique.
+	NumVPG, NumSP, NumMBP, NumBypass int
+}
+
+type insertion struct {
+	owner *[]ir.Stmt
+	index int
+	stmt  ir.Stmt
+}
+
+type scheduler struct {
+	prog    *ir.Program
+	mp      machine.Params
+	model   *cost.Model
+	params  map[string]int64
+	pending []insertion
+	res     *Result
+}
+
+// Schedule runs Figure 2 over the program, mutating it in place: stale
+// reads get their Stale/Bypass/Prefetched flags, prefetch statements and
+// annotations are inserted. The program must afterwards be re-finalized by
+// the caller. sres/tres must have been computed on this same program value.
+func Schedule(prog *ir.Program, sres *stale.Result, tres *target.Result, mp machine.Params) *Result {
+	s := &scheduler{
+		prog:   prog,
+		mp:     mp,
+		model:  cost.NewModel(mp, prog),
+		params: prog.Params,
+		res:    &Result{},
+	}
+
+	// Mark every potentially-stale read; targets additionally get
+	// scheduled, non-targets stay normal reads (coherent via the
+	// epoch-boundary invalidation).
+	for id := range sres.StaleReads {
+		prog.Ref(id).Stale = true
+	}
+
+	regions := ir.Regions(prog)
+	for _, reg := range regions {
+		var targets []*ir.Ref
+		reads, _ := reg.RefsIn()
+		seen := map[ir.RefID]bool{}
+		for _, r := range reads {
+			if tres.Targets[r.ID] && !seen[r.ID] {
+				targets = append(targets, r)
+				seen[r.ID] = true
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+		s.scheduleRegion(reg, targets)
+	}
+	s.applyInsertions()
+	return s.res
+}
+
+// scheduleRegion dispatches one region's targets per the Figure 2 cases.
+func (s *scheduler) scheduleRegion(reg *ir.Region, targets []*ir.Ref) {
+	queueAvail := s.mp.PrefetchQueueWords
+	caseNum, techniques := classify(s.prog, reg)
+	if reg.InIf {
+		caseNum = 6
+	}
+	for _, t := range targets {
+		d := Decision{Ref: t, Case: caseNum, Technique: TechNone}
+		for _, tech := range techniques {
+			ok := false
+			switch tech {
+			case TechVPG:
+				ok = s.tryVPG(reg, t, &d)
+			case TechSP:
+				ok = s.trySP(reg, t, &queueAvail, &d)
+			case TechMBP:
+				ok = s.tryMBP(reg, t, &d)
+			}
+			if ok {
+				d.Technique = tech
+				break
+			}
+		}
+		switch d.Technique {
+		case TechVPG:
+			s.res.NumVPG++
+			t.Prefetched = true
+		case TechSP:
+			s.res.NumSP++
+			t.Prefetched = true
+		case TechMBP:
+			s.res.NumMBP++
+			t.Prefetched = true
+		default:
+			s.res.NumBypass++
+			t.Bypass = true
+			if d.Reason == "" {
+				d.Reason = "no applicable technique"
+			}
+		}
+		s.res.Decisions = append(s.res.Decisions, d)
+	}
+}
+
+// classify maps a region to its Figure 2 case and technique order.
+func classify(prog *ir.Program, reg *ir.Region) (int, []Technique) {
+	if !reg.IsLoop() {
+		return 4, []Technique{TechMBP} // serial code section
+	}
+	l := reg.Loop
+	if ir.LoopContainsIf(l) {
+		return 5, []Technique{TechMBP}
+	}
+	if l.Parallel {
+		if l.Sched == ir.SchedDynamic {
+			return 3, []Technique{TechMBP}
+		}
+		if l.BoundsKnown {
+			return 2, []Technique{TechVPG, TechMBP}
+		}
+		return 2, []Technique{TechMBP}
+	}
+	if l.BoundsKnown {
+		return 1, []Technique{TechVPG, TechSP, TechMBP}
+	}
+	return 1, []Technique{TechSP, TechMBP}
+}
+
+// regionBounds returns (shared, inner) bounds: enclosing-loop variables are
+// shared symbolic values (fixed per region instance); the region loop's own
+// variable ranges over its full extent in inner.
+func (s *scheduler) regionBounds(reg *ir.Region) (shared, inner depend.Bounds, ok bool) {
+	shared = depend.NewBounds()
+	for _, l := range reg.Enclosing {
+		var k bool
+		shared, k = shared.WithLoop(l, s.params)
+		if !k {
+			return shared, inner, false
+		}
+	}
+	inner = depend.NewBounds()
+	if reg.IsLoop() {
+		var k bool
+		inner, k = inner.WithLoop(reg.Loop, s.params)
+		if !k {
+			// Bound by the shared environment (triangular on enclosing).
+			merged := shared.Clone()
+			inner, k = merged.WithLoop(reg.Loop, s.params)
+			if !k {
+				return shared, inner, false
+			}
+			inner = depend.NewBounds().With(reg.Loop.Var, inner.Lo[reg.Loop.Var], inner.Hi[reg.Loop.Var])
+		}
+	}
+	return shared, inner, true
+}
+
+// tryVPG attempts vector prefetch generation for target t in loop region
+// reg (cases 1 and 2).
+func (s *scheduler) tryVPG(reg *ir.Region, t *ir.Ref, d *Decision) bool {
+	l := reg.Loop
+	addr, okA := locality.AddrExpr(t)
+	if !okA || addr.Coef(l.Var) == 0 {
+		return false // loop-invariant: a vector of one word is not a vector
+	}
+	shared, inner, okB := s.regionBounds(reg)
+	if !okB {
+		return false
+	}
+	// Legality: no write inside the loop may produce the value being
+	// pulled out.
+	if depend.AnyWriteMayConflict(l.Body, t, inner, shared, s.params) {
+		return false
+	}
+	trip, okT := ir.TripCount(s.prog, l)
+	if !okT {
+		return false
+	}
+	words := trip
+	if l.Parallel {
+		// Per-PE vector over the PE's block chunk.
+		words = (trip + int64(s.mp.NumPE) - 1) / int64(s.mp.NumPE)
+	}
+	// Hardware constraints: one vector must fit the configured cache
+	// fraction and must not dwarf the cache (paper §4.3.1).
+	if words > s.mp.VectorMaxWords || words > s.mp.CacheWords {
+		return false
+	}
+	vp := &ir.VectorPrefetch{
+		Target:  t.Clone(),
+		LoopVar: l.Var,
+		Lo:      l.Lo, Hi: l.Hi, Step: l.Step,
+		Words: words,
+	}
+	vp.Target.Stale = false
+	vp.Target.Prefetched = false
+
+	if l.Parallel {
+		// Case 2: the DOALL is the epoch; its prologue runs per PE after
+		// the epoch-boundary invalidation.
+		l.Prologue = append(l.Prologue, vp)
+		d.Hoisted = true
+	} else if !reg.InIf && len(reg.Enclosing) > 0 {
+		// Case 1 with hoisting: if the vector is invariant in the
+		// immediately-enclosing DOALL variable, issue it once per PE in the
+		// DOALL prologue instead of once per enclosing iteration.
+		encl := reg.Enclosing[len(reg.Enclosing)-1]
+		if encl.Parallel && addr.Coef(encl.Var) == 0 && !l.Lo.DependsOn(encl.Var) && !l.Hi.DependsOn(encl.Var) {
+			encl.Prologue = append(encl.Prologue, vp)
+			d.Hoisted = true
+		} else {
+			s.pending = append(s.pending, insertion{owner: reg.Owner, index: reg.Index, stmt: vp})
+		}
+	} else {
+		s.pending = append(s.pending, insertion{owner: reg.Owner, index: reg.Index, stmt: vp})
+	}
+	d.Words = words
+	return true
+}
+
+// trySP attempts software pipelining for target t in serial inner loop reg
+// (case 1).
+func (s *scheduler) trySP(reg *ir.Region, t *ir.Ref, queueAvail *int, d *Decision) bool {
+	l := reg.Loop
+	if l.Parallel || ir.LoopContainsCall(l) {
+		return false
+	}
+	addr, okA := locality.AddrExpr(t)
+	if !okA || addr.Coef(l.Var) == 0 {
+		return false // invariant data: nothing to pipeline
+	}
+	shared, inner, okB := s.regionBounds(reg)
+	if !okB {
+		return false
+	}
+	if depend.AnyWriteMayConflict(l.Body, t, inner, shared, s.params) {
+		return false
+	}
+	ahead := s.model.AheadIterations(l)
+	// Queue constraint: each stream keeps up to `ahead` single-word
+	// prefetches outstanding; drop when the 16-word queue would overflow.
+	if int64(*queueAvail) < ahead {
+		d.Reason = "prefetch queue exhausted"
+		return false
+	}
+	*queueAvail -= int(ahead)
+	l.Pipelined = append(l.Pipelined, ir.PipelinedPrefetch{Target: cleanClone(t), Ahead: ahead})
+	d.Ahead = ahead
+	return true
+}
+
+// tryMBP attempts moving-back scheduling for target t (all cases).
+func (s *scheduler) tryMBP(reg *ir.Region, t *ir.Ref, d *Decision) bool {
+	shared, inner, okB := s.regionBounds(reg)
+	if !okB {
+		return false
+	}
+	// Inside a loop body, the loop variable is fixed for the instance being
+	// prefetched: it joins the shared set.
+	if reg.IsLoop() {
+		shared = shared.With(reg.Loop.Var, inner.Lo[reg.Loop.Var], inner.Hi[reg.Loop.Var])
+	}
+
+	list, useIdx, lo := s.findUse(reg, t)
+	if list == nil {
+		return false
+	}
+
+	// Walk back from the use accumulating distance, stopping at a
+	// potentially conflicting write, the region/branch start, or the
+	// maximum useful distance.
+	insertAt := useIdx
+	var dist int64
+	for i := useIdx - 1; i >= lo; i-- {
+		st := (*list)[i]
+		// Both the moved prefetch and the crossed statement execute in the
+		// same dynamic instance, so every in-scope variable is shared.
+		if depend.StmtMayWriteRef(st, t, depend.NewBounds(), shared, s.params) {
+			break
+		}
+		c := s.model.Stmt(st)
+		if dist+c > s.mp.MaxMoveBackCycles {
+			break
+		}
+		dist += c
+		insertAt = i
+	}
+	if dist < s.mp.MinMoveBackCycles {
+		d.Reason = fmt.Sprintf("move-back distance %d below minimum %d", dist, s.mp.MinMoveBackCycles)
+		return false
+	}
+	pf := &ir.Prefetch{Target: cleanClone(t), MovedBack: dist}
+	s.pending = append(s.pending, insertion{owner: list, index: insertAt, stmt: pf})
+	d.MovedBack = dist
+	return true
+}
+
+// findUse locates the statement list directly containing the statement that
+// uses t, the statement's index, and the lowest index motion may reach
+// (region start, or branch start for uses inside if branches — paper
+// case 5/6 restrictions).
+func (s *scheduler) findUse(reg *ir.Region, t *ir.Ref) (list *[]ir.Stmt, idx, lo int) {
+	var searchList func(ss *[]ir.Stmt, from, to int) (*[]ir.Stmt, int, int)
+	searchList = func(ss *[]ir.Stmt, from, to int) (*[]ir.Stmt, int, int) {
+		for i := from; i < to; i++ {
+			switch st := (*ss)[i].(type) {
+			case *ir.Assign:
+				if exprUsesRef(st.RHS, t) || st.LHS == t {
+					return ss, i, from
+				}
+			case *ir.If:
+				if exprUsesRef(st.Cond.L, t) || exprUsesRef(st.Cond.R, t) {
+					return ss, i, from
+				}
+				if l, j, lo2 := searchList(&st.Then, 0, len(st.Then)); l != nil {
+					return l, j, lo2
+				}
+				if l, j, lo2 := searchList(&st.Else, 0, len(st.Else)); l != nil {
+					return l, j, lo2
+				}
+			case *ir.Loop:
+				if l, j, lo2 := searchList(&st.Body, 0, len(st.Body)); l != nil {
+					return l, j, lo2
+				}
+			}
+		}
+		return nil, 0, 0
+	}
+	if reg.IsLoop() {
+		return searchList(&reg.Loop.Body, 0, len(reg.Loop.Body))
+	}
+	return searchList(reg.Owner, reg.Index, reg.Index+reg.Len)
+}
+
+func exprUsesRef(e ir.Expr, t *ir.Ref) bool {
+	switch x := e.(type) {
+	case ir.Load:
+		return x.Ref == t
+	case ir.Bin:
+		return exprUsesRef(x.L, t) || exprUsesRef(x.R, t)
+	case ir.Un:
+		return exprUsesRef(x.X, t)
+	}
+	return false
+}
+
+// cleanClone copies a ref without its lowering flags (the prefetch operand
+// is an address computation, not a coherent read).
+func cleanClone(t *ir.Ref) *ir.Ref {
+	c := t.Clone()
+	c.Stale = false
+	c.Bypass = false
+	c.Prefetched = false
+	c.NonCached = false
+	return c
+}
+
+// applyInsertions performs the pending statement insertions, per owner list
+// in descending index order so earlier indices stay valid.
+func (s *scheduler) applyInsertions() {
+	byOwner := map[*[]ir.Stmt][]insertion{}
+	for _, ins := range s.pending {
+		byOwner[ins.owner] = append(byOwner[ins.owner], ins)
+	}
+	for owner, list := range byOwner {
+		sort.SliceStable(list, func(i, j int) bool { return list[i].index > list[j].index })
+		for _, ins := range list {
+			ss := *owner
+			ss = append(ss, nil)
+			copy(ss[ins.index+1:], ss[ins.index:])
+			ss[ins.index] = ins.stmt
+			*owner = ss
+		}
+	}
+	s.pending = nil
+}
+
+// Report renders the scheduling decisions for the ccdpc driver.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prefetch scheduling: %d VPG, %d SP, %d MBP, %d bypass\n",
+		r.NumVPG, r.NumSP, r.NumMBP, r.NumBypass)
+	for _, d := range r.Decisions {
+		fmt.Fprintf(&b, "  case %d %-6s %s", d.Case, d.Technique, d.Ref)
+		switch d.Technique {
+		case TechVPG:
+			fmt.Fprintf(&b, " (%d words", d.Words)
+			if d.Hoisted {
+				b.WriteString(", hoisted to DOALL prologue")
+			}
+			b.WriteString(")")
+		case TechSP:
+			fmt.Fprintf(&b, " (ahead %d iterations)", d.Ahead)
+		case TechMBP:
+			fmt.Fprintf(&b, " (moved back %d cycles)", d.MovedBack)
+		default:
+			fmt.Fprintf(&b, " (%s)", d.Reason)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,308 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stale"
+	"repro/internal/target"
+)
+
+// compileFor runs the full analysis+scheduling pipeline on a program built
+// by build, returning the mutated program and the scheduling result.
+func compileFor(t *testing.T, numPE int, build func(b *ir.Builder)) (*ir.Program, *Result) {
+	t.Helper()
+	b := ir.NewBuilder("s")
+	build(b)
+	p := b.Build()
+	mp := machine.T3D(numPE)
+	mem.Layout(p, mp.LineWords)
+	sres, err := stale.Analyze(p, numPE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres := target.Analyze(p, sres.StaleReads, mp.LineWords)
+	res := Schedule(p, sres, tres, mp)
+	p.Finalize()
+	if err := ir.Validate(p); err != nil {
+		t.Fatalf("scheduled program invalid: %v", err)
+	}
+	return p, res
+}
+
+func decisionFor(t *testing.T, res *Result, needle string) Decision {
+	t.Helper()
+	for _, d := range res.Decisions {
+		if strings.Contains(d.Ref.String(), needle) {
+			return d
+		}
+	}
+	t.Fatalf("no decision for %q in %+v", needle, res.Decisions)
+	return Decision{}
+}
+
+// MXM-like shape: serial inner loop reading remote columns -> case 1 VPG,
+// hoisted to the DOALL prologue (invariant in the DOALL var).
+func TestCase1VPGHoistedToPrologue(t *testing.T) {
+	p, res := compileFor(t, 4, func(b *ir.Builder) {
+		a := b.SharedArray("A", 256, 128)
+		c := b.SharedArray("C", 256, 64)
+		b.Routine("main",
+			ir.DoAll("i0", ir.K(0), ir.K(127),
+				ir.DoSerial("ii", ir.K(0), ir.K(255), ir.Set(ir.At(a, ir.I("ii"), ir.I("i0")), ir.N(1)))),
+			ir.DoAll("j", ir.K(0), ir.K(63),
+				ir.DoSerial("i", ir.K(0), ir.K(255),
+					ir.Set(ir.At(c, ir.I("i"), ir.I("j")),
+						ir.Add(ir.L(ir.At(c, ir.I("i"), ir.I("j"))),
+							ir.L(ir.At(a, ir.I("i"), ir.K(5))))))),
+		)
+	})
+	d := decisionFor(t, res, "A(i, 5)")
+	if d.Technique != TechVPG || d.Case != 1 {
+		t.Fatalf("decision = %+v, want case 1 VPG", d)
+	}
+	if !d.Hoisted {
+		t.Error("DOALL-invariant vector prefetch not hoisted to prologue")
+	}
+	if d.Words != 256 {
+		t.Errorf("words = %d, want 256", d.Words)
+	}
+	// The prologue must contain the vector prefetch.
+	var doall *ir.Loop
+	ir.WalkStmts(p.MainRoutine().Body, func(s ir.Stmt) bool {
+		if l, ok := s.(*ir.Loop); ok && l.Parallel && l.Var == "j" {
+			doall = l
+		}
+		return true
+	})
+	if doall == nil || len(doall.Prologue) != 1 {
+		t.Fatalf("DOALL prologue missing: %+v", doall)
+	}
+	if _, ok := doall.Prologue[0].(*ir.VectorPrefetch); !ok {
+		t.Errorf("prologue stmt = %T", doall.Prologue[0])
+	}
+}
+
+// Vector too large for the cache constraint falls through to SP.
+func TestVPGCapacityConstraintFallsToSP(t *testing.T) {
+	_, res := compileFor(t, 2, func(b *ir.Builder) {
+		a := b.SharedArray("A", 4096)
+		c := b.SharedArray("C", 4096)
+		b.Routine("main",
+			ir.DoAll("w", ir.K(0), ir.K(4095), ir.Set(ir.At(a, ir.I("w")), ir.N(2))),
+			ir.DoAll("j", ir.K(0), ir.K(0),
+				// 4096-word vector > VectorMaxWords (512): VPG fails.
+				ir.DoSerial("i", ir.K(0), ir.K(4095),
+					ir.Set(ir.At(c, ir.I("i")),
+						ir.L(ir.At(a, ir.I("i").Neg().AddConst(4095)))))),
+		)
+	})
+	d := decisionFor(t, res, "A(-i + 4095)")
+	if d.Technique != TechSP {
+		t.Fatalf("decision = %+v, want SP fallback", d)
+	}
+	if d.Ahead < 1 {
+		t.Errorf("ahead = %d", d.Ahead)
+	}
+}
+
+// Static DOALL inner loop (case 2): VPG over the per-PE chunk.
+func TestCase2DOALLVectorPerChunk(t *testing.T) {
+	_, res := compileFor(t, 4, func(b *ir.Builder) {
+		a := b.SharedArray("A", 1024)
+		c := b.SharedArray("C", 1024)
+		b.Routine("main",
+			ir.DoAll("w", ir.K(0), ir.K(1023), ir.Set(ir.At(a, ir.I("w")), ir.N(2))),
+			ir.DoAll("i", ir.K(0), ir.K(1023),
+				ir.Set(ir.At(c, ir.I("i")), ir.L(ir.At(a, ir.I("i").Neg().AddConst(1023))))),
+		)
+	})
+	d := decisionFor(t, res, "A(-i + 1023)")
+	if d.Technique != TechVPG || d.Case != 2 {
+		t.Fatalf("decision = %+v, want case 2 VPG", d)
+	}
+	if d.Words != 256 { // 1024 iterations / 4 PEs
+		t.Errorf("words = %d, want per-chunk 256", d.Words)
+	}
+	if !d.Hoisted {
+		t.Error("case 2 vector should sit in the DOALL prologue")
+	}
+}
+
+// Dynamic DOALL (case 3): only MBP; with nothing to move across, bypass.
+func TestCase3DynamicDOALLBypass(t *testing.T) {
+	_, res := compileFor(t, 4, func(b *ir.Builder) {
+		a := b.SharedArray("A", 512)
+		c := b.SharedArray("C", 512)
+		b.Routine("main",
+			ir.DoAll("w", ir.K(0), ir.K(511), ir.Set(ir.At(a, ir.I("w")), ir.N(2))),
+			ir.DoAllDynamic("i", ir.K(0), ir.K(511),
+				ir.Set(ir.At(c, ir.I("i")), ir.L(ir.At(a, ir.I("i").Neg().AddConst(511))))),
+		)
+	})
+	d := decisionFor(t, res, "A(-i + 511)")
+	if d.Case != 3 || d.Technique != TechNone {
+		t.Fatalf("decision = %+v, want case 3 bypass", d)
+	}
+	if !d.Ref.Bypass || !d.Ref.Stale {
+		t.Error("bypassed ref flags not set")
+	}
+}
+
+// Serial code segment (case 4): MBP moves the prefetch back across
+// independent statements.
+func TestCase4SegmentMBP(t *testing.T) {
+	p, res := compileFor(t, 2, func(b *ir.Builder) {
+		a := b.SharedArray("A", 64)
+		c := b.SharedArray("C", 64)
+		d := b.Array("D", 64)
+		var pad []ir.Stmt
+		pad = append(pad, ir.DoAll("w", ir.K(0), ir.K(63), ir.Set(ir.At(a, ir.I("w")), ir.N(2))))
+		// Serial epoch: plenty of independent work, then the stale read.
+		for k := 0; k < 30; k++ {
+			pad = append(pad, ir.Set(ir.At(d, ir.K(int64(k))), ir.Sqrt(ir.N(float64(k)))))
+		}
+		pad = append(pad, ir.Set(ir.At(c, ir.K(0)), ir.L(ir.At(a, ir.K(63)))))
+		b.Routine("main", pad...)
+	})
+	d := decisionFor(t, res, "A(63)")
+	if d.Technique != TechMBP || d.Case != 4 {
+		t.Fatalf("decision = %+v, want case 4 MBP", d)
+	}
+	if d.MovedBack < machine.T3D(2).MinMoveBackCycles {
+		t.Errorf("moved back %d cycles", d.MovedBack)
+	}
+	// A Prefetch statement must now precede the use in main.
+	var sawPrefetch bool
+	for _, s := range p.MainRoutine().Body {
+		if _, ok := s.(*ir.Prefetch); ok {
+			sawPrefetch = true
+		}
+	}
+	if !sawPrefetch {
+		t.Error("no Prefetch statement inserted")
+	}
+}
+
+// MBP must not move a prefetch across a write that may produce the value.
+func TestMBPBlockedByConflictingWrite(t *testing.T) {
+	_, res := compileFor(t, 2, func(b *ir.Builder) {
+		a := b.SharedArray("A", 64)
+		c := b.SharedArray("C", 64)
+		d := b.Array("D", 64)
+		var body []ir.Stmt
+		body = append(body, ir.DoAll("w", ir.K(0), ir.K(63), ir.Set(ir.At(a, ir.I("w")), ir.N(2))))
+		for k := 0; k < 30; k++ {
+			body = append(body, ir.Set(ir.At(d, ir.K(int64(k))), ir.Sqrt(ir.N(float64(k)))))
+		}
+		// The write to A(63) right before the read blocks motion.
+		body = append(body, ir.Set(ir.At(a, ir.K(63)), ir.N(5)))
+		body = append(body, ir.Set(ir.At(c, ir.K(0)), ir.L(ir.At(a, ir.K(63)))))
+		b.Routine("main", body...)
+	})
+	d := decisionFor(t, res, "A(63)")
+	if d.Technique != TechNone {
+		t.Fatalf("decision = %+v, want bypass (blocked by write)", d)
+	}
+	if !strings.Contains(d.Reason, "below minimum") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+// Loop containing if-statements (case 5): MBP within the loop body only.
+func TestCase5LoopWithIf(t *testing.T) {
+	_, res := compileFor(t, 2, func(b *ir.Builder) {
+		a := b.SharedArray("A", 64)
+		c := b.SharedArray("C", 64)
+		d := b.Array("D", 64)
+		var body []ir.Stmt
+		for k := 0; k < 25; k++ {
+			body = append(body, ir.Set(ir.At(d, ir.I("i")), ir.Sqrt(ir.L(ir.At(d, ir.I("i"))))))
+		}
+		body = append(body,
+			ir.When(ir.CondOf(ir.CmpLT, ir.L(ir.At(d, ir.I("i"))), ir.N(10)),
+				[]ir.Stmt{ir.Set(ir.At(c, ir.I("i")), ir.L(ir.At(a, ir.I("i").Neg().AddConst(63))))},
+				nil))
+		b.Routine("main",
+			ir.DoAll("w", ir.K(0), ir.K(63), ir.Set(ir.At(a, ir.I("w")), ir.N(2))),
+			ir.DoAll("j", ir.K(0), ir.K(0),
+				ir.DoSerial("i", ir.K(0), ir.K(63), body...)),
+		)
+	})
+	d := decisionFor(t, res, "A(-i + 63)")
+	if d.Case != 5 {
+		t.Fatalf("case = %d, want 5", d.Case)
+	}
+	// Use is the first statement of the branch: no room to move within the
+	// branch -> bypass (respects the if boundary).
+	if d.Technique != TechNone {
+		t.Fatalf("decision = %+v, want bypass (if boundary)", d)
+	}
+}
+
+// SP: queue capacity shared among streams of one loop; excess streams fall
+// through.
+func TestSPQueueBudget(t *testing.T) {
+	_, res := compileFor(t, 2, func(b *ir.Builder) {
+		a := b.SharedArray("A", 8192)
+		c := b.SharedArray("C", 2048)
+		// Inner serial loop with many distinct stale streams, strided so
+		// group-spatial locality cannot merge them and the vector exceeds
+		// capacity (stride 16 over 2048 iterations -> VPG words 2048 > 512).
+		rd := func(off int64) ir.Expr {
+			return ir.L(ir.At(a, ir.I("i").Neg().Scale(-1).AddConst(0).Add(ir.K(0)).Add(ir.I("i")).Neg().AddConst(8191-off*600)))
+		}
+		_ = rd
+		sum := func(k int64) ir.Expr {
+			return ir.L(ir.At(a, ir.I("i").Neg().AddConst(8191-k*640)))
+		}
+		b.Routine("main",
+			ir.DoAll("w", ir.K(0), ir.K(8191), ir.Set(ir.At(a, ir.I("w")), ir.N(2))),
+			ir.DoAll("j", ir.K(0), ir.K(0),
+				ir.DoSerial("i", ir.K(0), ir.K(2047),
+					ir.Set(ir.At(c, ir.I("i")),
+						ir.Add(ir.Add(sum(0), sum(1)),
+							ir.Add(sum(2), ir.Add(sum(3), ir.Add(sum(4), sum(5)))))))),
+		)
+	})
+	sp := 0
+	fallthroughs := 0
+	for _, d := range res.Decisions {
+		switch d.Technique {
+		case TechSP:
+			sp++
+		case TechMBP, TechNone:
+			fallthroughs++
+		}
+	}
+	if sp == 0 {
+		t.Fatal("no SP streams scheduled")
+	}
+	mp := machine.T3D(2)
+	if int64(sp)*res.Decisions[0].Ahead > int64(mp.PrefetchQueueWords) {
+		t.Errorf("queue overcommitted: %d streams × ahead %d > %d",
+			sp, res.Decisions[0].Ahead, mp.PrefetchQueueWords)
+	}
+	if fallthroughs == 0 {
+		t.Error("expected some streams to fall through on queue budget")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	_, res := compileFor(t, 4, func(b *ir.Builder) {
+		a := b.SharedArray("A", 1024)
+		c := b.SharedArray("C", 1024)
+		b.Routine("main",
+			ir.DoAll("w", ir.K(0), ir.K(1023), ir.Set(ir.At(a, ir.I("w")), ir.N(2))),
+			ir.DoAll("i", ir.K(0), ir.K(1023),
+				ir.Set(ir.At(c, ir.I("i")), ir.L(ir.At(a, ir.I("i").Neg().AddConst(1023))))),
+		)
+	})
+	rep := res.Report()
+	if !strings.Contains(rep, "VPG") || !strings.Contains(rep, "case 2") {
+		t.Errorf("report:\n%s", rep)
+	}
+}

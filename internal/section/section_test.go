@@ -1,0 +1,329 @@
+package section
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rect2(lo0, hi0, lo1, hi1 int64) Rect {
+	return NewRect([]int64{lo0, lo1}, []int64{hi0, hi1})
+}
+
+func TestRectBasics(t *testing.T) {
+	r := rect2(0, 3, 1, 2)
+	if r.Empty() || r.Size() != 8 {
+		t.Fatalf("rect %v: empty=%v size=%d", r, r.Empty(), r.Size())
+	}
+	if !r.Contains([]int64{0, 1}) || !r.Contains([]int64{3, 2}) {
+		t.Error("corner containment failed")
+	}
+	if r.Contains([]int64{4, 1}) || r.Contains([]int64{0, 0}) {
+		t.Error("outside point contained")
+	}
+	e := rect2(2, 1, 0, 0)
+	if !e.Empty() || e.Size() != 0 {
+		t.Error("empty rect not detected")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := rect2(0, 5, 0, 5)
+	b := rect2(3, 8, 4, 9)
+	is := a.Intersect(b)
+	want := rect2(3, 5, 4, 5)
+	if is.String() != want.String() {
+		t.Errorf("Intersect = %v, want %v", is, want)
+	}
+	if !a.Overlaps(b) || a.Overlaps(rect2(6, 9, 0, 5)) {
+		t.Error("Overlaps wrong")
+	}
+}
+
+func TestRectSubtract(t *testing.T) {
+	a := rect2(0, 4, 0, 4)
+	b := rect2(1, 2, 1, 2)
+	parts := a.subtract(b)
+	var total int64
+	for _, p := range parts {
+		total += p.Size()
+		if p.Overlaps(b) {
+			t.Errorf("fragment %v overlaps subtrahend", p)
+		}
+	}
+	if total != a.Size()-b.Size() {
+		t.Errorf("fragments cover %d points, want %d", total, a.Size()-b.Size())
+	}
+	// Disjointness of fragments.
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[i].Overlaps(parts[j]) {
+				t.Errorf("fragments %v and %v overlap", parts[i], parts[j])
+			}
+		}
+	}
+}
+
+func TestRectSubtractDisjoint(t *testing.T) {
+	a := rect2(0, 2, 0, 2)
+	b := rect2(5, 6, 5, 6)
+	parts := a.subtract(b)
+	if len(parts) != 1 || parts[0].String() != a.String() {
+		t.Errorf("disjoint subtract = %v", parts)
+	}
+}
+
+func TestSetUnionAbsorbs(t *testing.T) {
+	s := Of(2, rect2(0, 9, 0, 9))
+	s2 := s.UnionRect(rect2(2, 3, 2, 3)) // contained
+	if len(s2.Rects()) != 1 {
+		t.Errorf("contained rect not absorbed: %v", s2)
+	}
+	s3 := Of(2, rect2(2, 3, 2, 3)).UnionRect(rect2(0, 9, 0, 9)) // covers
+	if len(s3.Rects()) != 1 {
+		t.Errorf("covering rect did not replace: %v", s3)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := Of(2, rect2(0, 4, 0, 4), rect2(10, 12, 10, 12))
+	b := Of(2, rect2(3, 11, 3, 11))
+	u := a.Union(b)
+	if !u.Contains([]int64{0, 0}) || !u.Contains([]int64{11, 11}) || !u.Contains([]int64{7, 7}) {
+		t.Error("Union missing points")
+	}
+	is := a.Intersect(b)
+	if !is.Contains([]int64{3, 3}) || !is.Contains([]int64{4, 4}) || !is.Contains([]int64{10, 10}) {
+		t.Error("Intersect missing points")
+	}
+	if is.Contains([]int64{0, 0}) || is.Contains([]int64{12, 12}) {
+		t.Error("Intersect has extra points")
+	}
+	d := a.Subtract(b)
+	if d.Contains([]int64{3, 3}) || d.Contains([]int64{11, 11}) {
+		t.Error("Subtract left subtrahend points")
+	}
+	if !d.Contains([]int64{0, 0}) || !d.Contains([]int64{12, 12}) {
+		t.Error("Subtract removed minuend-only points")
+	}
+}
+
+func TestSubtractApproxIsIdentity(t *testing.T) {
+	a := Of(2, rect2(0, 4, 0, 4))
+	b := Of(2, rect2(1, 2, 1, 2)).Widen()
+	if !b.Approx() {
+		t.Fatal("Widen did not mark approx")
+	}
+	d := a.Subtract(b)
+	if !d.EqualPoints(a) {
+		t.Errorf("Subtract with approx subtrahend changed set: %v", d)
+	}
+}
+
+func TestApproxPropagation(t *testing.T) {
+	a := Of(1, NewRect([]int64{0}, []int64{9}))
+	w := a.Widen()
+	if !w.Approx() {
+		t.Fatal("widen not approx")
+	}
+	if !a.Union(w).Approx() {
+		t.Error("union did not propagate approx")
+	}
+	if !w.Intersect(a).Approx() {
+		t.Error("intersect did not propagate approx")
+	}
+	if !w.Subtract(a).Approx() {
+		t.Error("subtract did not propagate approx on minuend")
+	}
+}
+
+func TestWidenBoundsRectCount(t *testing.T) {
+	s := Empty(1)
+	for i := int64(0); i < int64(MaxRects)+10; i++ {
+		s = s.UnionRect(NewRect([]int64{i * 3}, []int64{i * 3})) // disjoint singletons
+	}
+	if len(s.Rects()) > MaxRects+1 {
+		t.Errorf("rect count %d not bounded", len(s.Rects()))
+	}
+	if !s.Approx() {
+		t.Error("overflow did not mark approx")
+	}
+	// Over-approximation: all original points still contained.
+	for i := int64(0); i < int64(MaxRects)+10; i++ {
+		if !s.Contains([]int64{i * 3}) {
+			t.Fatalf("widened set lost point %d", i*3)
+		}
+	}
+}
+
+func TestContainsSetAndEqualPoints(t *testing.T) {
+	a := Of(2, rect2(0, 9, 0, 9))
+	b := Of(2, rect2(0, 4, 0, 9), rect2(5, 9, 0, 9))
+	if !a.EqualPoints(b) {
+		t.Error("split cover not equal to whole")
+	}
+	c := Of(2, rect2(0, 9, 0, 8))
+	if !a.ContainsSet(c) || c.ContainsSet(a) {
+		t.Error("ContainsSet wrong")
+	}
+}
+
+func TestSizeWithOverlap(t *testing.T) {
+	s := Of(2, rect2(0, 4, 0, 4), rect2(3, 6, 3, 6))
+	// 25 + 16 - overlap(2x2=4) = 37
+	if got := s.Size(); got != 37 {
+		t.Errorf("Size = %d, want 37", got)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	s := Of(2, rect2(2, 3, 5, 6), rect2(-1, 0, 9, 9))
+	bb, ok := s.BoundingBox()
+	if !ok || bb.String() != rect2(-1, 3, 5, 9).String() {
+		t.Errorf("BoundingBox = %v ok=%v", bb, ok)
+	}
+	if _, ok := Empty(2).BoundingBox(); ok {
+		t.Error("empty set has bounding box")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if got := Empty(2).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	s := Of(1, NewRect([]int64{3}, []int64{3}))
+	if got := s.String(); got != "[3]" {
+		t.Errorf("singleton String = %q", got)
+	}
+}
+
+// --- Property tests: set algebra vs brute-force point sets ---
+
+type points map[[2]int64]bool
+
+func enumerate(s Set, bound int64) points {
+	p := points{}
+	for x := -bound; x <= bound; x++ {
+		for y := -bound; y <= bound; y++ {
+			if s.Contains([]int64{x, y}) {
+				p[[2]int64{x, y}] = true
+			}
+		}
+	}
+	return p
+}
+
+func randomSet(r *rand.Rand, n int) Set {
+	s := Empty(2)
+	for i := 0; i < n; i++ {
+		lo0 := r.Int63n(17) - 8
+		lo1 := r.Int63n(17) - 8
+		s = s.UnionRect(rect2(lo0, lo0+r.Int63n(5), lo1, lo1+r.Int63n(5)))
+	}
+	return s
+}
+
+func TestPropSetOpsMatchPointSets(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r, 1+r.Intn(4))
+		b := randomSet(r, 1+r.Intn(4))
+		pa, pb := enumerate(a, 16), enumerate(b, 16)
+
+		u := enumerate(a.Union(b), 16)
+		i := enumerate(a.Intersect(b), 16)
+		d := enumerate(a.Subtract(b), 16)
+
+		for k := range pa {
+			if !u[k] {
+				return false
+			}
+			if pb[k] != i[k] {
+				return false
+			}
+			if pb[k] == d[k] {
+				return false
+			}
+		}
+		for k := range pb {
+			if !u[k] {
+				return false
+			}
+		}
+		for k := range u {
+			if !pa[k] && !pb[k] {
+				return false
+			}
+		}
+		for k := range d {
+			if !pa[k] || pb[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSizeMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r, 1+r.Intn(5))
+		return a.Size() == int64(len(enumerate(a, 16)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOverlapsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r, 1+r.Intn(4))
+		b := randomSet(r, 1+r.Intn(4))
+		return a.Overlaps(b) == !a.Intersect(b).IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropContainsSetReflexiveAndUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r, 1+r.Intn(4))
+		b := randomSet(r, 1+r.Intn(4))
+		u := a.Union(b)
+		return a.ContainsSet(a) && u.ContainsSet(a) && u.ContainsSet(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCoalescesAdjacentSlabs(t *testing.T) {
+	// 64 adjacent column slabs must merge into one rectangle.
+	s := Empty(2)
+	for p := int64(0); p < 64; p++ {
+		s = s.UnionRect(rect2(0, 127, p*2, p*2+1))
+	}
+	if len(s.Rects()) != 1 {
+		t.Fatalf("64 slabs coalesced into %d rects: %v", len(s.Rects()), s)
+	}
+	if s.Approx() {
+		t.Error("coalesced union marked approx")
+	}
+	if !s.EqualPoints(Of(2, rect2(0, 127, 0, 127))) {
+		t.Error("coalesced union wrong")
+	}
+}
+
+func TestUnionCoalescesOutOfOrder(t *testing.T) {
+	s := Of(1, NewRect([]int64{0}, []int64{4}), NewRect([]int64{10}, []int64{14}))
+	s = s.UnionRect(NewRect([]int64{5}, []int64{9})) // bridges the gap
+	if len(s.Rects()) != 1 {
+		t.Fatalf("bridge not coalesced: %v", s)
+	}
+}

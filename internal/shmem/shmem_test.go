@@ -1,0 +1,80 @@
+package shmem
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func setup(t *testing.T) (*mem.Memory, *cache.Cache, machine.Params, *ir.Array) {
+	t.Helper()
+	b := ir.NewBuilder("shmem")
+	a := b.SharedArray("A", 256)
+	b.Routine("main", ir.Set(ir.At(a, ir.K(0)), ir.N(0)))
+	p := b.Build()
+	mp := machine.T3D(4)
+	total := mem.Layout(p, mp.LineWords)
+	m := mem.New(p, 4, total)
+	for i := int64(0); i < 256; i++ {
+		m.Write(a.Base+i, float64(i)*1.5)
+	}
+	return m, cache.New(mp.CacheWords, mp.LineWords), mp, a
+}
+
+func TestGetInstallsFreshLines(t *testing.T) {
+	m, c, mp, a := setup(t)
+	addrs := []int64{a.Base + 64, a.Base + 65, a.Base + 66, a.Base + 67, a.Base + 68}
+	cost := Get(m, c, mp, addrs, 100)
+	want := mp.ShmemStartupCost + int64(len(addrs))*mp.ShmemPerWordCost
+	if cost != want {
+		t.Errorf("cost = %d, want %d", cost, want)
+	}
+	for _, addr := range addrs {
+		v, g, ready, hit := c.Lookup(addr)
+		if !hit {
+			t.Fatalf("addr %d not installed", addr)
+		}
+		if v != float64(addr-a.Base)*1.5 {
+			t.Errorf("addr %d value %v", addr, v)
+		}
+		if g != m.Gen(addr) {
+			t.Errorf("addr %d gen %d vs memory %d", addr, g, m.Gen(addr))
+		}
+		if ready != 100 {
+			t.Errorf("ready = %d", ready)
+		}
+	}
+}
+
+func TestGetDedupesLines(t *testing.T) {
+	m, c, mp, a := setup(t)
+	// Four words of the same line: one install.
+	addrs := []int64{a.Base, a.Base + 1, a.Base + 2, a.Base + 3}
+	Get(m, c, mp, addrs, 0)
+	if c.Installs != 1 {
+		t.Errorf("installs = %d, want 1", c.Installs)
+	}
+}
+
+func TestGetEmpty(t *testing.T) {
+	m, c, mp, _ := setup(t)
+	if cost := Get(m, c, mp, nil, 0); cost != 0 {
+		t.Errorf("empty get cost = %d", cost)
+	}
+}
+
+func TestStridedGet(t *testing.T) {
+	m, c, mp, a := setup(t)
+	// Stride 8: each word on its own line.
+	var addrs []int64
+	for k := int64(0); k < 10; k++ {
+		addrs = append(addrs, a.Base+k*8)
+	}
+	Get(m, c, mp, addrs, 0)
+	if c.Installs != 10 {
+		t.Errorf("installs = %d, want 10", c.Installs)
+	}
+}

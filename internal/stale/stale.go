@@ -1,0 +1,325 @@
+package stale
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/craft"
+	"repro/internal/ir"
+)
+
+// maxPasses bounds dataflow iterations per node before widening is forced.
+const maxPasses = 8
+
+// Result is the output of the stale reference analysis.
+type Result struct {
+	Graph     *ir.EpochGraph
+	Summaries []*Summary
+	NumPE     int
+	opts      Options
+
+	// StaleReads marks every read reference that may observe a stale
+	// cached copy on some PE.
+	StaleReads map[ir.RefID]bool
+
+	// RemoteReads marks every read reference whose section extends beyond
+	// the reading PE's own slab for some PE — data the T3D serves at
+	// remote latency. The paper's §6 extension ("we should be able to
+	// obtain further performance improvement by prefetching the non-stale
+	// references as well") prefetches these too.
+	RemoteReads map[ir.RefID]bool
+
+	// DirtyAtEntry[n][p] is the fixpoint dirty-for-p region at entry to
+	// epoch node n.
+	DirtyAtEntry [][]ArraySections
+
+	// Invalidate[n][p] is the region PE p must invalidate in its cache when
+	// entering node n (dirty ∩ may-read): the compiler-directed
+	// invalidation the CCDP scheme performs before issuing prefetches
+	// (paper §3.2).
+	Invalidate [][]ArraySections
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// DisableReadRefresh turns off the intertask-locality refinement (a
+	// coherent read refreshing the reader's cached copy). The refinement
+	// is sound only when the CCDP runtime actually enforces coherence at
+	// reads; the property tests comparing against a NON-coherent execution
+	// disable it.
+	DisableReadRefresh bool
+}
+
+// Analyze runs the stale reference analysis for a machine with numPE PEs.
+func Analyze(prog *ir.Program, numPE int) (*Result, error) {
+	return AnalyzeOpt(prog, numPE, Options{})
+}
+
+// AnalyzeOpt is Analyze with explicit options.
+func AnalyzeOpt(prog *ir.Program, numPE int, opts Options) (*Result, error) {
+	g, err := ir.BuildEpochGraph(prog)
+	if err != nil {
+		return nil, err
+	}
+	sums, err := Summarize(g, numPE)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Graph: g, Summaries: sums, NumPE: numPE,
+		StaleReads: map[ir.RefID]bool{}, RemoteReads: map[ir.RefID]bool{}, opts: opts}
+	r.fixpoint()
+	r.markStale()
+	r.markRemote()
+	r.buildInvalidate()
+	return r, nil
+}
+
+// markRemote flags reads whose per-PE section leaves the PE's own slab of
+// the distributed dimension.
+func (r *Result) markRemote() {
+	for _, sum := range r.Summaries {
+		for _, ra := range sum.Refs {
+			if ra.IsWrite || !ra.Ref.Array.Shared || ra.Ref.Array.Dist != ir.DistBlock {
+				continue
+			}
+			arr := ra.Ref.Array
+			lastDim := arr.Rank() - 1
+			for p := 0; p < r.NumPE; p++ {
+				if ra.PerPE[p].IsEmpty() {
+					continue
+				}
+				slab := craft.OwnerSlab(arr, r.NumPE, p)
+				for _, rect := range ra.PerPE[p].Rects() {
+					if rect.Lo[lastDim] < slab.Lo || rect.Hi[lastDim] > slab.Hi {
+						r.RemoteReads[ra.Ref.ID] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// fixpoint runs the worklist dataflow computing DirtyAtEntry.
+func (r *Result) fixpoint() {
+	n := len(r.Graph.Nodes)
+	r.DirtyAtEntry = make([][]ArraySections, n)
+	outs := make([][]ArraySections, n)
+	for i := 0; i < n; i++ {
+		r.DirtyAtEntry[i] = emptyState(r.NumPE)
+		outs[i] = nil
+	}
+	passes := make([]int, n)
+
+	work := []int{}
+	inWork := make([]bool, n)
+	push := func(i int) {
+		if !inWork[i] {
+			work = append(work, i)
+			inWork[i] = true
+		}
+	}
+	if n > 0 {
+		push(0)
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		passes[i]++
+
+		out := r.transfer(i, r.DirtyAtEntry[i])
+		if passes[i] > maxPasses {
+			widenState(out)
+		}
+		if outs[i] != nil && statesEqual(outs[i], out) {
+			continue
+		}
+		outs[i] = out
+		for _, succ := range r.Graph.Succ[i] {
+			merged := mergeState(r.DirtyAtEntry[succ], out, r.NumPE)
+			if !statesEqual(r.DirtyAtEntry[succ], merged) {
+				r.DirtyAtEntry[succ] = merged
+				push(succ)
+			} else if outs[succ] == nil {
+				push(succ)
+			}
+		}
+	}
+}
+
+// transfer applies one epoch node to the dirty state:
+//
+//	out_p = (in_p − mustWrite_p − mustRead_p) ∪ ⋃_{q≠p} mayWrite_q
+func (r *Result) transfer(node int, in []ArraySections) []ArraySections {
+	sum := r.Summaries[node]
+	out := make([]ArraySections, r.NumPE)
+	// Union of other PEs' writes, computed once as total minus own share is
+	// not valid for sections; build per-p by excluding q == p.
+	for p := 0; p < r.NumPE; p++ {
+		cur := in[p].clone()
+		// Kills first: p's own coherent accesses refresh its copies.
+		for name, kill := range sum.MustWrite[p] {
+			if have, ok := cur[name]; ok {
+				cur[name] = have.Subtract(kill)
+			}
+		}
+		if !r.opts.DisableReadRefresh {
+			for name, kill := range sum.MustRead[p] {
+				if have, ok := cur[name]; ok {
+					cur[name] = have.Subtract(kill)
+				}
+			}
+		}
+		// Then gen: writes by every other PE in this epoch.
+		for q := 0; q < r.NumPE; q++ {
+			if q == p {
+				continue
+			}
+			for name, w := range sum.MayWrite[q] {
+				if w.IsEmpty() {
+					continue
+				}
+				if have, ok := cur[name]; ok {
+					cur[name] = have.Union(w)
+				} else {
+					cur[name] = w
+				}
+			}
+		}
+		out[p] = cur
+	}
+	return out
+}
+
+// markStale flags read refs whose section meets the reader's dirty region.
+func (r *Result) markStale() {
+	for i, sum := range r.Summaries {
+		in := r.DirtyAtEntry[i]
+		for _, ra := range sum.Refs {
+			if ra.IsWrite {
+				continue
+			}
+			name := ra.Ref.Array.Name
+			for p := 0; p < r.NumPE; p++ {
+				if ra.PerPE[p].IsEmpty() {
+					continue
+				}
+				dirty, ok := in[p][name]
+				if !ok || dirty.IsEmpty() {
+					continue
+				}
+				if dirty.Overlaps(ra.PerPE[p]) {
+					r.StaleReads[ra.Ref.ID] = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// buildInvalidate computes per-node per-PE invalidation regions.
+func (r *Result) buildInvalidate() {
+	r.Invalidate = make([][]ArraySections, len(r.Summaries))
+	for i, sum := range r.Summaries {
+		in := r.DirtyAtEntry[i]
+		r.Invalidate[i] = make([]ArraySections, r.NumPE)
+		for p := 0; p < r.NumPE; p++ {
+			inv := ArraySections{}
+			for name, rd := range sum.MayRead[p] {
+				dirty, ok := in[p][name]
+				if !ok || dirty.IsEmpty() {
+					continue
+				}
+				is := dirty.Intersect(rd)
+				if !is.IsEmpty() {
+					inv[name] = is
+				}
+			}
+			r.Invalidate[i][p] = inv
+		}
+	}
+}
+
+// StaleInNode returns the stale read refs that occur in epoch node n,
+// sorted by RefID.
+func (r *Result) StaleInNode(n int) []*ir.Ref {
+	var out []*ir.Ref
+	for _, ra := range r.Summaries[n].Refs {
+		if !ra.IsWrite && r.StaleReads[ra.Ref.ID] {
+			out = append(out, ra.Ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Report renders a human-readable summary for the ccdpc driver.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stale reference analysis: %d epochs, %d PEs\n", len(r.Graph.Nodes), r.NumPE)
+	for i, n := range r.Graph.Nodes {
+		fmt.Fprintf(&b, "epoch %d (%s)", i, n.Kind())
+		if n.Parallel {
+			fmt.Fprintf(&b, " doall %s", n.Loop.Var)
+		}
+		fmt.Fprintf(&b, ": ")
+		stale := r.StaleInNode(i)
+		if len(stale) == 0 {
+			b.WriteString("no potentially-stale references\n")
+			continue
+		}
+		parts := make([]string, len(stale))
+		for k, ref := range stale {
+			parts[k] = ref.String()
+		}
+		fmt.Fprintf(&b, "potentially-stale: %s\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+func emptyState(numPE int) []ArraySections {
+	out := make([]ArraySections, numPE)
+	for p := range out {
+		out[p] = ArraySections{}
+	}
+	return out
+}
+
+func mergeState(a, b []ArraySections, numPE int) []ArraySections {
+	out := make([]ArraySections, numPE)
+	for p := 0; p < numPE; p++ {
+		cur := a[p].clone()
+		for name, s := range b[p] {
+			if s.IsEmpty() {
+				continue
+			}
+			if have, ok := cur[name]; ok {
+				cur[name] = have.Union(s)
+			} else {
+				cur[name] = s
+			}
+		}
+		out[p] = cur
+	}
+	return out
+}
+
+func statesEqual(a, b []ArraySections) bool {
+	for p := range a {
+		if !a[p].equal(b[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+func widenState(st []ArraySections) {
+	for p := range st {
+		for name, s := range st[p] {
+			if !s.Approx() {
+				st[p][name] = s.Widen()
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package stats accumulates the execution metrics of one simulated run.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats collects counters for one run. Per-PE instances are merged at
+// epoch barriers, so individual fields need no synchronization.
+type Stats struct {
+	Cycles   int64 // program cycles: sum over epochs of the slowest PE
+	Epochs   int64
+	Barriers int64
+
+	RegisterHits  int64 // redundant loads eliminated by register reuse
+	Hits          int64 // cache hits
+	Misses        int64 // cache misses filled from local memory
+	LocalReads    int64 // non-cached local reads (BASE / bypass)
+	RemoteReads   int64 // direct remote single-word reads
+	LocalWrites   int64
+	RemoteWrites  int64
+	BypassReads   int64 // bypass-cache fetches (local or remote)
+	NonCachedRefs int64 // BASE CRAFT shared accesses
+
+	PrefetchIssued   int64 // single-word prefetches issued
+	PrefetchDropped  int64 // dropped on full queue
+	PrefetchConsumed int64 // extracted by a read
+	PrefetchLate     int64 // extracted before arrival (stalled)
+	PrefetchUnused   int64 // flushed at an epoch boundary
+	VectorPrefetches int64
+	VectorWords      int64
+
+	InvalidatedLines int64
+	StaleValueReads  int64 // coherence violations observed (must be 0)
+
+	FlopCycles int64
+}
+
+// Merge adds other into s.
+func (s *Stats) Merge(o *Stats) {
+	s.RegisterHits += o.RegisterHits
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.LocalReads += o.LocalReads
+	s.RemoteReads += o.RemoteReads
+	s.LocalWrites += o.LocalWrites
+	s.RemoteWrites += o.RemoteWrites
+	s.BypassReads += o.BypassReads
+	s.NonCachedRefs += o.NonCachedRefs
+	s.PrefetchIssued += o.PrefetchIssued
+	s.PrefetchDropped += o.PrefetchDropped
+	s.PrefetchConsumed += o.PrefetchConsumed
+	s.PrefetchLate += o.PrefetchLate
+	s.PrefetchUnused += o.PrefetchUnused
+	s.VectorPrefetches += o.VectorPrefetches
+	s.VectorWords += o.VectorWords
+	s.InvalidatedLines += o.InvalidatedLines
+	s.StaleValueReads += o.StaleValueReads
+	s.FlopCycles += o.FlopCycles
+}
+
+// String renders a compact multi-line report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d epochs=%d barriers=%d\n", s.Cycles, s.Epochs, s.Barriers)
+	fmt.Fprintf(&b, "cache: reg-hits=%d hits=%d misses=%d invalidated=%d stale-value-reads=%d\n",
+		s.RegisterHits, s.Hits, s.Misses, s.InvalidatedLines, s.StaleValueReads)
+	fmt.Fprintf(&b, "memory: local=%d remote=%d bypass=%d writes(local=%d remote=%d) craft-shared=%d\n",
+		s.LocalReads, s.RemoteReads, s.BypassReads, s.LocalWrites, s.RemoteWrites, s.NonCachedRefs)
+	fmt.Fprintf(&b, "prefetch: issued=%d consumed=%d late=%d dropped=%d unused=%d vector=%d(%d words)",
+		s.PrefetchIssued, s.PrefetchConsumed, s.PrefetchLate, s.PrefetchDropped, s.PrefetchUnused,
+		s.VectorPrefetches, s.VectorWords)
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeAddsAllCounters(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, RemoteReads: 3, PrefetchIssued: 4,
+		StaleValueReads: 5, VectorWords: 6, RegisterHits: 7, FlopCycles: 8,
+		LocalReads: 9, LocalWrites: 10, RemoteWrites: 11, BypassReads: 12,
+		NonCachedRefs: 13, PrefetchDropped: 14, PrefetchConsumed: 15,
+		PrefetchLate: 16, PrefetchUnused: 17, VectorPrefetches: 18,
+		InvalidatedLines: 19}
+	b := a
+	a.Merge(&b)
+	if a.Hits != 2 || a.Misses != 4 || a.RemoteReads != 6 || a.PrefetchIssued != 8 ||
+		a.StaleValueReads != 10 || a.VectorWords != 12 || a.RegisterHits != 14 ||
+		a.FlopCycles != 16 || a.LocalReads != 18 || a.LocalWrites != 20 ||
+		a.RemoteWrites != 22 || a.BypassReads != 24 || a.NonCachedRefs != 26 ||
+		a.PrefetchDropped != 28 || a.PrefetchConsumed != 30 || a.PrefetchLate != 32 ||
+		a.PrefetchUnused != 34 || a.VectorPrefetches != 36 || a.InvalidatedLines != 38 {
+		t.Errorf("Merge did not double all counters: %+v", a)
+	}
+}
+
+func TestStringMentionsKeyCounters(t *testing.T) {
+	s := Stats{Cycles: 42, Hits: 7, StaleValueReads: 1, VectorWords: 99}
+	out := s.String()
+	for _, want := range []string{"cycles=42", "hits=7", "stale-value-reads=1", "99 words"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package trace captures the per-PE memory reference stream of a simulated
+// run — the instrument behind the paper's §6 plan for "detailed simulation
+// studies ... and the interaction of the compiler implementation with
+// various important architectural parameters". The engine emits one event
+// per memory operation; collectors are per-PE (no synchronization on the
+// hot path) and merged afterwards. Analysis helpers compute the summary
+// statistics used by tests and the trace tooling: per-array locality,
+// local/remote mix, and reuse-distance histograms.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a memory reference event.
+type Kind uint8
+
+const (
+	// KindHit: cached read hit.
+	KindHit Kind = iota
+	// KindMiss: cached read miss filled from local memory (or buffer).
+	KindMiss
+	// KindRemote: direct remote read.
+	KindRemote
+	// KindLocalRead: non-cached local read (BASE / bypass).
+	KindLocalRead
+	// KindPrefetched: read satisfied from the prefetch queue.
+	KindPrefetched
+	// KindRegister: redundant load eliminated by register reuse.
+	KindRegister
+	// KindWrite: store (local or remote).
+	KindWrite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHit:
+		return "hit"
+	case KindMiss:
+		return "miss"
+	case KindRemote:
+		return "remote"
+	case KindLocalRead:
+		return "local"
+	case KindPrefetched:
+		return "prefetched"
+	case KindRegister:
+		return "register"
+	case KindWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one memory reference.
+type Event struct {
+	PE    int
+	Addr  int64
+	Cycle int64
+	Kind  Kind
+}
+
+// Collector accumulates events for one PE.
+type Collector struct {
+	PE     int
+	Events []Event
+}
+
+// Record appends one event.
+func (c *Collector) Record(addr, cycle int64, kind Kind) {
+	c.Events = append(c.Events, Event{PE: c.PE, Addr: addr, Cycle: cycle, Kind: kind})
+}
+
+// Trace is the merged result of a run.
+type Trace struct {
+	PerPE []*Collector
+}
+
+// New builds a trace with one collector per PE.
+func New(numPE int) *Trace {
+	t := &Trace{PerPE: make([]*Collector, numPE)}
+	for p := range t.PerPE {
+		t.PerPE[p] = &Collector{PE: p}
+	}
+	return t
+}
+
+// Len returns the total event count.
+func (t *Trace) Len() int {
+	n := 0
+	for _, c := range t.PerPE {
+		n += len(c.Events)
+	}
+	return n
+}
+
+// KindCounts tallies events by kind across PEs.
+func (t *Trace) KindCounts() map[Kind]int64 {
+	out := map[Kind]int64{}
+	for _, c := range t.PerPE {
+		for _, e := range c.Events {
+			out[e.Kind]++
+		}
+	}
+	return out
+}
+
+// ReuseDistances computes the line-granular LRU reuse-distance histogram of
+// one PE's read stream (writes excluded): histogram[d] counts reads whose
+// line was last touched d distinct lines ago; cold references land in the
+// returned cold counter. A cache of L lines captures exactly the references
+// with distance < L, so the histogram predicts hit ratios across cache
+// sizes.
+func (t *Trace) ReuseDistances(pe int, lineWords int64) (hist map[int]int64, cold int64) {
+	hist = map[int]int64{}
+	var stack []int64 // most recent first
+	for _, e := range t.PerPE[pe].Events {
+		if e.Kind == KindWrite || e.Kind == KindRegister {
+			continue
+		}
+		line := e.Addr - e.Addr%lineWords
+		pos := -1
+		for i, l := range stack {
+			if l == line {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			cold++
+			stack = append([]int64{line}, stack...)
+			continue
+		}
+		hist[pos]++
+		stack = append(stack[:pos], stack[pos+1:]...)
+		stack = append([]int64{line}, stack...)
+	}
+	return hist, cold
+}
+
+// HitRatioForCache predicts the hit ratio of an LRU cache with the given
+// number of lines from the reuse-distance histogram.
+func HitRatioForCache(hist map[int]int64, cold int64, lines int) float64 {
+	var hits, total int64
+	for d, n := range hist {
+		total += n
+		if d < lines {
+			hits += n
+		}
+	}
+	total += cold
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Summary renders per-kind counts in a stable order.
+func (t *Trace) Summary() string {
+	counts := t.KindCounts()
+	kinds := make([]int, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events over %d PEs\n", t.Len(), len(t.PerPE))
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-10s %10d\n", Kind(k), counts[Kind(k)])
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectorAndCounts(t *testing.T) {
+	tr := New(2)
+	tr.PerPE[0].Record(10, 5, KindHit)
+	tr.PerPE[0].Record(14, 6, KindMiss)
+	tr.PerPE[1].Record(20, 7, KindRemote)
+	tr.PerPE[1].Record(21, 8, KindWrite)
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	counts := tr.KindCounts()
+	if counts[KindHit] != 1 || counts[KindMiss] != 1 || counts[KindRemote] != 1 || counts[KindWrite] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestReuseDistances(t *testing.T) {
+	tr := New(1)
+	c := tr.PerPE[0]
+	// Lines (lineWords=4): A=0, B=4, C=8.
+	c.Record(0, 1, KindMiss) // A cold
+	c.Record(4, 2, KindMiss) // B cold
+	c.Record(1, 3, KindHit)  // A distance 1
+	c.Record(8, 4, KindMiss) // C cold
+	c.Record(5, 5, KindHit)  // B distance 1 (stack: A,C -> B at depth... A,C above? stack order C,A,B? let's verify below)
+	c.Record(2, 6, KindHit)  // A
+	c.Record(100, 7, KindWrite)
+	hist, cold := tr.ReuseDistances(0, 4)
+	if cold != 3 {
+		t.Errorf("cold = %d, want 3", cold)
+	}
+	var total int64
+	for _, n := range hist {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("reuse events = %d, want 3 (write excluded)", total)
+	}
+	// First reuse of A happened with only B more recent: distance 1.
+	if hist[1] == 0 {
+		t.Errorf("hist = %v, want a distance-1 entry", hist)
+	}
+}
+
+func TestHitRatioForCache(t *testing.T) {
+	hist := map[int]int64{0: 10, 3: 5, 10: 5}
+	cold := int64(5)
+	// 1-line cache: only distance 0 hits -> 10/25.
+	if got := HitRatioForCache(hist, cold, 1); got != 0.4 {
+		t.Errorf("1-line ratio = %v", got)
+	}
+	// 4-line cache: distances 0 and 3 -> 15/25.
+	if got := HitRatioForCache(hist, cold, 4); got != 0.6 {
+		t.Errorf("4-line ratio = %v", got)
+	}
+	// Huge cache: all reuses hit -> 20/25.
+	if got := HitRatioForCache(hist, cold, 1000); got != 0.8 {
+		t.Errorf("big ratio = %v", got)
+	}
+	if got := HitRatioForCache(map[int]int64{}, 0, 4); got != 0 {
+		t.Errorf("empty ratio = %v", got)
+	}
+}
+
+func TestSummaryStable(t *testing.T) {
+	tr := New(1)
+	tr.PerPE[0].Record(0, 0, KindHit)
+	tr.PerPE[0].Record(0, 1, KindWrite)
+	s1, s2 := tr.Summary(), tr.Summary()
+	if s1 != s2 || !strings.Contains(s1, "hit") || !strings.Contains(s1, "write") {
+		t.Errorf("Summary:\n%s", s1)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindHit: "hit", KindMiss: "miss", KindRemote: "remote",
+		KindLocalRead: "local", KindPrefetched: "prefetched",
+		KindRegister: "register", KindWrite: "write",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package workloads
+
+import "repro/internal/ir"
+
+// alignLoops sets CRAFT doshared alignment on every static DOALL: iteration
+// v runs on the PE owning index v of a distributed dimension of the given
+// extent. The paper's codes align loop scheduling with the data
+// distribution (§5.3: "the parallel loop iterations are block distributed
+// accordingly"); without alignment, a loop over an interior range (1..n-2)
+// would chunk differently from the n-extent arrays it traverses and
+// manufacture spurious remote traffic.
+func alignLoops(p *ir.Program, extent int64) {
+	for _, rt := range p.Routines {
+		ir.WalkStmts(rt.Body, func(s ir.Stmt) bool {
+			if l, ok := s.(*ir.Loop); ok && l.Parallel && l.Sched == ir.SchedStatic {
+				l.AlignExtent = extent
+			}
+			return true
+		})
+	}
+}

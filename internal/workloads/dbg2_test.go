@@ -1,0 +1,23 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+)
+
+func TestDebugSWIM(t *testing.T) {
+	s := SWIM(129, 2)
+	c, err := core.Compile(s.Prog, core.ModeCCDP, machine.T3D(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(c.Sched.Report())
+	res, err := exec.Run(c, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Stats.String())
+}

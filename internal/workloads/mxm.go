@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// MXM is the NASA7 matrix-multiply kernel: C(N1,N3) = A(N1,N2) · B(N2,N3),
+// with the middle (k) loop unrolled by four as in the SPEC source. The
+// paper's parallelization (§5.3) distributes the columns of all three
+// matrices in blocks and parallelizes the middle (j over N3) loop to match;
+// in each iteration of the outermost k0 loop every PE reads 4 columns of A
+// that are usually owned by a remote PE — the access the CCDP scheme turns
+// into vector prefetches.
+func MXM(n1, n2, n3 int64) *Spec {
+	if n2%4 != 0 {
+		panic("workloads: MXM needs N2 divisible by 4 (unroll factor)")
+	}
+	b := ir.NewBuilder(fmt.Sprintf("mxm-%dx%dx%d", n1, n2, n3))
+	a := b.SharedArray("A", n1, n2)
+	bb := b.SharedArray("B", n2, n3)
+	c := b.SharedArray("C", n1, n3)
+
+	i, j, k0 := ir.I("i"), ir.I("j"), ir.I("k0")
+
+	term := func(off int64) ir.Expr {
+		return ir.Mul(
+			ir.L(ir.At(a, i, k0.AddConst(off))),
+			ir.L(ir.At(bb, k0.AddConst(off), j)))
+	}
+
+	b.Routine("main",
+		// Initialization epochs, owner-computes along columns.
+		ir.DoAll("ka", ir.K(0), ir.K(n2-1),
+			ir.DoSerial("ia", ir.K(0), ir.K(n1-1),
+				ir.Set(ir.At(a, ir.I("ia"), ir.I("ka")),
+					ir.Div(ir.IV(ir.I("ia").Add(ir.I("ka").Scale(2)).AddConst(1)), ir.N(7))))),
+		ir.DoAll("jb", ir.K(0), ir.K(n3-1),
+			ir.DoSerial("kb", ir.K(0), ir.K(n2-1),
+				ir.Set(ir.At(bb, ir.I("kb"), ir.I("jb")),
+					ir.Div(ir.IV(ir.I("kb").Sub(ir.I("jb").Scale(3)).AddConst(2)), ir.N(11))))),
+		ir.DoAll("jc", ir.K(0), ir.K(n3-1),
+			ir.DoSerial("ic", ir.K(0), ir.K(n1-1),
+				ir.Set(ir.At(c, ir.I("ic"), ir.I("jc")), ir.N(0)))),
+
+		// The 4-way unrolled triple loop: serial k0, parallel j, serial i.
+		ir.Step(ir.DoSerial("k0", ir.K(0), ir.K(n2-1),
+			ir.DoAll("j", ir.K(0), ir.K(n3-1),
+				ir.DoSerial("i", ir.K(0), ir.K(n1-1),
+					ir.Set(ir.At(c, i, j),
+						ir.Add(ir.L(ir.At(c, i, j)),
+							ir.Add(ir.Add(term(0), term(1)),
+								ir.Add(term(2), term(3)))))))), 4),
+	)
+	prog := b.Build()
+	// MXM's DOALLs run over full column ranges; align A's init with N2 and
+	// the rest with N3 so iteration chunks coincide with column ownership.
+	for _, rt := range prog.Routines {
+		ir.WalkStmts(rt.Body, func(st ir.Stmt) bool {
+			if l, ok := st.(*ir.Loop); ok && l.Parallel && l.Sched == ir.SchedStatic {
+				if l.Var == "ka" {
+					l.AlignExtent = n2
+				} else {
+					l.AlignExtent = n3
+				}
+			}
+			return true
+		})
+	}
+
+	golden := func() map[string][]float64 {
+		av := make([]float64, n1*n2)
+		bv := make([]float64, n2*n3)
+		cv := make([]float64, n1*n3)
+		for k := int64(0); k < n2; k++ {
+			for i := int64(0); i < n1; i++ {
+				av[i+k*n1] = float64(i+2*k+1) / 7
+			}
+		}
+		for j := int64(0); j < n3; j++ {
+			for k := int64(0); k < n2; k++ {
+				bv[k+j*n2] = float64(k-3*j+2) / 11
+			}
+		}
+		for k0 := int64(0); k0 < n2; k0 += 4 {
+			for j := int64(0); j < n3; j++ {
+				for i := int64(0); i < n1; i++ {
+					// Explicit temporaries mirror the IR expression tree
+					// (((t0+t1)+(t2+t3)) and keep rounding identical (no
+					// fused multiply-add).
+					t0 := av[i+k0*n1] * bv[k0+j*n2]
+					t1 := av[i+(k0+1)*n1] * bv[k0+1+j*n2]
+					t2 := av[i+(k0+2)*n1] * bv[k0+2+j*n2]
+					t3 := av[i+(k0+3)*n1] * bv[k0+3+j*n2]
+					s01 := t0 + t1
+					s23 := t2 + t3
+					s := s01 + s23
+					cv[i+j*n1] = cv[i+j*n1] + s
+				}
+			}
+		}
+		return map[string][]float64{"C": cv}
+	}
+
+	return &Spec{
+		Name:        "MXM",
+		Prog:        prog,
+		CheckArrays: []string{"C"},
+		Golden:      golden,
+		Description: fmt.Sprintf("NASA7 matrix multiply %d×%d · %d×%d, middle loop parallel", n1, n2, n2, n3),
+	}
+}

@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// SWIM is the SPEC CFP95 shallow-water model: per time step the three major
+// subroutines CALC1 (fluxes CU, CV, vorticity Z, height H), CALC2 (new
+// velocity/height fields) and CALC3 (time smoothing), each a doubly-nested
+// loop with a parallel outer loop, plus the periodic boundary-copy epochs.
+// The 14 matrices are column-distributed; only the j±1 halo columns and the
+// periodic column copies cross PEs, so the fraction of remote references is
+// small — the paper's explanation for BASE SWIM performing well and CCDP
+// improving it by a modest 2.5–13.2%.
+func SWIM(n, iters int64) *Spec {
+	b := ir.NewBuilder(fmt.Sprintf("swim-%d", n))
+	PSI := b.SharedArray("PSI", n, n)
+	U := b.SharedArray("U", n, n)
+	V := b.SharedArray("V", n, n)
+	P := b.SharedArray("P", n, n)
+	UNEW := b.SharedArray("UNEW", n, n)
+	VNEW := b.SharedArray("VNEW", n, n)
+	PNEW := b.SharedArray("PNEW", n, n)
+	UOLD := b.SharedArray("UOLD", n, n)
+	VOLD := b.SharedArray("VOLD", n, n)
+	POLD := b.SharedArray("POLD", n, n)
+	CU := b.SharedArray("CU", n, n)
+	CV := b.SharedArray("CV", n, n)
+	Z := b.SharedArray("Z", n, n)
+	H := b.SharedArray("H", n, n)
+
+	const (
+		fsdx   = 0.01
+		fsdy   = 0.012
+		tdts8  = 0.01
+		tdtsdx = 0.02
+		tdtsdy = 0.02
+		alpha  = 0.001
+	)
+
+	i, j := ir.I("i"), ir.I("j")
+	at := func(a *ir.Array, di, dj int64) *ir.Ref {
+		return ir.At(a, i.AddConst(di), j.AddConst(dj))
+	}
+
+	calc1 := ir.DoAll("j", ir.K(0), ir.K(n-2),
+		ir.DoSerial("i", ir.K(0), ir.K(n-2),
+			ir.Set(at(CU, 1, 0),
+				ir.Mul(ir.Mul(ir.N(0.5), ir.Add(ir.L(at(P, 1, 0)), ir.L(at(P, 0, 0)))), ir.L(at(U, 1, 0)))),
+			ir.Set(at(CV, 0, 1),
+				ir.Mul(ir.Mul(ir.N(0.5), ir.Add(ir.L(at(P, 0, 1)), ir.L(at(P, 0, 0)))), ir.L(at(V, 0, 1)))),
+			ir.Set(at(Z, 1, 1),
+				ir.Div(
+					ir.Sub(
+						ir.Mul(ir.N(fsdx), ir.Sub(ir.L(at(V, 1, 1)), ir.L(at(V, 0, 1)))),
+						ir.Mul(ir.N(fsdy), ir.Sub(ir.L(at(U, 1, 1)), ir.L(at(U, 1, 0))))),
+					ir.Add(ir.Add(ir.L(at(P, 0, 0)), ir.L(at(P, 1, 0))),
+						ir.Add(ir.L(at(P, 1, 1)), ir.L(at(P, 0, 1)))))),
+			ir.Set(at(H, 0, 0),
+				ir.Add(ir.L(at(P, 0, 0)),
+					ir.Add(
+						ir.Mul(ir.N(0.25), ir.Add(ir.Mul(ir.L(at(U, 1, 0)), ir.L(at(U, 1, 0))),
+							ir.Mul(ir.L(at(U, 0, 0)), ir.L(at(U, 0, 0))))),
+						ir.Mul(ir.N(0.25), ir.Add(ir.Mul(ir.L(at(V, 0, 1)), ir.L(at(V, 0, 1))),
+							ir.Mul(ir.L(at(V, 0, 0)), ir.L(at(V, 0, 0)))))))),
+		))
+
+	// Periodic boundary copies. Row copies stay within a column (local);
+	// column copies read the last column and write the first (cross-PE).
+	jb := ir.I("jb")
+	bc1row := ir.DoAll("jb", ir.K(0), ir.K(n-2),
+		ir.Set(ir.At(CU, ir.K(0), jb), ir.L(ir.At(CU, ir.K(n-1), jb))),
+		ir.Set(ir.At(Z, ir.K(0), jb.AddConst(1)), ir.L(ir.At(Z, ir.K(n-1), jb.AddConst(1)))),
+		ir.Set(ir.At(H, ir.K(n-1), jb), ir.L(ir.At(H, ir.K(0), jb))),
+	)
+	ib := ir.I("ib")
+	bc1col := ir.DoAll("ib", ir.K(0), ir.K(n-2),
+		ir.Set(ir.At(CV, ib, ir.K(0)), ir.L(ir.At(CV, ib, ir.K(n-1)))),
+		ir.Set(ir.At(Z, ib.AddConst(1), ir.K(0)), ir.L(ir.At(Z, ib.AddConst(1), ir.K(n-1)))),
+		ir.Set(ir.At(H, ib, ir.K(n-1)), ir.L(ir.At(H, ib, ir.K(0)))),
+	)
+
+	i4, j4 := ir.I("i4"), ir.I("j4")
+	at2 := func(a *ir.Array, di, dj int64) *ir.Ref {
+		return ir.At(a, i4.AddConst(di), j4.AddConst(dj))
+	}
+	calc2 := ir.DoAll("j4", ir.K(0), ir.K(n-2),
+		ir.DoSerial("i4", ir.K(0), ir.K(n-2),
+			ir.Set(at2(UNEW, 1, 0),
+				ir.Sub(
+					ir.Add(ir.L(at2(UOLD, 1, 0)),
+						ir.Mul(ir.Mul(ir.N(tdts8), ir.Add(ir.L(at2(Z, 1, 1)), ir.L(at2(Z, 1, 0)))),
+							ir.Add(ir.Add(ir.L(at2(CV, 1, 1)), ir.L(at2(CV, 0, 1))),
+								ir.Add(ir.L(at2(CV, 0, 0)), ir.L(at2(CV, 1, 0)))))),
+					ir.Mul(ir.N(tdtsdx), ir.Sub(ir.L(at2(H, 1, 0)), ir.L(at2(H, 0, 0)))))),
+			ir.Set(at2(VNEW, 0, 1),
+				ir.Sub(
+					ir.Sub(ir.L(at2(VOLD, 0, 1)),
+						ir.Mul(ir.Mul(ir.N(tdts8), ir.Add(ir.L(at2(Z, 1, 1)), ir.L(at2(Z, 0, 1)))),
+							ir.Add(ir.L(at2(CU, 1, 0)), ir.L(at2(CU, 0, 0))))),
+					ir.Mul(ir.N(tdtsdy), ir.Sub(ir.L(at2(H, 0, 1)), ir.L(at2(H, 0, 0)))))),
+			ir.Set(at2(PNEW, 0, 0),
+				ir.Sub(
+					ir.Sub(ir.L(at2(POLD, 0, 0)),
+						ir.Mul(ir.N(tdtsdx), ir.Sub(ir.L(at2(CU, 1, 0)), ir.L(at2(CU, 0, 0))))),
+					ir.Mul(ir.N(tdtsdy), ir.Sub(ir.L(at2(CV, 0, 1)), ir.L(at2(CV, 0, 0)))))),
+		))
+
+	jc := ir.I("jc")
+	bc2row := ir.DoAll("jc", ir.K(0), ir.K(n-2),
+		ir.Set(ir.At(UNEW, ir.K(0), jc), ir.L(ir.At(UNEW, ir.K(n-1), jc))),
+		ir.Set(ir.At(PNEW, ir.K(n-1), jc), ir.L(ir.At(PNEW, ir.K(0), jc))),
+	)
+	ic := ir.I("ic")
+	bc2col := ir.DoAll("ic", ir.K(0), ir.K(n-2),
+		ir.Set(ir.At(VNEW, ic, ir.K(0)), ir.L(ir.At(VNEW, ic, ir.K(n-1)))),
+		ir.Set(ir.At(PNEW, ic, ir.K(n-1)), ir.L(ir.At(PNEW, ic, ir.K(0)))),
+	)
+
+	i5, j5 := ir.I("i5"), ir.I("j5")
+	at3 := func(a *ir.Array) *ir.Ref { return ir.At(a, i5, j5) }
+	smooth := func(old, cur, new *ir.Array) ir.Stmt {
+		return ir.Set(at3(old),
+			ir.Add(ir.L(at3(cur)),
+				ir.Mul(ir.N(alpha),
+					ir.Add(ir.Sub(ir.L(at3(new)), ir.Mul(ir.N(2), ir.L(at3(cur)))), ir.L(at3(old))))))
+	}
+	calc3 := ir.DoAll("j5", ir.K(0), ir.K(n-2),
+		ir.DoSerial("i5", ir.K(0), ir.K(n-2),
+			smooth(UOLD, U, UNEW),
+			smooth(VOLD, V, VNEW),
+			smooth(POLD, P, PNEW),
+			ir.Set(at3(U), ir.L(at3(UNEW))),
+			ir.Set(at3(V), ir.L(at3(VNEW))),
+			ir.Set(at3(P), ir.L(at3(PNEW))),
+		))
+
+	// Initialization: smooth fields from a stream function.
+	ii, jj := ir.I("ii"), ir.I("jj")
+	fij := func(num ir.Expr, den float64) ir.Expr { return ir.Div(num, ir.N(den)) }
+	initEpoch := ir.DoAll("jj", ir.K(0), ir.K(n-1),
+		ir.DoSerial("ii", ir.K(0), ir.K(n-1),
+			ir.Set(ir.At(PSI, ii, jj), fij(ir.Mul(ir.IV(ii), ir.IV(jj)), float64(n*n))),
+			ir.Set(ir.At(U, ii, jj), fij(ir.IV(ii.Scale(2).Sub(jj)), float64(3*n))),
+			ir.Set(ir.At(V, ii, jj), fij(ir.IV(jj.Sub(ii.Scale(3))), float64(4*n))),
+			ir.Set(ir.At(P, ii, jj), ir.Add(ir.N(10), fij(ir.IV(ii.Add(jj)), float64(n)))),
+			ir.Set(ir.At(UOLD, ii, jj), fij(ir.IV(ii.Scale(2).Sub(jj)), float64(3*n))),
+			ir.Set(ir.At(VOLD, ii, jj), fij(ir.IV(jj.Sub(ii.Scale(3))), float64(4*n))),
+			ir.Set(ir.At(POLD, ii, jj), ir.Add(ir.N(10), fij(ir.IV(ii.Add(jj)), float64(n)))),
+			ir.Set(ir.At(CU, ii, jj), ir.N(0)),
+			ir.Set(ir.At(CV, ii, jj), ir.N(0)),
+			ir.Set(ir.At(Z, ii, jj), ir.N(0)),
+			ir.Set(ir.At(H, ii, jj), ir.N(0)),
+			ir.Set(ir.At(UNEW, ii, jj), ir.N(0)),
+			ir.Set(ir.At(VNEW, ii, jj), ir.N(0)),
+			ir.Set(ir.At(PNEW, ii, jj), ir.N(0)),
+		))
+
+	b.Routine("main",
+		initEpoch,
+		ir.DoSerial("step", ir.K(1), ir.K(iters),
+			ir.CallTo("calc1"),
+			ir.CallTo("calc2"),
+			ir.CallTo("calc3"),
+		),
+	)
+	b.Routine("calc1", calc1, bc1row, bc1col)
+	b.Routine("calc2", calc2, bc2row, bc2col)
+	b.Routine("calc3", calc3)
+
+	prog := b.Build()
+	alignLoops(prog, n)
+	return &Spec{
+		Name:        "SWIM",
+		Prog:        prog,
+		CheckArrays: []string{"P", "U", "V"},
+		Description: fmt.Sprintf("SPEC CFP95 shallow water, 14 matrices %d×%d, %d time steps", n, n, iters),
+	}
+}

@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// TOMCATV is the SPEC CFP95 vectorized mesh generator: per time step, a
+// residual/coefficient computation over (i,j) with a parallel outer j loop
+// (the paper's loop 60), a forward-elimination sweep and a back-substitution
+// sweep that are serial in j with a parallel inner i loop (loops 100 and
+// 120), and a correction epoch. With the 7 matrices distributed by columns
+// (j), loops 100/120 make every PE read and write data owned by other PEs
+// — the paper's explanation for BASE TOMCATV performing poorly and CCDP
+// gaining 44.8–68.5%.
+func TOMCATV(n, iters int64) *Spec {
+	b := ir.NewBuilder(fmt.Sprintf("tomcatv-%d", n))
+	X := b.SharedArray("X", n, n)
+	Y := b.SharedArray("Y", n, n)
+	RX := b.SharedArray("RX", n, n)
+	RY := b.SharedArray("RY", n, n)
+	AA := b.SharedArray("AA", n, n)
+	DD := b.SharedArray("DD", n, n)
+	D := b.SharedArray("D", n, n)
+
+	i, j := ir.I("i"), ir.I("j")
+	at := func(a *ir.Array, di, dj int64) *ir.Ref {
+		return ir.At(a, i.AddConst(di), j.AddConst(dj))
+	}
+	q := func(s string) ir.Expr { return ir.L(ir.S(s)) }
+
+	// loop 60 body: neighbor differences of X and Y, coefficients and
+	// residuals.
+	loop60 := ir.DoAll("j", ir.K(1), ir.K(n-2),
+		ir.DoSerial("i", ir.K(1), ir.K(n-2),
+			ir.Set(ir.S("s1"), ir.Sub(ir.L(at(X, 1, 0)), ir.L(at(X, -1, 0)))),
+			ir.Set(ir.S("s2"), ir.Sub(ir.L(at(X, 0, 1)), ir.L(at(X, 0, -1)))),
+			ir.Set(ir.S("s3"), ir.Sub(ir.L(at(Y, 1, 0)), ir.L(at(Y, -1, 0)))),
+			ir.Set(ir.S("s4"), ir.Sub(ir.L(at(Y, 0, 1)), ir.L(at(Y, 0, -1)))),
+			ir.Set(at(AA, 0, 0),
+				ir.Neg(ir.Mul(ir.N(0.25), ir.Add(ir.Mul(q("s2"), q("s2")), ir.Mul(q("s4"), q("s4")))))),
+			ir.Set(at(DD, 0, 0),
+				ir.Add(ir.N(2),
+					ir.Add(ir.Mul(ir.N(0.25), ir.Add(ir.Mul(q("s1"), q("s1")), ir.Mul(q("s3"), q("s3")))),
+						ir.Mul(ir.N(0.25), ir.Add(ir.Mul(q("s2"), q("s2")), ir.Mul(q("s4"), q("s4"))))))),
+			ir.Set(at(RX, 0, 0),
+				ir.Sub(ir.Mul(ir.N(0.25),
+					ir.Add(ir.Add(ir.L(at(X, -1, 0)), ir.L(at(X, 1, 0))),
+						ir.Add(ir.L(at(X, 0, -1)), ir.L(at(X, 0, 1))))),
+					ir.L(at(X, 0, 0)))),
+			ir.Set(at(RY, 0, 0),
+				ir.Sub(ir.Mul(ir.N(0.25),
+					ir.Add(ir.Add(ir.L(at(Y, -1, 0)), ir.L(at(Y, 1, 0))),
+						ir.Add(ir.L(at(Y, 0, -1)), ir.L(at(Y, 0, 1))))),
+					ir.L(at(Y, 0, 0)))),
+		))
+
+	prog := buildTomcatv(b, n, iters, X, Y, RX, RY, AA, DD, D, loop60)
+	alignLoops(prog, n)
+	return &Spec{
+		Name:        "TOMCATV",
+		Prog:        prog,
+		CheckArrays: []string{"X", "Y"},
+		Description: fmt.Sprintf("SPEC CFP95 mesh generation, 7 matrices %d×%d, %d time steps", n, n, iters),
+	}
+}
+
+// buildTomcatv assembles the remaining epochs (separated for readability).
+func buildTomcatv(b *ir.Builder, n, iters int64, X, Y, RX, RY, AA, DD, D *ir.Array, loop60 *ir.Loop) *ir.Program {
+	// Forward elimination (loop 100): serial j, parallel i. Row-block
+	// scheduling of i crosses the column distribution.
+	iv, jv := ir.I("i1"), ir.I("j1")
+	a1 := func(a *ir.Array, dj int64) *ir.Ref { return ir.At(a, iv, jv.AddConst(dj)) }
+	loop100 := ir.DoSerial("j1", ir.K(2), ir.K(n-2),
+		ir.DoAll("i1", ir.K(1), ir.K(n-2),
+			ir.Set(ir.S("r"), ir.Mul(ir.L(a1(AA, 0)), ir.L(a1(D, -1)))),
+			ir.Set(a1(D, 0),
+				ir.Div(ir.N(1), ir.Sub(ir.L(a1(DD, 0)), ir.Mul(ir.L(a1(AA, 0)), ir.L(ir.S("r")))))),
+			ir.Set(a1(RX, 0), ir.Sub(ir.L(a1(RX, 0)), ir.Mul(ir.L(ir.S("r")), ir.L(a1(RX, -1))))),
+			ir.Set(a1(RY, 0), ir.Sub(ir.L(a1(RY, 0)), ir.Mul(ir.L(ir.S("r")), ir.L(a1(RY, -1))))),
+		))
+
+	// Seed epochs for the sweeps.
+	ip := ir.I("ip")
+	seedFwd := ir.DoAll("ip", ir.K(1), ir.K(n-2),
+		ir.Set(ir.At(D, ip, ir.K(1)), ir.Div(ir.N(1), ir.L(ir.At(DD, ip, ir.K(1))))))
+	iq := ir.I("iq")
+	seedBwd := ir.DoAll("iq", ir.K(1), ir.K(n-2),
+		ir.Set(ir.At(RX, iq, ir.K(n-2)),
+			ir.Mul(ir.L(ir.At(RX, iq, ir.K(n-2))), ir.L(ir.At(D, iq, ir.K(n-2))))),
+		ir.Set(ir.At(RY, iq, ir.K(n-2)),
+			ir.Mul(ir.L(ir.At(RY, iq, ir.K(n-2))), ir.L(ir.At(D, iq, ir.K(n-2))))),
+	)
+
+	// Back substitution (loop 120): j descending from n-3 to 1, parallel i.
+	jb := ir.I("r2").Neg().AddConst(n - 3)
+	i2 := ir.I("i2")
+	b1 := func(a *ir.Array, dj int64) *ir.Ref { return ir.At(a, i2, jb.AddConst(dj)) }
+	loop120 := ir.DoSerial("r2", ir.K(0), ir.K(n-4),
+		ir.DoAll("i2", ir.K(1), ir.K(n-2),
+			ir.Set(b1(RX, 0),
+				ir.Mul(ir.Sub(ir.L(b1(RX, 0)), ir.Mul(ir.L(b1(AA, 0)), ir.L(b1(RX, 1)))), ir.L(b1(D, 0)))),
+			ir.Set(b1(RY, 0),
+				ir.Mul(ir.Sub(ir.L(b1(RY, 0)), ir.Mul(ir.L(b1(AA, 0)), ir.L(b1(RY, 1)))), ir.L(b1(D, 0)))),
+		))
+
+	// Correction epoch: column-parallel again.
+	i3, j3 := ir.I("i3"), ir.I("j3")
+	correct := ir.DoAll("j3", ir.K(1), ir.K(n-2),
+		ir.DoSerial("i3", ir.K(1), ir.K(n-2),
+			ir.Set(ir.At(X, i3, j3), ir.Add(ir.L(ir.At(X, i3, j3)), ir.L(ir.At(RX, i3, j3)))),
+			ir.Set(ir.At(Y, i3, j3), ir.Add(ir.L(ir.At(Y, i3, j3)), ir.L(ir.At(RY, i3, j3)))),
+		))
+
+	// Mesh initialization: smooth nonlinear coordinates.
+	ii, jj := ir.I("ii"), ir.I("jj")
+	initEpoch := ir.DoAll("jj", ir.K(0), ir.K(n-1),
+		ir.DoSerial("ii", ir.K(0), ir.K(n-1),
+			// Non-harmonic mesh (i²j and ij² terms) so the residuals are
+			// genuinely non-zero and every sweep changes the mesh.
+			ir.Set(ir.At(X, ii, jj),
+				ir.Add(ir.IV(ii),
+					ir.Div(ir.Mul(ir.Mul(ir.IV(ii), ir.IV(ii)), ir.IV(jj)), ir.N(float64(n*n*n))))),
+			ir.Set(ir.At(Y, ii, jj),
+				ir.Add(ir.IV(jj),
+					ir.Div(ir.Mul(ir.Mul(ir.IV(jj), ir.IV(jj)), ir.IV(ii)), ir.N(float64(n*n*n))))),
+			ir.Set(ir.At(RX, ii, jj), ir.N(0)),
+			ir.Set(ir.At(RY, ii, jj), ir.N(0)),
+			ir.Set(ir.At(AA, ii, jj), ir.N(0)),
+			ir.Set(ir.At(DD, ii, jj), ir.N(1)),
+			ir.Set(ir.At(D, ii, jj), ir.N(1)),
+		))
+
+	b.Routine("main",
+		initEpoch,
+		ir.DoSerial("iter", ir.K(1), ir.K(iters),
+			loop60,
+			seedFwd,
+			loop100,
+			seedBwd,
+			loop120,
+			correct,
+		),
+	)
+	return b.Build()
+}

@@ -1,0 +1,66 @@
+// Package workloads defines the paper's four benchmark programs — MXM and
+// VPENTA from SPEC CFP92 (NASA7 kernels) and TOMCATV and SWIM from SPEC
+// CFP95 — as IR programs with the data distributions and loop schedules the
+// paper's CRAFT versions use (§5.3): matrices block-distributed along their
+// last (column) dimension, DOALL iterations block-scheduled to match.
+//
+// Each Spec carries the scaled paper configuration and a small test
+// configuration; EXPERIMENTS.md records the scaling. MXM and VPENTA also
+// carry hand-written Go golden implementations that mirror the IR statement
+// order exactly, validating the execution engine's arithmetic end to end;
+// TOMCATV and SWIM are validated by cross-mode equality (SEQ = BASE = CCDP
+// bit for bit) plus the coherence checker.
+package workloads
+
+import (
+	"repro/internal/ir"
+)
+
+// Spec describes one benchmark instance.
+type Spec struct {
+	Name string
+	// Prog is the built, laid-out program.
+	Prog *ir.Program
+	// CheckArrays are the arrays whose final contents define correctness.
+	CheckArrays []string
+	// Golden, when non-nil, returns the expected contents of each check
+	// array, computed by an independent plain-Go implementation.
+	Golden func() map[string][]float64
+	// Description for reports.
+	Description string
+}
+
+// Paper returns the four applications at (scaled) paper sizes. The array
+// shapes match the paper (MXM 256×128×64, VPENTA 128², TOMCATV 257²,
+// SWIM 513²); iteration counts are scaled down from the paper's 100 to
+// keep simulated runs tractable — speedups and improvement percentages are
+// ratios, and per-iteration behaviour is identical from the second time
+// step on (EXPERIMENTS.md quantifies this).
+func Paper() []*Spec {
+	return []*Spec{
+		MXM(256, 128, 64),
+		VPENTA(128, 4),
+		TOMCATV(257, 5),
+		SWIM(513, 5),
+	}
+}
+
+// Small returns reduced instances for tests.
+func Small() []*Spec {
+	return []*Spec{
+		MXM(32, 16, 8),
+		VPENTA(32, 2),
+		TOMCATV(33, 2),
+		SWIM(33, 2),
+	}
+}
+
+// ByName builds one workload at paper scale by name, or nil.
+func ByName(name string) *Spec {
+	for _, s := range Paper() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
