@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+// runFaultSweep is the fault-injection ablation: for every application and
+// every fault rate it runs `trials` full harness sweeps (distinct seeds per
+// trial, every run verified bit-for-bit against the fault-free sequential
+// golden) and reports how many survived — completed verified, possibly via
+// demotion/retry — plus the cycle overhead degraded operation cost over the
+// fault-free baseline.
+func runFaultSweep(specs []*workloads.Spec, peCounts []int, kindsFlag, ratesFlag string, trials int, seed int64) error {
+	kinds, err := fault.ParseKinds(kindsFlag)
+	if err != nil {
+		return err
+	}
+	rates, err := parseRates(ratesFlag)
+	if err != nil {
+		return err
+	}
+	if trials < 1 {
+		trials = 1
+	}
+
+	fmt.Printf("Fault sweep: kinds=%s trials=%d pes=%v (CCDP cycles at the largest PE count)\n\n",
+		fault.FormatKinds(kinds), trials, peCounts)
+	fmt.Printf("%-8s %8s %10s %9s %12s %9s %8s %10s %8s\n",
+		"app", "rate", "survived", "attempts", "ccdp_cycles", "overhead", "faults", "demotions", "oracle")
+
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "sweeping %s...\n", s.Name)
+		// Fault-free baseline for the overhead column.
+		base, err := harness.RunApp(s, harness.Config{PECounts: peCounts})
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", s.Name, err)
+		}
+		baseRow := base.Rows[len(base.Rows)-1]
+		fmt.Printf("%-8s %8g %10s %9s %12d %9s %8d %10d %8d\n",
+			s.Name, 0.0, fmt.Sprintf("%d/%d", trials, trials), "1.0",
+			baseRow.CCDPCycles, "+0.00%", 0, baseRow.CCDPStats.Demotions, 0)
+
+		for _, rate := range rates {
+			survived, attempts := 0, 0
+			var cycles, faults, demotions, oracle int64
+			var lastErr error
+			for trial := 0; trial < trials; trial++ {
+				plan := fault.Plan{
+					Seed:  seed + int64(trial)*7919, // distinct stream per trial
+					Rate:  rate,
+					Kinds: kinds,
+				}
+				ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan})
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				survived++
+				row := ar.Rows[len(ar.Rows)-1]
+				attempts += row.CCDPAttempts
+				cycles += row.CCDPCycles
+				faults += row.CCDPStats.FaultsInjected() + row.BaseStats.FaultsInjected()
+				demotions += row.CCDPStats.Demotions
+				oracle += row.CCDPStats.OracleViolations + row.BaseStats.OracleViolations
+			}
+			if survived == 0 {
+				fmt.Printf("%-8s %8g %10s %9s %12s %9s %8s %10s %8s  (last: %v)\n",
+					s.Name, rate, fmt.Sprintf("0/%d", trials), "-", "-", "-", "-", "-", "-", lastErr)
+				continue
+			}
+			n := int64(survived)
+			avgCycles := cycles / n
+			overhead := 100 * (float64(avgCycles)/float64(baseRow.CCDPCycles) - 1)
+			fmt.Printf("%-8s %8g %10s %9.1f %12d %+8.2f%% %8d %10d %8d\n",
+				s.Name, rate, fmt.Sprintf("%d/%d", survived, trials),
+				float64(attempts)/float64(survived), avgCycles, overhead,
+				faults/n, demotions/n, oracle/n)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("bad fault rate %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no fault rates given")
+	}
+	return out, nil
+}

@@ -7,6 +7,8 @@
 //
 //	ccdpbench [-table 1|2|all] [-apps MXM,VPENTA,TOMCATV,SWIM] [-pes 1,2,4,...]
 //	          [-scale small|paper] [-ablation vpg|mbp|nonstale] [-details]
+//	          [-fault-rate 0.01] [-fault-kinds all] [-fault-seed 1]
+//	          [-faultsweep] [-fault-rates 0.001,0.01,0.05] [-fault-trials 3]
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/internal/workloads"
@@ -30,13 +33,33 @@ func main() {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	ablation := flag.String("ablation", "", "run an ablation instead: vpg, mbp or nonstale")
 	sweep := flag.String("sweep", "", "run an architectural parameter sweep instead: remote, cache, queue or line")
+	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection RNG seed")
+	faultSweep := flag.Bool("faultsweep", false, "run the fault-injection sweep ablation instead")
+	faultRates := flag.String("fault-rates", "0.001,0.01,0.05", "fault rates for -faultsweep")
+	faultTrials := flag.Int("fault-trials", 3, "trials (distinct seeds) per rate for -faultsweep")
 	flag.Parse()
 
 	peCounts, err := parsePEs(*pes)
 	if err != nil {
 		fatal(err)
 	}
+	plan, err := buildPlan(*faultRate, *faultKinds, *faultSeed)
+	if err != nil {
+		fatal(err)
+	}
 
+	if *faultSweep {
+		specs, err := selectApps(*apps, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runFaultSweep(specs, peCounts, *faultKinds, *faultRates, *faultTrials, *faultSeed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *ablation != "" {
 		if err := runAblation(*ablation, peCounts); err != nil {
 			fatal(err)
@@ -58,7 +81,7 @@ func main() {
 	var results []*harness.AppResult
 	for _, s := range specs {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Description)
-		ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts})
+		ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan})
 		if err != nil {
 			fatal(err)
 		}
@@ -103,6 +126,19 @@ func selectApps(list, scale string) ([]*workloads.Spec, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// buildPlan assembles a fault.Plan from the command-line flags.
+func buildPlan(rate float64, kinds string, seed int64) (fault.Plan, error) {
+	if rate == 0 {
+		return fault.Plan{}, nil
+	}
+	ks, err := fault.ParseKinds(kinds)
+	if err != nil {
+		return fault.Plan{}, err
+	}
+	plan := fault.Plan{Seed: seed, Rate: rate, Kinds: ks}
+	return plan, plan.Validate()
 }
 
 func parsePEs(s string) ([]int, error) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	t3dsim -app TOMCATV -mode ccdp -pes 16 [-scale small|paper] [-races] [-verify]
+//	       [-fault-rate 0.01] [-fault-kinds drop,late,spike,evict,skew] [-fault-seed 1]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/workloads"
 )
@@ -25,6 +27,9 @@ func main() {
 	scale := flag.String("scale", "small", "problem scale: small or paper")
 	races := flag.Bool("races", false, "enable the epoch-model race detector (slow)")
 	verify := flag.Bool("verify", false, "also run sequentially and compare results")
+	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 	flag.Parse()
 
 	var pool []*workloads.Spec
@@ -57,16 +62,36 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	plan, err := buildPlan(*faultRate, *faultKinds, *faultSeed)
+	if err != nil {
+		fatal(err)
+	}
+
 	c, err := core.Compile(spec.Prog, m, machine.T3D(*pes))
 	if err != nil {
 		fatal(err)
 	}
-	res, err := exec.Run(c, exec.Options{DetectRaces: *races})
+	res, err := exec.Run(c, exec.Options{DetectRaces: *races, Fault: plan})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s %v on %d PEs: %d cycles\n", spec.Name, m, *pes, res.Cycles)
+	if plan.Enabled() {
+		fmt.Println(plan)
+	}
 	fmt.Println(res.Stats.String())
+
+	// The coherence safety oracle: any consumed stale word is a hard
+	// failure in the coherent modes (INCOHERENT mode exists to exhibit
+	// exactly these violations, so there they are only reported).
+	if res.Stats.OracleViolations > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "t3dsim:", v.Error())
+		}
+		if m != core.ModeIncoherent {
+			fatal(fmt.Errorf("%d coherence-oracle violations", res.Stats.OracleViolations))
+		}
+	}
 
 	if *verify {
 		cs, err := core.Compile(spec.Prog, core.ModeSeq, machine.T3D(1))
@@ -89,6 +114,19 @@ func main() {
 		}
 		fmt.Println("verification PASSED: results identical to sequential run")
 	}
+}
+
+// buildPlan assembles a fault.Plan from the command-line flags.
+func buildPlan(rate float64, kinds string, seed int64) (fault.Plan, error) {
+	if rate == 0 {
+		return fault.Plan{}, nil
+	}
+	ks, err := fault.ParseKinds(kinds)
+	if err != nil {
+		return fault.Plan{}, err
+	}
+	plan := fault.Plan{Seed: seed, Rate: rate, Kinds: ks}
+	return plan, plan.Validate()
 }
 
 func fatal(err error) {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/craft"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/pfq"
@@ -48,6 +49,10 @@ type Options struct {
 	// Trace, when non-nil, collects the full memory reference stream
 	// (build with trace.New(numPE)). Expensive; for analysis tooling.
 	Trace *trace.Trace
+	// Fault configures seeded fault injection (internal/fault). The zero
+	// value runs the fault-free machine with zero overhead on the hot
+	// paths and bit-identical cycle counts.
+	Fault fault.Plan
 }
 
 // Result is the outcome of one run.
@@ -59,7 +64,13 @@ type Result struct {
 	// StaleByRef attributes observed stale-value reads to the reference
 	// sites that performed them (populated when Options.TrackStaleRefs).
 	StaleByRef map[ir.RefID]int64
+	// Violations holds the first few coherence-oracle hits in detail
+	// (every hit is counted in Stats.OracleViolations).
+	Violations []fault.Violation
 }
+
+// maxRecordedViolations bounds Result.Violations; counters keep the total.
+const maxRecordedViolations = 32
 
 // Run executes a compiled program.
 func Run(c *core.Compiled, opts Options) (res *Result, err error) {
@@ -81,7 +92,11 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 			len(c.Stale.Invalidate), len(graph.Nodes))
 	}
 
-	eng := &engine{c: c, mem: m, graph: graph, opts: opts}
+	if err := opts.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	eng := &engine{c: c, mem: m, graph: graph, opts: opts,
+		inj: fault.NewInjector(opts.Fault, mp.NumPE)}
 	eng.pes = make([]*peState, mp.NumPE)
 	for p := 0; p < mp.NumPE; p++ {
 		eng.pes[p] = &peState{
@@ -91,6 +106,9 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 			pq:      pfq.New(mp.PrefetchQueueWords),
 			scalars: map[string]float64{},
 			env:     map[string]int64{},
+		}
+		if eng.inj != nil {
+			eng.pes[p].fault = eng.inj.PE(p)
 		}
 		if opts.Trace != nil {
 			if len(opts.Trace.PerPE) != mp.NumPE {
@@ -107,7 +125,8 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 		return nil, err
 	}
 
-	res = &Result{Stats: eng.stats, Mem: m, PECycles: make([]int64, mp.NumPE)}
+	res = &Result{Stats: eng.stats, Mem: m, PECycles: make([]int64, mp.NumPE),
+		Violations: eng.violations}
 	if opts.TrackStaleRefs {
 		res.StaleByRef = map[ir.RefID]int64{}
 		for _, pe := range eng.pes {
@@ -131,9 +150,11 @@ type engine struct {
 	opts  Options
 	pes   []*peState
 	stats stats.Stats
+	inj   *fault.Injector
 
-	staleErr error
-	staleMu  sync.Mutex
+	staleErr   error
+	violations []fault.Violation
+	staleMu    sync.Mutex
 }
 
 func (e *engine) run() error {
@@ -147,6 +168,14 @@ func (e *engine) run() error {
 	for _, pe := range e.pes {
 		e.stats.PrefetchUnused += pe.pq.Flush()
 		e.mergePE(pe)
+	}
+	if e.inj != nil {
+		c := e.inj.Counts()
+		e.stats.FaultDrops = c.Drops
+		e.stats.FaultLate = c.Lates
+		e.stats.FaultSpikes = c.Spikes
+		e.stats.FaultEvictions = c.Evictions
+		e.stats.FaultSkews = c.Skews
 	}
 	return e.staleErr
 }
@@ -179,8 +208,13 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 		}
 	}
 
-	// Set the context environment on every PE.
+	// Set the context environment on every PE; under KindSkew each PE's
+	// clock drifts by a seeded offset at epoch entry (the barrier at the
+	// epoch's end reconverges everyone to the slowest clock).
 	for _, pe := range e.pes {
+		if pe.fault != nil {
+			pe.now += pe.fault.ClockSkew()
+		}
 		for k, v := range inst.Env {
 			pe.env[k] = v
 		}
@@ -317,27 +351,34 @@ func (e *engine) mergePE(pe *peState) {
 	e.stats.PrefetchConsumed += pe.pq.Consumed
 }
 
-// reportStale records a stale-value read on PE pe at addr through ref r.
-func (e *engine) reportStale(pe *peState, r *ir.Ref, addr int64) {
+// reportStale records a coherence-oracle hit: PE pe consumed a word at
+// addr through ref r whose generation gen is out of date.
+func (e *engine) reportStale(pe *peState, r *ir.Ref, addr int64, gen uint32) {
 	pe.stats.StaleValueReads++
+	pe.stats.OracleViolations++
 	if e.opts.TrackStaleRefs {
 		if pe.staleByRef == nil {
 			pe.staleByRef = map[ir.RefID]int64{}
 		}
 		pe.staleByRef[r.ID]++
 	}
-	if e.opts.FailOnStale {
-		e.staleMu.Lock()
-		if e.staleErr == nil {
-			arr := e.mem.ArrayOf(addr)
-			name := "?"
-			if arr != nil {
-				name = arr.Name
-			}
-			e.staleErr = fmt.Errorf("exec: stale-value read on PE %d, addr %d (array %s)", pe.id, addr, name)
-		}
-		e.staleMu.Unlock()
+	v := fault.Violation{
+		PE: pe.id, Addr: addr, Gen: gen, MemGen: e.mem.Gen(addr), Cycle: pe.now,
 	}
+	if arr := e.mem.ArrayOf(addr); arr != nil {
+		v.Array = arr.Name
+	}
+	if r != nil {
+		v.Ref = r.String()
+	}
+	e.staleMu.Lock()
+	if len(e.violations) < maxRecordedViolations {
+		e.violations = append(e.violations, v)
+	}
+	if e.opts.FailOnStale && e.staleErr == nil {
+		e.staleErr = fmt.Errorf("exec: %v", v)
+	}
+	e.staleMu.Unlock()
 }
 
 // sortedKeys is a test helper for deterministic map iteration in dumps.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/craft"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/pfq"
@@ -48,6 +49,12 @@ type peState struct {
 	// staleByRef attributes stale-value reads to reference sites
 	// (Options.TrackStaleRefs).
 	staleByRef map[ir.RefID]int64
+
+	// fault is this PE's seeded fault stream; nil in a fault-free run.
+	fault *fault.PE
+	// demoted counts bypass-fetch fallbacks, checked against the per-PE
+	// demotion budget when faults are enabled.
+	demoted int64
 
 	// trace, when non-nil, receives one event per memory operation.
 	trace *trace.Collector
@@ -324,7 +331,9 @@ func (pe *peState) readRef(r *ir.Ref) float64 {
 }
 
 // readMem performs the actual memory access for a read that missed the
-// register window.
+// register window. Every path ends in oracleCheck: the coherence safety
+// oracle verifies the consumed word's generation against memory on every
+// read the simulated program makes.
 func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 	mp := pe.eng.c.Machine
 	m := pe.eng.mem
@@ -339,11 +348,13 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 			pe.stats.LocalReads++
 			pe.record(addr, trace.KindLocalRead)
 		} else {
-			pe.now += mp.RemoteReadCost
+			pe.now += mp.RemoteReadCost + pe.remoteSpike()
 			pe.stats.RemoteReads++
 			pe.record(addr, trace.KindRemote)
 		}
-		return m.Value(addr)
+		v, g := m.Read(addr)
+		pe.oracleCheck(r, addr, g)
+		return v
 	}
 
 	// Bypass-cache fetch: stale read not worth prefetching, or dropped
@@ -355,24 +366,39 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 			pe.stats.LocalReads++
 			pe.record(addr, trace.KindLocalRead)
 		} else {
-			pe.now += mp.RemoteReadCost
+			pe.now += mp.RemoteReadCost + pe.remoteSpike()
 			pe.stats.RemoteReads++
 			pe.record(addr, trace.KindRemote)
 		}
-		return m.Value(addr)
+		v, g := m.Read(addr)
+		pe.oracleCheck(r, addr, g)
+		return v
+	}
+
+	// Forced-eviction fault: the line is knocked out (conflict with
+	// interleaved private data) just before the processor consults it.
+	if pe.fault != nil && pe.cache.Contains(addr) && pe.fault.EvictLine() {
+		pe.cache.InvalidateRange(addr, addr)
 	}
 
 	// Cached path.
+	demoted := false
 	if val, gen, readyAt, hit := pe.cache.Lookup(addr); hit {
 		pe.now += mp.HitCost
 		if readyAt > pe.now {
 			pe.now = readyAt
 		}
-		if gen != m.Gen(addr) {
-			pe.eng.reportStale(pe, r, addr)
+		if pe.fault != nil && pe.eng.c.Mode != core.ModeIncoherent && gen != m.Gen(addr) {
+			// Degraded mode: never consume a stale hit — drop the line
+			// and fall through to a fresh demand fetch (§3.2).
+			pe.cache.InvalidateRange(addr, addr)
+			pe.demote()
+			demoted = true
+		} else {
+			pe.oracleCheck(r, addr, gen)
+			pe.record(addr, trace.KindHit)
+			return val
 		}
-		pe.record(addr, trace.KindHit)
-		return val
 	}
 
 	// Prefetch queue: the compiler scheduled this word ahead of time.
@@ -382,11 +408,19 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 			pe.stats.PrefetchLate++
 			pe.now = e.ReadyAt
 		}
-		if e.Gen != m.Gen(addr) {
-			pe.eng.reportStale(pe, r, addr)
+		if pe.fault != nil && pe.eng.c.Mode != core.ModeIncoherent && e.Gen != m.Gen(addr) {
+			// Degraded mode: discard the stale entry, refetch below.
+			pe.demote()
+		} else {
+			pe.oracleCheck(r, addr, e.Gen)
+			pe.record(addr, trace.KindPrefetched)
+			return e.Val
 		}
-		pe.record(addr, trace.KindPrefetched)
-		return e.Val
+	} else if r.Prefetched && !demoted {
+		// A scheduled prefetch never arrived (queue overflow, or an
+		// injected drop): the reference demotes to the demand fetch
+		// below, which is exactly the paper's bypass fallback.
+		pe.demote()
 	}
 
 	lineAddr := addr - addr%mp.LineWords
@@ -397,7 +431,8 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 		pe.stats.LocalReads++
 		pe.installLine(addr, pe.now)
 		pe.record(addr, trace.KindMiss)
-		v, _ := m.Read(addr)
+		v, g := m.Read(addr)
+		pe.oracleCheck(r, addr, g)
 		return v
 	}
 
@@ -405,17 +440,49 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 	// except in the deliberately broken INCOHERENT mode, which caches it
 	// with no coherence action (the failure the paper's scheme prevents).
 	if pe.eng.c.Mode == core.ModeIncoherent {
-		pe.now += mp.RemoteReadCost
+		pe.now += mp.RemoteReadCost + pe.remoteSpike()
 		pe.stats.RemoteReads++
 		pe.installLine(addr, pe.now)
 		pe.record(addr, trace.KindRemote)
-		v, _ := m.Read(addr)
+		v, g := m.Read(addr)
+		pe.oracleCheck(r, addr, g)
 		return v
 	}
-	pe.now += mp.RemoteReadCost
+	pe.now += mp.RemoteReadCost + pe.remoteSpike()
 	pe.stats.RemoteReads++
 	pe.record(addr, trace.KindRemote)
-	return m.Value(addr)
+	v, g := m.Read(addr)
+	pe.oracleCheck(r, addr, g)
+	return v
+}
+
+// oracleCheck is the coherence safety oracle: every word the simulated
+// program consumes must carry memory's current generation for its address.
+// The fast path is one atomic load and a compare.
+func (pe *peState) oracleCheck(r *ir.Ref, addr int64, gen uint32) {
+	if gen == pe.eng.mem.Gen(addr) {
+		return
+	}
+	pe.eng.reportStale(pe, r, addr, gen)
+}
+
+// remoteSpike draws an injected remote-latency spike (0 when fault-free).
+func (pe *peState) remoteSpike() int64 {
+	if pe.fault == nil {
+		return 0
+	}
+	return pe.fault.RemoteSpike()
+}
+
+// demote counts a bypass-fetch fallback and enforces the per-PE retry
+// budget when faults are enabled. Exhausting the budget panics; the engine
+// recovers it into a loud run failure naming the PE.
+func (pe *peState) demote() {
+	pe.stats.Demotions++
+	pe.demoted++
+	if pe.fault != nil && pe.demoted > pe.fault.MaxDemotions() {
+		panic(fmt.Sprintf("fault: demotion budget exhausted after %d bypass fallbacks", pe.demoted))
+	}
 }
 
 // writeRef performs a write (write-through, no-write-allocate).
@@ -511,9 +578,17 @@ func (pe *peState) issueAt(addr int64) {
 	mp := pe.eng.c.Machine
 	m := pe.eng.mem
 	pe.now += mp.PrefetchIssueCost
+	if pe.fault != nil && pe.fault.DropPrefetch() {
+		// The prefetch packet is lost in flight: the issue cost is paid
+		// but nothing arrives; the consuming read demotes (§3.2).
+		return
+	}
 	lat := mp.RemoteReadCost
 	if m.OwnerOf(addr) == pe.id {
 		lat = mp.LocalMemCost
+	}
+	if pe.fault != nil {
+		lat += pe.fault.LateDelay()
 	}
 	v, g := m.Read(addr)
 	pe.pq.Issue(pfq.Entry{Addr: addr, Val: v, Gen: g, ReadyAt: pe.now + lat})
@@ -536,14 +611,24 @@ func (pe *peState) vectorPrefetch(vp *ir.VectorPrefetch, lo, hi, step int64) {
 	} else {
 		delete(pe.env, vp.LoopVar)
 	}
-	cost := shmem.Get(pe.eng.mem, pe.cache, pe.eng.c.Machine, addrs, pe.now)
+	var lf *shmem.Faults
+	if pe.fault != nil {
+		lf = &shmem.Faults{DropLine: pe.fault.DropPrefetch, LateDelay: pe.fault.LateDelay}
+	}
+	cost, droppedLines := shmem.GetWithFaults(pe.eng.mem, pe.cache, pe.eng.c.Machine, addrs, pe.now, lf)
 	pe.now += cost
 	if pe.buffered == nil {
 		pe.buffered = map[int64]struct{}{}
 	}
 	lw := pe.eng.c.Machine.LineWords
 	for _, a := range addrs {
-		pe.buffered[a-a%lw] = struct{}{}
+		la := a - a%lw
+		if droppedLines[la] {
+			// Lost in flight: the line is neither cached nor locally
+			// buffered, so its reads fall back to demand remote fetches.
+			continue
+		}
+		pe.buffered[la] = struct{}{}
 	}
 	pe.stats.VectorPrefetches++
 	pe.stats.VectorWords += int64(len(addrs))

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []Kind
+		err  bool
+	}{
+		{"", AllKinds(), false},
+		{"all", AllKinds(), false},
+		{"drop", []Kind{KindDrop}, false},
+		{"late, drop", []Kind{KindDrop, KindLate}, false},
+		{"drop,drop,skew", []Kind{KindDrop, KindSkew}, false},
+		{"drop,late,spike,evict,skew", AllKinds(), false},
+		{"bogus", nil, true},
+		{"drop,warp", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKinds(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseKinds(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseKinds(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKinds(k.String())
+		if err != nil || len(got) != 1 || got[0] != k {
+			t.Errorf("round trip %v -> %v (%v)", k, got, err)
+		}
+	}
+}
+
+func TestDisabledPlanYieldsNilInjector(t *testing.T) {
+	if inj := NewInjector(Plan{}, 4); inj != nil {
+		t.Error("zero plan must give nil injector")
+	}
+	if inj := NewInjector(Plan{Rate: 0.5}, 4); inj != nil {
+		t.Error("plan without kinds must give nil injector")
+	}
+	if inj := NewInjector(Plan{Kinds: AllKinds()}, 4); inj != nil {
+		t.Error("rate-0 plan must give nil injector")
+	}
+}
+
+// drain pulls a fixed schedule of decisions from one PE stream.
+func drain(pe *PE, n int) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		out = append(out,
+			b2i(pe.DropPrefetch()), pe.LateDelay(), pe.RemoteSpike(),
+			b2i(pe.EvictLine()), pe.ClockSkew())
+	}
+	return out
+}
+
+func TestStreamsDeterministicPerSeed(t *testing.T) {
+	plan := Plan{Seed: 42, Rate: 0.3, Kinds: AllKinds()}
+	a := NewInjector(plan, 8)
+	b := NewInjector(plan, 8)
+	for id := 0; id < 8; id++ {
+		if !reflect.DeepEqual(drain(a.PE(id), 200), drain(b.PE(id), 200)) {
+			t.Fatalf("PE %d streams differ across equal-plan injectors", id)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts differ: %+v vs %+v", a.Counts(), b.Counts())
+	}
+}
+
+func TestStreamsIndependentAcrossPEsAndSeeds(t *testing.T) {
+	plan := Plan{Seed: 7, Rate: 0.5, Kinds: AllKinds()}
+	inj := NewInjector(plan, 2)
+	s0, s1 := drain(inj.PE(0), 300), drain(inj.PE(1), 300)
+	if reflect.DeepEqual(s0, s1) {
+		t.Error("distinct PEs produced identical streams")
+	}
+	other := NewInjector(Plan{Seed: 8, Rate: 0.5, Kinds: AllKinds()}, 2)
+	if reflect.DeepEqual(s0, drain(other.PE(0), 300)) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestOnlyEnabledKindsFire(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 1, Rate: 1, Kinds: []Kind{KindDrop}}, 1)
+	pe := inj.PE(0)
+	for i := 0; i < 50; i++ {
+		if !pe.DropPrefetch() {
+			t.Fatal("rate-1 drop did not fire")
+		}
+		if pe.LateDelay() != 0 || pe.RemoteSpike() != 0 || pe.EvictLine() || pe.ClockSkew() != 0 {
+			t.Fatal("disabled kind fired")
+		}
+	}
+	c := inj.Counts()
+	if c.Drops != 50 || c.Total() != 50 {
+		t.Fatalf("counts = %+v, want 50 drops only", c)
+	}
+}
+
+func TestDefaultsFilledAndMagnitudesUsed(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 1, Rate: 1, Kinds: AllKinds()}, 1)
+	p := inj.Plan()
+	if p.LateExtraCycles != DefaultLateExtraCycles ||
+		p.SpikeExtraCycles != DefaultSpikeExtraCycles ||
+		p.SkewMaxCycles != DefaultSkewMaxCycles ||
+		p.MaxDemotions != DefaultMaxDemotions {
+		t.Fatalf("defaults not filled: %+v", p)
+	}
+	pe := inj.PE(0)
+	if got := pe.LateDelay(); got != DefaultLateExtraCycles {
+		t.Errorf("LateDelay = %d, want %d", got, DefaultLateExtraCycles)
+	}
+	if got := pe.RemoteSpike(); got != DefaultSpikeExtraCycles {
+		t.Errorf("RemoteSpike = %d, want %d", got, DefaultSpikeExtraCycles)
+	}
+	for i := 0; i < 100; i++ {
+		if s := pe.ClockSkew(); s < 0 || s > DefaultSkewMaxCycles {
+			t.Fatalf("ClockSkew = %d outside [0,%d]", s, DefaultSkewMaxCycles)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Rate: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (Plan{Rate: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := (Plan{Rate: 0.5, Kinds: []Kind{Kind(99)}}).Validate(); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if err := (Plan{Rate: 0.5, Kinds: AllKinds()}).Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestReseedChangesStream(t *testing.T) {
+	plan := Plan{Seed: 3, Rate: 0.4, Kinds: AllKinds()}
+	base := drain(NewInjector(plan, 1).PE(0), 200)
+	r1 := plan.Reseed(1)
+	if r1.Seed == plan.Seed {
+		t.Fatal("Reseed(1) kept the seed")
+	}
+	if reflect.DeepEqual(base, drain(NewInjector(r1, 1).PE(0), 200)) {
+		t.Error("reseeded plan produced identical stream")
+	}
+	if r1again := plan.Reseed(1); r1again.Seed != r1.Seed {
+		t.Error("Reseed not deterministic")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := Violation{PE: 3, Addr: 1024, Ref: "A(i, j)", Gen: 4, MemGen: 9, Cycle: 777}
+	msg := v.Error()
+	for _, want := range []string{"PE 3", "A(i, j)", "1024", "gen 4", "mem gen 9", "777"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message %q missing %q", msg, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -32,6 +33,11 @@ type Row struct {
 	Improvement float64
 	BaseStats   stats.Stats
 	CCDPStats   stats.Stats
+	// BaseAttempts/CCDPAttempts count the runs it took to get a verified
+	// result under fault injection (1 = first try; 0 when the mode was
+	// skipped).
+	BaseAttempts int
+	CCDPAttempts int
 }
 
 // AppResult holds one application's sweep.
@@ -41,6 +47,10 @@ type AppResult struct {
 	Rows      []Row
 }
 
+// DefaultFaultRetries is how many extra attempts a failed faulted run gets
+// when Config.FaultRetries is unset.
+const DefaultFaultRetries = 2
+
 // Config tunes a sweep.
 type Config struct {
 	PECounts []int
@@ -48,6 +58,13 @@ type Config struct {
 	Tune func(*machine.Params)
 	// Modes restricts which parallel modes run (default BASE and CCDP).
 	SkipBase bool
+	// Fault configures seeded fault injection for the parallel runs. The
+	// sequential golden run is never faulted — it defines correctness.
+	Fault fault.Plan
+	// FaultRetries is how many extra attempts a failed faulted run gets,
+	// each with a reseeded fault plan and cold caches
+	// (default DefaultFaultRetries; ignored when faults are off).
+	FaultRetries int
 }
 
 // RunApp sweeps one application. Every parallel run's check arrays are
@@ -65,7 +82,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 		return mp
 	}
 
-	seq, err := runOne(s, core.ModeSeq, mk(1))
+	seq, err := runOne(s, core.ModeSeq, mk(1), fault.Plan{})
 	if err != nil {
 		return nil, fmt.Errorf("%s SEQ: %w", s.Name, err)
 	}
@@ -76,8 +93,9 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 		mode core.Mode
 	}
 	type out struct {
-		res *exec.Result
-		err error
+		res      *exec.Result
+		attempts int
+		err      error
 	}
 	jobs := []job{}
 	for _, p := range pes {
@@ -96,12 +114,9 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := runOne(s, jb.mode, mk(jb.pe))
-			if err == nil {
-				err = verify(s, golden, r)
-			}
+			r, attempts, err := runVerified(s, jb.mode, mk(jb.pe), golden, cfg)
 			mu.Lock()
-			results[jb] = out{r, err}
+			results[jb] = out{r, attempts, err}
 			mu.Unlock()
 		}(jb)
 	}
@@ -118,6 +133,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 			row.BaseCycles = o.res.Cycles
 			row.BaseSpeedup = float64(seq.Cycles) / float64(o.res.Cycles)
 			row.BaseStats = o.res.Stats
+			row.BaseAttempts = o.attempts
 		}
 		o := results[job{p, core.ModeCCDP}]
 		if o.err != nil {
@@ -126,6 +142,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 		row.CCDPCycles = o.res.Cycles
 		row.CCDPSpeedup = float64(seq.Cycles) / float64(o.res.Cycles)
 		row.CCDPStats = o.res.Stats
+		row.CCDPAttempts = o.attempts
 		if row.BaseCycles > 0 {
 			row.Improvement = 100 * (1 - float64(row.CCDPCycles)/float64(row.BaseCycles))
 		}
@@ -134,16 +151,52 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 	return ar, nil
 }
 
-func runOne(s *workloads.Spec, mode core.Mode, mp machine.Params) (*exec.Result, error) {
+func runOne(s *workloads.Spec, mode core.Mode, mp machine.Params, plan fault.Plan) (*exec.Result, error) {
 	c, err := core.Compile(s.Prog, mode, mp)
 	if err != nil {
 		return nil, err
 	}
-	res, err := exec.Run(c, exec.Options{FailOnStale: true})
+	res, err := exec.Run(c, exec.Options{FailOnStale: true, Fault: plan})
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// runVerified runs one configuration and verifies it against the golden
+// arrays. Under fault injection a failed run is retried with a reseeded
+// fault plan and cold caches, up to the configured budget; the returned
+// error after exhaustion names the fault that killed the first attempt.
+func runVerified(s *workloads.Spec, mode core.Mode, mp machine.Params, golden map[string][]float64, cfg Config) (*exec.Result, int, error) {
+	retries := 0
+	if cfg.Fault.Enabled() {
+		retries = cfg.FaultRetries
+		if retries <= 0 {
+			retries = DefaultFaultRetries
+		}
+	}
+	var firstErr error
+	for attempt := 0; ; attempt++ {
+		plan := cfg.Fault.Reseed(attempt) // attempt 0 keeps the seed
+		r, err := runOne(s, mode, mp, plan)
+		if err == nil {
+			err = verify(s, golden, r)
+		}
+		if err == nil {
+			return r, attempt + 1, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if attempt >= retries {
+			if retries > 0 {
+				return nil, attempt + 1, fmt.Errorf(
+					"killed by injected faults (%s) after %d attempts: %w",
+					cfg.Fault, attempt+1, firstErr)
+			}
+			return nil, attempt + 1, firstErr
+		}
+	}
 }
 
 func snapshot(s *workloads.Spec, r *exec.Result) map[string][]float64 {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/report"
@@ -76,5 +77,43 @@ func TestConfigTuneApplies(t *testing.T) {
 	if tuned.Rows[0].Improvement >= plain.Rows[0].Improvement {
 		t.Errorf("tuning did not shrink improvement: %.2f vs %.2f",
 			tuned.Rows[0].Improvement, plain.Rows[0].Improvement)
+	}
+}
+
+func TestRunAppWithFaultsSurvivesVerified(t *testing.T) {
+	s := workloads.MXM(32, 16, 8)
+	plan := fault.Plan{Seed: 3, Rate: 0.02, Kinds: fault.AllKinds()}
+	ar, err := harness.RunApp(s, harness.Config{PECounts: []int{4}, Fault: plan})
+	if err != nil {
+		t.Fatalf("faulted sweep did not survive: %v", err)
+	}
+	r := ar.Rows[0]
+	if r.CCDPAttempts < 1 || r.BaseAttempts < 1 {
+		t.Errorf("attempts not recorded: ccdp=%d base=%d", r.CCDPAttempts, r.BaseAttempts)
+	}
+	if r.CCDPStats.FaultsInjected()+r.BaseStats.FaultsInjected() == 0 {
+		t.Error("no faults injected at rate 0.02")
+	}
+	if r.CCDPStats.OracleViolations != 0 || r.BaseStats.OracleViolations != 0 {
+		t.Errorf("oracle violations in a verified run: ccdp=%d base=%d",
+			r.CCDPStats.OracleViolations, r.BaseStats.OracleViolations)
+	}
+}
+
+func TestRunAppFaultRateZeroMatchesFaultFree(t *testing.T) {
+	s := workloads.MXM(32, 16, 8)
+	free, err := harness.RunApp(s, harness.Config{PECounts: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := harness.RunApp(s, harness.Config{PECounts: []int{2}, Fault: fault.Plan{Seed: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Rows[0].CCDPCycles != free.Rows[0].CCDPCycles ||
+		zero.Rows[0].BaseCycles != free.Rows[0].BaseCycles {
+		t.Errorf("rate-0 plan changed cycles: ccdp %d vs %d, base %d vs %d",
+			zero.Rows[0].CCDPCycles, free.Rows[0].CCDPCycles,
+			zero.Rows[0].BaseCycles, free.Rows[0].BaseCycles)
 	}
 }

@@ -58,31 +58,60 @@ func Table2(results []*harness.AppResult) string {
 }
 
 // Details renders per-configuration cycle counts and key metrics for one
-// application (diagnostics beyond the paper's tables).
+// application (diagnostics beyond the paper's tables). Fault columns are
+// shown when any row saw injected faults or demotions.
 func Details(ar *harness.AppResult) string {
+	faulty := false
+	for _, r := range ar.Rows {
+		if r.CCDPStats.FaultsInjected() > 0 || r.CCDPStats.Demotions > 0 ||
+			r.BaseStats.FaultsInjected() > 0 {
+			faulty = true
+			break
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: sequential %d cycles\n", ar.Name, ar.SeqCycles)
-	fmt.Fprintf(&b, "%4s %14s %14s %8s %10s %10s %10s %10s\n",
+	fmt.Fprintf(&b, "%4s %14s %14s %8s %10s %10s %10s %10s",
 		"PEs", "BASE cycles", "CCDP cycles", "improv", "hits", "remote", "pf", "vector-w")
+	if faulty {
+		fmt.Fprintf(&b, " %8s %8s %8s %8s", "faults", "demotion", "oracle", "attempts")
+	}
+	b.WriteString("\n")
 	for _, r := range ar.Rows {
-		fmt.Fprintf(&b, "%4d %14d %14d %7.2f%% %10d %10d %10d %10d\n",
+		fmt.Fprintf(&b, "%4d %14d %14d %7.2f%% %10d %10d %10d %10d",
 			r.PEs, r.BaseCycles, r.CCDPCycles, r.Improvement,
 			r.CCDPStats.Hits, r.CCDPStats.RemoteReads,
 			r.CCDPStats.PrefetchIssued, r.CCDPStats.VectorWords)
+		if faulty {
+			fmt.Fprintf(&b, " %8d %8d %8d %8d",
+				r.CCDPStats.FaultsInjected()+r.BaseStats.FaultsInjected(),
+				r.CCDPStats.Demotions,
+				r.CCDPStats.OracleViolations+r.BaseStats.OracleViolations,
+				r.CCDPAttempts)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
 
 // CSV renders both tables' data in machine-readable form: one row per
-// (application, PE count) with cycles, speedups and improvement.
+// (application, PE count) with cycles, speedups, improvement, and the
+// fault-injection counters (all zero in fault-free runs).
 func CSV(results []*harness.AppResult) string {
 	var b strings.Builder
-	b.WriteString("app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct\n")
+	b.WriteString("app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct," +
+		"drops,late,demotions,oracle_violations,attempts\n")
 	for _, ar := range results {
 		for _, r := range ar.Rows {
-			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f\n",
+			s := &r.CCDPStats
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d\n",
 				ar.Name, r.PEs, ar.SeqCycles, r.BaseCycles, r.CCDPCycles,
-				r.BaseSpeedup, r.CCDPSpeedup, r.Improvement)
+				r.BaseSpeedup, r.CCDPSpeedup, r.Improvement,
+				s.FaultDrops+r.BaseStats.FaultDrops,
+				s.FaultLate+r.BaseStats.FaultLate,
+				s.Demotions+r.BaseStats.Demotions,
+				s.OracleViolations+r.BaseStats.OracleViolations,
+				r.CCDPAttempts)
 		}
 	}
 	return b.String()

@@ -8,38 +8,78 @@
 package shmem
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/mem"
 )
 
+// Faults carries optional fault-injection hooks for one transfer; nil (or a
+// nil field) disables that fault. Hooks are polled once per distinct cache
+// line in address order, so a seeded caller sees a deterministic schedule.
+type Faults struct {
+	// DropLine reports that the line is lost in flight: it is charged for
+	// but not installed.
+	DropLine func() bool
+	// LateDelay returns extra cycles before the line becomes usable
+	// (added to the installed line's ready time).
+	LateDelay func() int64
+}
+
 // Get transfers the given word addresses from (possibly remote) memory into
 // the PE's cache, fresh as of now, and returns the cycle cost of the
 // blocking transfer. Addresses need not be contiguous (strided gets are one
 // shmem_iget); each touched cache line is installed whole from memory so
-// the generation stamps stay word-accurate.
+// the generation stamps stay word-accurate. Requesting an address outside
+// the laid-out memory is a program bug and panics — fabricating zeros here
+// would silently corrupt results.
 func Get(m *mem.Memory, c *cache.Cache, mp machine.Params, addrs []int64, now int64) int64 {
+	cost, _ := GetWithFaults(m, c, mp, addrs, now, nil)
+	return cost
+}
+
+// GetWithFaults is Get with fault injection: dropped lines are charged for
+// but not installed (the caller must not treat them as locally buffered),
+// late lines are installed with a delayed ready time. The returned dropped
+// set is keyed by line address; it is nil when nothing was dropped.
+func GetWithFaults(m *mem.Memory, c *cache.Cache, mp machine.Params, addrs []int64, now int64, f *Faults) (cost int64, dropped map[int64]bool) {
 	if len(addrs) == 0 {
-		return 0
+		return 0, nil
 	}
 	lw := mp.LineWords
 	seen := map[int64]bool{}
 	vals := make([]float64, lw)
 	gens := make([]uint32, lw)
 	for _, a := range addrs {
+		if a < 0 || a >= m.Words() {
+			panic(fmt.Sprintf("shmem: get of out-of-range address %d (memory is %d words)", a, m.Words()))
+		}
 		la := a - a%lw
 		if seen[la] {
 			continue
 		}
 		seen[la] = true
-		for k := int64(0); k < lw; k++ {
-			if la+k < m.Words() {
-				vals[k], gens[k] = m.Read(la + k)
-			} else {
-				vals[k], gens[k] = 0, 0
+		if f != nil && f.DropLine != nil && f.DropLine() {
+			if dropped == nil {
+				dropped = map[int64]bool{}
 			}
+			dropped[la] = true
+			continue
 		}
-		c.Install(la, vals, gens, now)
+		readyAt := now
+		if f != nil && f.LateDelay != nil {
+			readyAt += f.LateDelay()
+		}
+		for k := int64(0); k < lw; k++ {
+			if la+k >= m.Words() {
+				// mem.Layout aligns the total to a line boundary, so a
+				// valid word's line never extends past memory.
+				panic(fmt.Sprintf("shmem: line %d of word %d extends past memory (%d words)", la, a, m.Words()))
+			}
+			vals[k], gens[k] = m.Read(la + k)
+		}
+		c.Install(la, vals, gens, readyAt)
 	}
-	return mp.ShmemStartupCost + int64(len(addrs))*mp.ShmemPerWordCost
+	return mp.ShmemStartupCost + int64(len(addrs))*mp.ShmemPerWordCost, dropped
 }

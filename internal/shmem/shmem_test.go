@@ -66,6 +66,45 @@ func TestGetEmpty(t *testing.T) {
 	}
 }
 
+func TestGetOutOfRangePanics(t *testing.T) {
+	m, c, mp, _ := setup(t)
+	for _, bad := range []int64{-1, m.Words(), m.Words() + 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(addr=%d) did not panic", bad)
+				}
+			}()
+			Get(m, c, mp, []int64{bad}, 0)
+		}()
+	}
+}
+
+func TestGetWithFaultsDropAndLate(t *testing.T) {
+	m, c, mp, a := setup(t)
+	// Two distinct lines; drop the first, delay the second.
+	addrs := []int64{a.Base, a.Base + 8}
+	calls := 0
+	f := &Faults{
+		DropLine:  func() bool { calls++; return calls == 1 },
+		LateDelay: func() int64 { return 500 },
+	}
+	cost, dropped := GetWithFaults(m, c, mp, addrs, 100, f)
+	if want := mp.ShmemStartupCost + 2*mp.ShmemPerWordCost; cost != want {
+		t.Errorf("cost = %d, want %d (dropped lines are still charged)", cost, want)
+	}
+	if !dropped[a.Base] || len(dropped) != 1 {
+		t.Errorf("dropped = %v, want {%d}", dropped, a.Base)
+	}
+	if c.Contains(a.Base) {
+		t.Error("dropped line was installed")
+	}
+	_, _, ready, hit := c.Lookup(a.Base + 8)
+	if !hit || ready != 600 {
+		t.Errorf("late line hit=%v ready=%d, want hit at 600", hit, ready)
+	}
+}
+
 func TestStridedGet(t *testing.T) {
 	m, c, mp, a := setup(t)
 	// Stride 8: each word on its own line.

@@ -34,6 +34,17 @@ type Stats struct {
 	InvalidatedLines int64
 	StaleValueReads  int64 // coherence violations observed (must be 0)
 
+	// Fault-injection accounting (internal/fault). All zero in a
+	// fault-free run except Demotions, which also counts natural
+	// queue-overflow fallbacks.
+	Demotions        int64 // prefetched refs demoted to a bypass fetch (§3.2)
+	OracleViolations int64 // stale consumptions flagged by the safety oracle
+	FaultDrops       int64 // injected prefetch drops
+	FaultLate        int64 // injected late prefetch arrivals
+	FaultSpikes      int64 // injected remote-latency spikes
+	FaultEvictions   int64 // injected forced cache evictions
+	FaultSkews       int64 // injected per-epoch clock skews
+
 	FlopCycles int64
 }
 
@@ -57,7 +68,19 @@ func (s *Stats) Merge(o *Stats) {
 	s.VectorWords += o.VectorWords
 	s.InvalidatedLines += o.InvalidatedLines
 	s.StaleValueReads += o.StaleValueReads
+	s.Demotions += o.Demotions
+	s.OracleViolations += o.OracleViolations
+	s.FaultDrops += o.FaultDrops
+	s.FaultLate += o.FaultLate
+	s.FaultSpikes += o.FaultSpikes
+	s.FaultEvictions += o.FaultEvictions
+	s.FaultSkews += o.FaultSkews
 	s.FlopCycles += o.FlopCycles
+}
+
+// FaultsInjected is the total number of injected faults of every kind.
+func (s *Stats) FaultsInjected() int64 {
+	return s.FaultDrops + s.FaultLate + s.FaultSpikes + s.FaultEvictions + s.FaultSkews
 }
 
 // String renders a compact multi-line report.
@@ -71,5 +94,10 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "prefetch: issued=%d consumed=%d late=%d dropped=%d unused=%d vector=%d(%d words)",
 		s.PrefetchIssued, s.PrefetchConsumed, s.PrefetchLate, s.PrefetchDropped, s.PrefetchUnused,
 		s.VectorPrefetches, s.VectorWords)
+	if s.FaultsInjected() > 0 || s.Demotions > 0 || s.OracleViolations > 0 {
+		fmt.Fprintf(&b, "\nfault: drops=%d late=%d spikes=%d evictions=%d skews=%d demotions=%d oracle-violations=%d",
+			s.FaultDrops, s.FaultLate, s.FaultSpikes, s.FaultEvictions, s.FaultSkews,
+			s.Demotions, s.OracleViolations)
+	}
 	return b.String()
 }

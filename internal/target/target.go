@@ -1,0 +1,172 @@
+// Package target implements the prefetch target analysis of paper §4.2
+// (Figure 1): given the set of potentially-stale read references the stale
+// reference analysis produced, select the subset prefetches are actually
+// scheduled for.
+//
+// The analysis walks the program's inner loops and serial code segments
+// (the same region decomposition the scheduler uses) and, per region,
+// partitions the candidate references into group-spatial classes
+// (uniformly generated references whose constant address offsets fall
+// within one cache line — internal/locality). Only the *leading* reference
+// of each class becomes a prefetch target: its prefetch brings the cache
+// line that serves the whole group, so prefetching the other members would
+// only waste queue slots and bandwidth. Non-leading members are dropped
+// and recorded as covered by their leader; scalar candidates are dropped
+// outright (scalars are kept coherent by the epoch-boundary broadcast, and
+// have no array address to prefetch). References the front end cannot
+// express affinely never reach this analysis — the IR's subscripts are
+// affine by construction — so the paper's "conservatively keep non-affine
+// references" rule is vacuous here.
+package target
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/locality"
+)
+
+// Drop is the reason a candidate was not selected as a prefetch target.
+// Drop values carry no reference IDs, so the core pipeline's
+// post-scheduling ID remap can copy them untouched.
+type Drop int
+
+const (
+	// DropCovered marks a non-leading member of a group-spatial class:
+	// the class leader's prefetch brings the line that serves it.
+	DropCovered Drop = iota
+	// DropScalar marks a scalar candidate: no array address to prefetch.
+	DropScalar
+)
+
+func (d Drop) String() string {
+	switch d {
+	case DropCovered:
+		return "covered by group-spatial leader"
+	case DropScalar:
+		return "scalar reference"
+	default:
+		return fmt.Sprintf("Drop(%d)", int(d))
+	}
+}
+
+// Result is the output of the prefetch target analysis.
+type Result struct {
+	// Targets marks the references the scheduler will try to cover with
+	// prefetches.
+	Targets map[ir.RefID]bool
+	// Dropped records every candidate that did not become a target, with
+	// the reason.
+	Dropped map[ir.RefID]Drop
+	// CoveredBy maps each group-spatial-dropped candidate to the leader
+	// whose prefetch covers it.
+	CoveredBy map[ir.RefID]ir.RefID
+	// RegionOf is the inner loop or serial code segment each target sits
+	// in (the unit the scheduler dispatches on).
+	RegionOf map[ir.RefID]*ir.Region
+}
+
+// Analyze runs the Figure 1 algorithm over the program. candidates is the
+// RefID set produced by the stale reference analysis (possibly widened by
+// the §6 non-stale extension); lineWords is the cache line size in words.
+// The program is not mutated.
+func Analyze(prog *ir.Program, candidates map[ir.RefID]bool, lineWords int64) *Result {
+	if lineWords <= 0 {
+		lineWords = 1
+	}
+	res := &Result{
+		Targets:   map[ir.RefID]bool{},
+		Dropped:   map[ir.RefID]Drop{},
+		CoveredBy: map[ir.RefID]ir.RefID{},
+		RegionOf:  map[ir.RefID]*ir.Region{},
+	}
+	for _, reg := range ir.Regions(prog) {
+		var cand []*ir.Ref
+		seen := map[ir.RefID]bool{}
+		reads, _ := reg.RefsIn()
+		for _, r := range reads {
+			if !candidates[r.ID] || seen[r.ID] {
+				continue
+			}
+			seen[r.ID] = true
+			if r.IsScalar() {
+				res.Dropped[r.ID] = DropScalar
+				continue
+			}
+			cand = append(cand, r)
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		sort.Slice(cand, func(i, j int) bool { return cand[i].ID < cand[j].ID })
+		innerVar := ""
+		if reg.IsLoop() {
+			innerVar = reg.Loop.Var
+		}
+		for _, g := range locality.GroupSpatial(cand, innerVar, lineWords) {
+			res.Targets[g.Leader.ID] = true
+			res.RegionOf[g.Leader.ID] = reg
+			for _, m := range g.Members {
+				if m.ID == g.Leader.ID {
+					continue
+				}
+				res.Dropped[m.ID] = DropCovered
+				res.CoveredBy[m.ID] = g.Leader.ID
+			}
+		}
+	}
+	return res
+}
+
+// regionLabel renders a short human-readable region description.
+func regionLabel(reg *ir.Region) string {
+	if reg == nil {
+		return "?"
+	}
+	if reg.IsLoop() {
+		kind := "serial"
+		if reg.Loop.Parallel {
+			kind = "DOALL"
+		}
+		return fmt.Sprintf("%s inner loop %s in %s", kind, reg.Loop.Var, reg.Routine)
+	}
+	return fmt.Sprintf("serial segment in %s", reg.Routine)
+}
+
+// Report renders the analysis for the ccdpc driver.
+func (r *Result) Report(prog *ir.Program) string {
+	var b strings.Builder
+	covered := 0
+	for _, d := range r.Dropped {
+		if d == DropCovered {
+			covered++
+		}
+	}
+	fmt.Fprintf(&b, "prefetch target analysis: %d targets, %d dropped (%d covered by group-spatial leaders)\n",
+		len(r.Targets), len(r.Dropped), covered)
+
+	ids := make([]ir.RefID, 0, len(r.Targets))
+	for id := range r.Targets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  target %s (%s)\n", prog.Ref(id), regionLabel(r.RegionOf[id]))
+	}
+
+	ids = ids[:0]
+	for id := range r.Dropped {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  drop %s: %s", prog.Ref(id), r.Dropped[id])
+		if leader, ok := r.CoveredBy[id]; ok {
+			fmt.Fprintf(&b, " %s", prog.Ref(leader))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

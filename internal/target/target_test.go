@@ -1,0 +1,158 @@
+package target_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stale"
+	"repro/internal/target"
+)
+
+// analyze builds a program, runs stale analysis for numPE PEs, and feeds the
+// stale read set through the prefetch target analysis.
+func analyze(t *testing.T, numPE int, build func(b *ir.Builder)) (*ir.Program, *target.Result) {
+	t.Helper()
+	b := ir.NewBuilder("t")
+	build(b)
+	p := b.Build()
+	mp := machine.T3D(numPE)
+	mem.Layout(p, mp.LineWords)
+	sres, err := stale.Analyze(p, numPE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, target.Analyze(p, sres.StaleReads, mp.LineWords)
+}
+
+func refID(t *testing.T, p *ir.Program, needle string) ir.RefID {
+	t.Helper()
+	for _, r := range p.Refs() {
+		if strings.Contains(r.String(), needle) {
+			return r.ID
+		}
+	}
+	t.Fatalf("no ref matching %q", needle)
+	return 0
+}
+
+// Adjacent stale reads in one inner loop collapse to a single group-spatial
+// leader; the trailing member is dropped and points back at the leader.
+func TestGroupSpatialLeaderSelected(t *testing.T) {
+	p, tres := analyze(t, 4, func(b *ir.Builder) {
+		a := b.SharedArray("A", 512)
+		c := b.SharedArray("C", 512)
+		b.Routine("main",
+			ir.DoSerial("i0", ir.K(0), ir.K(511),
+				ir.Set(ir.At(a, ir.I("i0")), ir.N(1))),
+			ir.DoAll("j", ir.K(0), ir.K(510),
+				ir.Set(ir.At(c, ir.I("j")),
+					ir.Add(ir.L(ir.At(a, ir.I("j"))),
+						ir.L(ir.At(a, ir.I("j").AddConst(1)))))),
+		)
+	})
+	lead := refID(t, p, "A(j + 1)")
+	tail := refID(t, p, "A(j)")
+	if !tres.Targets[lead] {
+		t.Errorf("leader A(j + 1) not a target; targets=%v", tres.Targets)
+	}
+	if tres.Targets[tail] {
+		t.Error("covered member A(j) should not be a target")
+	}
+	if d, ok := tres.Dropped[tail]; !ok || d != target.DropCovered {
+		t.Errorf("A(j) drop = %v, %v; want DropCovered", d, ok)
+	}
+	if tres.CoveredBy[tail] != lead {
+		t.Errorf("CoveredBy[A(j)] = %v, want leader %v", tres.CoveredBy[tail], lead)
+	}
+	if reg := tres.RegionOf[lead]; reg == nil || !reg.IsLoop() || reg.Loop.Var != "j" {
+		t.Errorf("RegionOf[leader] = %+v, want the j loop region", reg)
+	}
+}
+
+// Refs a full line apart have no spatial reuse: both stay targets.
+func TestDistantRefsBothTargets(t *testing.T) {
+	p, tres := analyze(t, 4, func(b *ir.Builder) {
+		a := b.SharedArray("A", 512)
+		c := b.SharedArray("C", 512)
+		b.Routine("main",
+			ir.DoSerial("i0", ir.K(0), ir.K(511),
+				ir.Set(ir.At(a, ir.I("i0")), ir.N(1))),
+			ir.DoAll("j", ir.K(0), ir.K(255),
+				ir.Set(ir.At(c, ir.I("j")),
+					ir.Add(ir.L(ir.At(a, ir.I("j"))),
+						ir.L(ir.At(a, ir.I("j").AddConst(256)))))),
+		)
+	})
+	for _, needle := range []string{"A(j)", "A(j + 256)"} {
+		if !tres.Targets[refID(t, p, needle)] {
+			t.Errorf("%s should be its own target", needle)
+		}
+	}
+}
+
+// Scalar candidates (possible if a future analysis widens the candidate
+// set) are dropped with DropScalar, never targeted.
+func TestScalarCandidateDropped(t *testing.T) {
+	b := ir.NewBuilder("t")
+	c := b.SharedArray("C", 64)
+	b.Routine("main",
+		ir.DoSerial("z", ir.K(0), ir.K(0), ir.Set(ir.S("s1"), ir.N(3))),
+		ir.DoAll("j", ir.K(0), ir.K(63),
+			ir.Set(ir.At(c, ir.I("j")), ir.L(ir.S("s1")))),
+	)
+	p := b.Build()
+	mp := machine.T3D(4)
+	mem.Layout(p, mp.LineWords)
+
+	cands := map[ir.RefID]bool{}
+	for _, r := range p.Refs() {
+		if r.IsScalar() && r.Scalar == "s1" {
+			cands[r.ID] = true
+		}
+	}
+	if len(cands) == 0 {
+		t.Fatal("no scalar refs found")
+	}
+	tres := target.Analyze(p, cands, mp.LineWords)
+	if len(tres.Targets) != 0 {
+		t.Errorf("scalar s1 must not be a prefetch target; targets=%v", tres.Targets)
+	}
+	sawScalarDrop := false
+	for id, d := range tres.Dropped {
+		if !cands[id] || d != target.DropScalar {
+			t.Errorf("drop %v=%v; want DropScalar on a candidate", id, d)
+		}
+		sawScalarDrop = true
+	}
+	if !sawScalarDrop {
+		t.Error("scalar read candidate was not recorded as dropped")
+	}
+}
+
+// Report is deterministic and carries the header the drivers grep for.
+func TestReportDeterministic(t *testing.T) {
+	p, tres := analyze(t, 4, func(b *ir.Builder) {
+		a := b.SharedArray("A", 512)
+		c := b.SharedArray("C", 512)
+		b.Routine("main",
+			ir.DoSerial("i0", ir.K(0), ir.K(511),
+				ir.Set(ir.At(a, ir.I("i0")), ir.N(1))),
+			ir.DoAll("j", ir.K(0), ir.K(510),
+				ir.Set(ir.At(c, ir.I("j")),
+					ir.Add(ir.L(ir.At(a, ir.I("j"))),
+						ir.L(ir.At(a, ir.I("j").AddConst(1)))))),
+		)
+	})
+	first := tres.Report(p)
+	if !strings.Contains(first, "prefetch target analysis") {
+		t.Fatalf("report missing header:\n%s", first)
+	}
+	for i := 0; i < 10; i++ {
+		if got := tres.Report(p); got != first {
+			t.Fatalf("report not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
