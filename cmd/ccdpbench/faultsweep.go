@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/noc"
 	"repro/internal/workloads"
 )
 
@@ -16,8 +17,10 @@ import (
 // trial, every run verified bit-for-bit against the fault-free sequential
 // golden) and reports how many survived — completed verified, possibly via
 // demotion/retry — plus the cycle overhead degraded operation cost over the
-// fault-free baseline.
-func runFaultSweep(specs []*workloads.Spec, peCounts []int, kindsFlag, ratesFlag string, trials int, seed int64) error {
+// fault-free baseline. Over a torus topology the congestion-timeout
+// prefetch drops (contention-induced demotions) are reported in their own
+// column, separately from the fault-induced demotions.
+func runFaultSweep(specs []*workloads.Spec, peCounts []int, topo noc.Config, kindsFlag, ratesFlag string, trials int, seed int64) error {
 	kinds, err := fault.ParseKinds(kindsFlag)
 	if err != nil {
 		return err
@@ -30,26 +33,28 @@ func runFaultSweep(specs []*workloads.Spec, peCounts []int, kindsFlag, ratesFlag
 		trials = 1
 	}
 
-	fmt.Printf("Fault sweep: kinds=%s trials=%d pes=%v (CCDP cycles at the largest PE count)\n\n",
-		fault.FormatKinds(kinds), trials, peCounts)
-	fmt.Printf("%-8s %8s %10s %9s %12s %9s %8s %10s %8s\n",
-		"app", "rate", "survived", "attempts", "ccdp_cycles", "overhead", "faults", "demotions", "oracle")
+	fmt.Printf("Fault sweep: kinds=%s trials=%d pes=%v topology=%s (CCDP cycles at the largest PE count)\n\n",
+		fault.FormatKinds(kinds), trials, peCounts, topo)
+	fmt.Printf("%-8s %8s %10s %9s %12s %9s %8s %10s %9s %8s\n",
+		"app", "rate", "survived", "attempts", "ccdp_cycles", "overhead", "faults", "demotions", "cont-drop", "oracle")
 
 	for _, s := range specs {
 		fmt.Fprintf(os.Stderr, "sweeping %s...\n", s.Name)
-		// Fault-free baseline for the overhead column.
-		base, err := harness.RunApp(s, harness.Config{PECounts: peCounts})
+		// Fault-free baseline for the overhead column (same topology: the
+		// overhead must isolate the faults, not the interconnect model).
+		base, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Topology: topo})
 		if err != nil {
 			return fmt.Errorf("%s baseline: %w", s.Name, err)
 		}
 		baseRow := base.Rows[len(base.Rows)-1]
-		fmt.Printf("%-8s %8g %10s %9s %12d %9s %8d %10d %8d\n",
+		fmt.Printf("%-8s %8g %10s %9s %12d %9s %8d %10d %9d %8d\n",
 			s.Name, 0.0, fmt.Sprintf("%d/%d", trials, trials), "1.0",
-			baseRow.CCDPCycles, "+0.00%", 0, baseRow.CCDPStats.Demotions, 0)
+			baseRow.CCDPCycles, "+0.00%", 0, baseRow.CCDPStats.Demotions,
+			baseRow.CCDPStats.NetDrops, 0)
 
 		for _, rate := range rates {
 			survived, attempts := 0, 0
-			var cycles, faults, demotions, oracle int64
+			var cycles, faults, demotions, contDrops, oracle int64
 			var lastErr error
 			for trial := 0; trial < trials; trial++ {
 				plan := fault.Plan{
@@ -57,7 +62,7 @@ func runFaultSweep(specs []*workloads.Spec, peCounts []int, kindsFlag, ratesFlag
 					Rate:  rate,
 					Kinds: kinds,
 				}
-				ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan})
+				ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo})
 				if err != nil {
 					lastErr = err
 					continue
@@ -68,20 +73,21 @@ func runFaultSweep(specs []*workloads.Spec, peCounts []int, kindsFlag, ratesFlag
 				cycles += row.CCDPCycles
 				faults += row.CCDPStats.FaultsInjected() + row.BaseStats.FaultsInjected()
 				demotions += row.CCDPStats.Demotions
+				contDrops += row.CCDPStats.NetDrops
 				oracle += row.CCDPStats.OracleViolations + row.BaseStats.OracleViolations
 			}
 			if survived == 0 {
-				fmt.Printf("%-8s %8g %10s %9s %12s %9s %8s %10s %8s  (last: %v)\n",
-					s.Name, rate, fmt.Sprintf("0/%d", trials), "-", "-", "-", "-", "-", "-", lastErr)
+				fmt.Printf("%-8s %8g %10s %9s %12s %9s %8s %10s %9s %8s  (last: %v)\n",
+					s.Name, rate, fmt.Sprintf("0/%d", trials), "-", "-", "-", "-", "-", "-", "-", lastErr)
 				continue
 			}
 			n := int64(survived)
 			avgCycles := cycles / n
 			overhead := 100 * (float64(avgCycles)/float64(baseRow.CCDPCycles) - 1)
-			fmt.Printf("%-8s %8g %10s %9.1f %12d %+8.2f%% %8d %10d %8d\n",
+			fmt.Printf("%-8s %8g %10s %9.1f %12d %+8.2f%% %8d %10d %9d %8d\n",
 				s.Name, rate, fmt.Sprintf("%d/%d", survived, trials),
 				float64(attempts)/float64(survived), avgCycles, overhead,
-				faults/n, demotions/n, oracle/n)
+				faults/n, demotions/n, contDrops/n, oracle/n)
 		}
 		fmt.Println()
 	}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	ccdpbench [-table 1|2|all] [-apps MXM,VPENTA,TOMCATV,SWIM] [-pes 1,2,4,...]
-//	          [-scale small|paper] [-ablation vpg|mbp|nonstale] [-details]
+//	          [-scale small|paper] [-topology flat|torus|XxYxZ]
+//	          [-ablation vpg|mbp|nonstale] [-details]
 //	          [-fault-rate 0.01] [-fault-kinds all] [-fault-seed 1]
 //	          [-faultsweep] [-fault-rates 0.001,0.01,0.05] [-fault-trials 3]
 package main
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/noc"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -29,6 +31,7 @@ func main() {
 	apps := flag.String("apps", "MXM,VPENTA,TOMCATV,SWIM", "comma-separated application list")
 	pes := flag.String("pes", "1,2,4,8,16,32,64", "comma-separated PE counts")
 	scale := flag.String("scale", "paper", "problem scale: small or paper")
+	topology := flag.String("topology", "flat", "interconnect model: flat, torus (auto dims) or XxYxZ")
 	details := flag.Bool("details", false, "print per-configuration details")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	ablation := flag.String("ablation", "", "run an ablation instead: vpg, mbp or nonstale")
@@ -49,13 +52,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	topo, err := noc.Parse(*topology)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *faultSweep {
 		specs, err := selectApps(*apps, *scale)
 		if err != nil {
 			fatal(err)
 		}
-		if err := runFaultSweep(specs, peCounts, *faultKinds, *faultRates, *faultTrials, *faultSeed); err != nil {
+		if err := runFaultSweep(specs, peCounts, topo, *faultKinds, *faultRates, *faultTrials, *faultSeed); err != nil {
 			fatal(err)
 		}
 		return
@@ -81,7 +88,7 @@ func main() {
 	var results []*harness.AppResult
 	for _, s := range specs {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Description)
-		ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan})
+		ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo})
 		if err != nil {
 			fatal(err)
 		}

@@ -22,7 +22,10 @@ func runSweep(name string, peCounts []int) error {
 	switch name {
 	case "remote":
 		app = workloads.TOMCATV(257, 3)
-		for _, lat := range []int64{50, 100, 150, 300, 600} {
+		// Sweep around the canonical T3D remote latency (⅓× to 4×) so the
+		// midpoint always matches machine.DefaultParams.
+		base := machine.DefaultParams.RemoteReadCost
+		for _, lat := range []int64{base / 3, 2 * base / 3, base, 2 * base, 4 * base} {
 			lat := lat
 			points = append(points, point{
 				label: fmt.Sprintf("remote=%d", lat),

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	t3dsim -app TOMCATV -mode ccdp -pes 16 [-scale small|paper] [-races] [-verify]
+//	       [-topology flat|torus|XxYxZ]
 //	       [-fault-rate 0.01] [-fault-kinds drop,late,spike,evict,skew] [-fault-seed 1]
 package main
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/noc"
 	"repro/internal/workloads"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	pes := flag.Int("pes", 8, "number of PEs")
 	scale := flag.String("scale", "small", "problem scale: small or paper")
 	races := flag.Bool("races", false, "enable the epoch-model race detector (slow)")
+	topology := flag.String("topology", "flat", "interconnect model: flat, torus (auto dims) or XxYxZ")
 	verify := flag.Bool("verify", false, "also run sequentially and compare results")
 	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)")
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all")
@@ -67,7 +70,13 @@ func main() {
 		fatal(err)
 	}
 
-	c, err := core.Compile(spec.Prog, m, machine.T3D(*pes))
+	topo, err := noc.Parse(*topology)
+	if err != nil {
+		fatal(err)
+	}
+	mp := machine.T3D(*pes)
+	mp.Topology = topo
+	c, err := core.Compile(spec.Prog, m, mp)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,6 +89,9 @@ func main() {
 		fmt.Println(plan)
 	}
 	fmt.Println(res.Stats.String())
+	if res.Net != nil {
+		fmt.Println(res.Net.String())
+	}
 
 	// The coherence safety oracle: any consumed stale word is a hard
 	// failure in the coherent modes (INCOHERENT mode exists to exhibit

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/noc"
 	"repro/internal/sched"
 	"repro/internal/stale"
 	"repro/internal/target"
@@ -73,11 +74,16 @@ var layoutMu sync.Mutex
 // mutated (beyond the shared array layout, which is deterministic and
 // identical across modes).
 func Compile(src *ir.Program, mode Mode, mp machine.Params) (*Compiled, error) {
+	if mode == ModeSeq {
+		// The sequential baseline runs on one PE with no interconnect, even
+		// when the caller's config (e.g. a flat-vs-torus sweep) says
+		// otherwise — normalize before validation so explicit torus dims
+		// sized for the parallel runs don't fail the 1-PE check.
+		mp.NumPE = 1
+		mp.Topology = noc.Config{}
+	}
 	if err := mp.Validate(); err != nil {
 		return nil, err
-	}
-	if mode == ModeSeq && mp.NumPE != 1 {
-		mp.NumPE = 1
 	}
 
 	// Lay out the shared array metadata once, under a lock: clones share

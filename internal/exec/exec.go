@@ -28,6 +28,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mem"
+	"repro/internal/noc"
 	"repro/internal/pfq"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -67,6 +68,9 @@ type Result struct {
 	// Violations holds the first few coherence-oracle hits in detail
 	// (every hit is counted in Stats.OracleViolations).
 	Violations []fault.Violation
+	// Net is the interconnect observability snapshot (per-link utilization,
+	// contention hotspots, hop histogram); nil under the flat topology.
+	Net *noc.Summary
 }
 
 // maxRecordedViolations bounds Result.Violations; counters keep the total.
@@ -95,7 +99,15 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 	if err := opts.Fault.Validate(); err != nil {
 		return nil, err
 	}
-	eng := &engine{c: c, mem: m, graph: graph, opts: opts,
+	var net *noc.Network
+	if mp.NumPE > 1 {
+		// noc.New returns nil for the flat topology: every remote path
+		// then keeps the constant-latency costs, bit-identically.
+		if net, err = noc.New(mp.Topology, mp.NumPE); err != nil {
+			return nil, err
+		}
+	}
+	eng := &engine{c: c, mem: m, graph: graph, opts: opts, net: net,
 		inj: fault.NewInjector(opts.Fault, mp.NumPE)}
 	eng.pes = make([]*peState, mp.NumPE)
 	for p := 0; p < mp.NumPE; p++ {
@@ -140,6 +152,12 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 	}
 	res.Cycles = res.PECycles[0]
 	res.Stats.Cycles = res.Cycles
+	if eng.net != nil {
+		res.Net = eng.net.Summary(res.Cycles)
+		res.Stats.NetMessages = res.Net.Messages
+		res.Stats.NetWaitCycles = res.Net.WaitCycles
+		res.Stats.NetContended = res.Net.Contended
+	}
 	return res, nil
 }
 
@@ -151,6 +169,9 @@ type engine struct {
 	pes   []*peState
 	stats stats.Stats
 	inj   *fault.Injector
+	// net is the torus interconnect; nil under the flat topology (the
+	// constant-latency model).
+	net *noc.Network
 
 	staleErr   error
 	violations []fault.Violation
@@ -256,6 +277,11 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 			delete(pe.env, k)
 		}
 	}
+	if e.net != nil {
+		// The barrier drains the network: in-flight link reservations end
+		// with the epoch (cumulative traffic stats survive).
+		e.net.EndEpoch()
+	}
 
 	if e.opts.DetectRaces && node.Parallel {
 		if err := e.checkRaces(node); err != nil {
@@ -272,7 +298,12 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 // PE, safe because tasks of one epoch touch disjoint data. Under
 // DetectRaces the PEs run sequentially instead: a program that VIOLATES the
 // model must be caught by the engine's own checker deterministically, not
-// by the Go race detector.
+// by the Go race detector. A torus interconnect also forces the sequential
+// order: link reservations are booking-order-dependent, and the simulator's
+// design center is bit-identical results regardless of goroutine
+// interleaving — PE clocks are independent, so booking PE p's epoch in full
+// before PE p+1's does not change any PE's own timeline, only resolves
+// contention ties deterministically.
 func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 	mp := e.c.Machine
 	l := node.Loop
@@ -296,7 +327,7 @@ func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 		}
 		errs[p] = pe.runDoall(l)
 	}
-	if e.opts.DetectRaces {
+	if e.opts.DetectRaces || e.net != nil {
 		for p := range e.pes {
 			runPE(p)
 		}

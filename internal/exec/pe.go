@@ -348,8 +348,7 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 			pe.stats.LocalReads++
 			pe.record(addr, trace.KindLocalRead)
 		} else {
-			pe.now += mp.RemoteReadCost + pe.remoteSpike()
-			pe.stats.RemoteReads++
+			pe.chargeRemoteRead(addr, 1)
 			pe.record(addr, trace.KindRemote)
 		}
 		v, g := m.Read(addr)
@@ -366,8 +365,7 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 			pe.stats.LocalReads++
 			pe.record(addr, trace.KindLocalRead)
 		} else {
-			pe.now += mp.RemoteReadCost + pe.remoteSpike()
-			pe.stats.RemoteReads++
+			pe.chargeRemoteRead(addr, 1)
 			pe.record(addr, trace.KindRemote)
 		}
 		v, g := m.Read(addr)
@@ -440,20 +438,46 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 	// except in the deliberately broken INCOHERENT mode, which caches it
 	// with no coherence action (the failure the paper's scheme prevents).
 	if pe.eng.c.Mode == core.ModeIncoherent {
-		pe.now += mp.RemoteReadCost + pe.remoteSpike()
-		pe.stats.RemoteReads++
+		pe.chargeRemoteRead(addr, mp.LineWords) // caches it: a whole line crosses the wire
 		pe.installLine(addr, pe.now)
 		pe.record(addr, trace.KindRemote)
 		v, g := m.Read(addr)
 		pe.oracleCheck(r, addr, g)
 		return v
 	}
-	pe.now += mp.RemoteReadCost + pe.remoteSpike()
-	pe.stats.RemoteReads++
+	pe.chargeRemoteRead(addr, 1)
 	pe.record(addr, trace.KindRemote)
 	v, g := m.Read(addr)
 	pe.oracleCheck(r, addr, g)
 	return v
+}
+
+// chargeRemoteRead advances the PE clock over one blocking remote read of
+// `words` payload words from addr's home PE. Flat: the constant
+// RemoteReadCost (plus any injected spike). Torus: a routed round trip
+// whose latency depends on hop distance and link contention; an injected
+// spike becomes a hotspot holding the home's reply link, so it also delays
+// unrelated traffic routed through that link.
+func (pe *peState) chargeRemoteRead(addr, words int64) {
+	mp := pe.eng.c.Machine
+	if net := pe.eng.net; net != nil {
+		arrive, _ := net.RoundTrip(pe.id, pe.eng.mem.OwnerOf(addr), words, pe.now, pe.remoteSpike())
+		pe.now = arrive
+	} else {
+		pe.now += mp.RemoteReadCost + pe.remoteSpike()
+	}
+	pe.stats.RemoteReads++
+}
+
+// chargeRemoteWrite charges one buffered, non-blocking remote store: the PE
+// pays only the constant injection cost, but over a torus the store's
+// packet is still booked along the route so it contends with other traffic.
+func (pe *peState) chargeRemoteWrite(addr int64) {
+	if net := pe.eng.net; net != nil {
+		net.Send(pe.id, pe.eng.mem.OwnerOf(addr), 1, pe.now, 0)
+	}
+	pe.now += pe.eng.c.Machine.RemoteWriteCost
+	pe.stats.RemoteWrites++
 }
 
 // oracleCheck is the coherence safety oracle: every word the simulated
@@ -514,8 +538,7 @@ func (pe *peState) writeRef(r *ir.Ref, v float64) {
 			pe.now += mp.LocalWriteCost
 			pe.stats.LocalWrites++
 		} else {
-			pe.now += mp.RemoteWriteCost
-			pe.stats.RemoteWrites++
+			pe.chargeRemoteWrite(addr)
 		}
 		return
 	}
@@ -523,8 +546,7 @@ func (pe *peState) writeRef(r *ir.Ref, v float64) {
 		pe.now += mp.LocalWriteCost
 		pe.stats.LocalWrites++
 	} else {
-		pe.now += mp.RemoteWriteCost
-		pe.stats.RemoteWrites++
+		pe.chargeRemoteWrite(addr)
 	}
 	// Keep the writer's own cached copy current.
 	pe.cache.UpdateWord(addr, v, gen)
@@ -583,15 +605,35 @@ func (pe *peState) issueAt(addr int64) {
 		// but nothing arrives; the consuming read demotes (§3.2).
 		return
 	}
-	lat := mp.RemoteReadCost
-	if m.OwnerOf(addr) == pe.id {
-		lat = mp.LocalMemCost
-	}
-	if pe.fault != nil {
-		lat += pe.fault.LateDelay()
+	var readyAt int64
+	if owner := m.OwnerOf(addr); owner == pe.id {
+		lat := mp.LocalMemCost
+		if pe.fault != nil {
+			lat += pe.fault.LateDelay()
+		}
+		readyAt = pe.now + lat
+	} else if net := pe.eng.net; net != nil {
+		arrive, wait := net.RoundTrip(pe.id, owner, 1, pe.now, 0)
+		if wait > net.DropWaitCycles() {
+			// Congestion timeout: the network held the prefetch longer than
+			// the hardware keeps the request alive, so it never completes.
+			// The consuming read will demote to a bypass fetch (§3.2).
+			pe.stats.NetDrops++
+			return
+		}
+		if pe.fault != nil {
+			arrive += pe.fault.LateDelay()
+		}
+		readyAt = arrive
+	} else {
+		lat := mp.RemoteReadCost
+		if pe.fault != nil {
+			lat += pe.fault.LateDelay()
+		}
+		readyAt = pe.now + lat
 	}
 	v, g := m.Read(addr)
-	pe.pq.Issue(pfq.Entry{Addr: addr, Val: v, Gen: g, ReadyAt: pe.now + lat})
+	pe.pq.Issue(pfq.Entry{Addr: addr, Val: v, Gen: g, ReadyAt: readyAt})
 }
 
 // vectorPrefetch performs one shmem_get realizing a vector prefetch over
@@ -615,7 +657,7 @@ func (pe *peState) vectorPrefetch(vp *ir.VectorPrefetch, lo, hi, step int64) {
 	if pe.fault != nil {
 		lf = &shmem.Faults{DropLine: pe.fault.DropPrefetch, LateDelay: pe.fault.LateDelay}
 	}
-	cost, droppedLines := shmem.GetWithFaults(pe.eng.mem, pe.cache, pe.eng.c.Machine, addrs, pe.now, lf)
+	cost, droppedLines := shmem.GetOverNet(pe.eng.mem, pe.cache, pe.eng.c.Machine, pe.eng.net, pe.id, addrs, pe.now, lf)
 	pe.now += cost
 	if pe.buffered == nil {
 		pe.buffered = map[int64]struct{}{}

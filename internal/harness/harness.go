@@ -14,6 +14,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/noc"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -33,6 +34,10 @@ type Row struct {
 	Improvement float64
 	BaseStats   stats.Stats
 	CCDPStats   stats.Stats
+	// BaseNet/CCDPNet are the interconnect snapshots (per-link utilization,
+	// hop histogram); nil under the flat topology.
+	BaseNet *noc.Summary
+	CCDPNet *noc.Summary
 	// BaseAttempts/CCDPAttempts count the runs it took to get a verified
 	// result under fault injection (1 = first try; 0 when the mode was
 	// skipped).
@@ -65,6 +70,10 @@ type Config struct {
 	// each with a reseeded fault plan and cold caches
 	// (default DefaultFaultRetries; ignored when faults are off).
 	FaultRetries int
+	// Topology selects the interconnect model for the parallel runs (the
+	// sequential baseline always runs flat). The zero value keeps the flat
+	// constant-latency model, bit-identical to a pre-noc sweep.
+	Topology noc.Config
 }
 
 // RunApp sweeps one application. Every parallel run's check arrays are
@@ -76,6 +85,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 	}
 	mk := func(p int) machine.Params {
 		mp := machine.T3D(p)
+		mp.Topology = cfg.Topology
 		if cfg.Tune != nil {
 			cfg.Tune(&mp)
 		}
@@ -133,6 +143,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 			row.BaseCycles = o.res.Cycles
 			row.BaseSpeedup = float64(seq.Cycles) / float64(o.res.Cycles)
 			row.BaseStats = o.res.Stats
+			row.BaseNet = o.res.Net
 			row.BaseAttempts = o.attempts
 		}
 		o := results[job{p, core.ModeCCDP}]
@@ -142,6 +153,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 		row.CCDPCycles = o.res.Cycles
 		row.CCDPSpeedup = float64(seq.Cycles) / float64(o.res.Cycles)
 		row.CCDPStats = o.res.Stats
+		row.CCDPNet = o.res.Net
 		row.CCDPAttempts = o.attempts
 		if row.BaseCycles > 0 {
 			row.Improvement = 100 * (1 - float64(row.CCDPCycles)/float64(row.BaseCycles))

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/workloads"
+)
+
+// TestTorusTopologySweep drives the acceptance criteria of the interconnect
+// model through the harness at the paper's machine size: at 64 PEs the
+// torus runs must still verify against the sequential golden, must show
+// hop-distance-dependent latencies (mean hops > 1, a populated summary) and
+// nonzero link contention on at least two of the paper apps, and must not
+// be cycle-identical to the flat model.
+func TestTorusTopologySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-PE sweep in -short mode")
+	}
+	small := map[string]*workloads.Spec{}
+	for _, s := range workloads.Small() {
+		small[s.Name] = s
+	}
+	contended := 0
+	for _, name := range []string{"MXM", "TOMCATV", "SWIM"} {
+		s := small[name]
+		flat, err := RunApp(s, Config{PECounts: []int{64}})
+		if err != nil {
+			t.Fatalf("%s flat: %v", name, err)
+		}
+		torus, err := RunApp(s, Config{PECounts: []int{64}, Topology: noc.Config{Kind: noc.KindTorus}})
+		if err != nil {
+			t.Fatalf("%s torus: %v", name, err)
+		}
+		fr, tr := flat.Rows[0], torus.Rows[0]
+		if fr.CCDPNet != nil {
+			t.Errorf("%s: flat run has a net summary", name)
+		}
+		if tr.CCDPNet == nil {
+			t.Fatalf("%s: torus run has no net summary", name)
+		}
+		if tr.CCDPNet.X != 4 || tr.CCDPNet.Y != 4 || tr.CCDPNet.Z != 4 {
+			t.Errorf("%s: auto dims = %dx%dx%d, want 4x4x4", name, tr.CCDPNet.X, tr.CCDPNet.Y, tr.CCDPNet.Z)
+		}
+		if tr.CCDPNet.MeanHops <= 1 {
+			t.Errorf("%s: torus mean hops %.2f, want > 1", name, tr.CCDPNet.MeanHops)
+		}
+		if tr.CCDPCycles == fr.CCDPCycles && tr.BaseCycles == fr.BaseCycles {
+			t.Errorf("%s: torus cycles identical to flat (ccdp %d, base %d)", name, tr.CCDPCycles, tr.BaseCycles)
+		}
+		if tr.CCDPStats.NetContended > 0 || tr.BaseStats.NetContended > 0 {
+			contended++
+		}
+
+		// Torus contention resolution is deterministic: a rerun must land on
+		// the exact same cycle counts.
+		again, err := RunApp(s, Config{PECounts: []int{64}, Topology: noc.Config{Kind: noc.KindTorus}})
+		if err != nil {
+			t.Fatalf("%s torus rerun: %v", name, err)
+		}
+		if again.Rows[0].CCDPCycles != tr.CCDPCycles || again.Rows[0].BaseCycles != tr.BaseCycles {
+			t.Errorf("%s: torus rerun diverged: ccdp %d vs %d, base %d vs %d", name,
+				again.Rows[0].CCDPCycles, tr.CCDPCycles, again.Rows[0].BaseCycles, tr.BaseCycles)
+		}
+	}
+	if contended < 2 {
+		t.Errorf("link contention on %d apps, want >= 2", contended)
+	}
+}
+
+// TestTorusExplicitDimsMismatch: explicit dims that don't cover the PE
+// count must fail loudly, and the sequential baseline must still run (it
+// always drops the topology).
+func TestTorusExplicitDimsMismatch(t *testing.T) {
+	s := workloads.Small()[0]
+	_, err := RunApp(s, Config{PECounts: []int{8}, Topology: noc.Config{Kind: noc.KindTorus, X: 4, Y: 4, Z: 4}})
+	if err == nil {
+		t.Fatal("4x4x4 torus over 8 PEs accepted")
+	}
+}

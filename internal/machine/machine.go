@@ -12,7 +12,11 @@
 // a large startup but pipelined per-word cost.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
 
 // Params describes one machine configuration.
 type Params struct {
@@ -119,47 +123,66 @@ type Params struct {
 	// prefetches for non-stale references that touch remote data, not only
 	// for the potentially-stale ones.
 	PrefetchNonStale bool
+
+	// --- Interconnect (internal/noc) ---
+
+	// Topology selects the interconnect model. The zero value (flat)
+	// charges the constant Remote*Cost latencies above for every remote
+	// access, reproducing the pre-noc simulator bit-identically; KindTorus
+	// routes every remote access over a 3D torus with dimension-order
+	// routing and per-link contention (the Remote*Cost constants then stop
+	// being charged and the noc per-hop/per-word costs take over).
+	Topology noc.Config
 }
 
-// T3D returns the Cray T3D configuration with p PEs.
+// DefaultParams is the canonical Cray T3D parameter set (with NumPE = 1
+// and the flat interconnect): the single source of truth for every latency
+// constant. Tests, sweeps and ablations that need "the T3D number" must
+// read it from here rather than repeating the literal.
+var DefaultParams = Params{
+	NumPE: 1,
+
+	CacheWords: 1024, // 8 KB
+	LineWords:  4,    // 32 B
+
+	PrefetchQueueWords:  16,
+	PrefetchIssueCost:   23,
+	PrefetchExtractCost: 3,
+
+	HitCost:         3,
+	LocalMemCost:    14,
+	LocalReadCost:   6,
+	RemoteReadCost:  150,
+	RemoteWriteCost: 30,
+	LocalWriteCost:  3,
+
+	ShmemStartupCost: 120,
+	ShmemPerWordCost: 2,
+
+	BarrierCost:            220,
+	CraftSharedAccessCost:  1,
+	CraftDosharedSetupCost: 4500,
+	CCDPLoopSetupCost:      150,
+	DynamicSchedCost:       30,
+	InvalidateLineCost:     1,
+
+	FlopCost:         3,
+	StmtOverheadCost: 4,
+	LoopIterCost:     2,
+
+	MinAheadIters:     1,
+	MaxAheadIters:     8,
+	MinMoveBackCycles: 40,
+	MaxMoveBackCycles: 4000,
+	VectorMaxWords:    512, // half the cache
+}
+
+// T3D returns the Cray T3D configuration with p PEs (DefaultParams scaled
+// to p processors; Params is a value type, so the copy is safe to tune).
 func T3D(p int) Params {
-	return Params{
-		NumPE: p,
-
-		CacheWords: 1024, // 8 KB
-		LineWords:  4,    // 32 B
-
-		PrefetchQueueWords:  16,
-		PrefetchIssueCost:   23,
-		PrefetchExtractCost: 3,
-
-		HitCost:         3,
-		LocalMemCost:    14,
-		LocalReadCost:   6,
-		RemoteReadCost:  150,
-		RemoteWriteCost: 30,
-		LocalWriteCost:  3,
-
-		ShmemStartupCost: 120,
-		ShmemPerWordCost: 2,
-
-		BarrierCost:            220,
-		CraftSharedAccessCost:  1,
-		CraftDosharedSetupCost: 4500,
-		CCDPLoopSetupCost:      150,
-		DynamicSchedCost:       30,
-		InvalidateLineCost:     1,
-
-		FlopCost:         3,
-		StmtOverheadCost: 4,
-		LoopIterCost:     2,
-
-		MinAheadIters:     1,
-		MaxAheadIters:     8,
-		MinMoveBackCycles: 40,
-		MaxMoveBackCycles: 4000,
-		VectorMaxWords:    512, // half the cache
-	}
+	mp := DefaultParams
+	mp.NumPE = p
+	return mp
 }
 
 // CacheLines returns the number of lines in the data cache.
@@ -181,6 +204,9 @@ func (p Params) Validate() error {
 	}
 	if p.VectorMaxWords > p.CacheWords {
 		return fmt.Errorf("machine: VectorMaxWords %d exceeds cache %d", p.VectorMaxWords, p.CacheWords)
+	}
+	if err := p.Topology.Validate(p.NumPE); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package machine
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/noc"
+)
 
 func TestT3DDefaultsValid(t *testing.T) {
 	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
@@ -14,16 +18,47 @@ func TestT3DDefaultsValid(t *testing.T) {
 	}
 }
 
+// TestT3DDerivesFromDefaultParams: T3D(p) must be DefaultParams with only
+// the PE count changed — the latency constants have one source of truth.
+func TestT3DDerivesFromDefaultParams(t *testing.T) {
+	m := T3D(16)
+	m.NumPE = DefaultParams.NumPE
+	if m != DefaultParams {
+		t.Errorf("T3D diverges from DefaultParams beyond NumPE:\n%+v\n%+v", m, DefaultParams)
+	}
+	if err := DefaultParams.Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+}
+
 func TestCacheGeometry(t *testing.T) {
 	m := T3D(4)
-	if m.CacheWords != 1024 || m.LineWords != 4 {
-		t.Errorf("cache geometry %d/%d, want 8KB/32B in words", m.CacheWords, m.LineWords)
+	if m.CacheWords != DefaultParams.CacheWords || m.LineWords != DefaultParams.LineWords {
+		t.Errorf("cache geometry %d/%d, want canonical %d/%d", m.CacheWords, m.LineWords,
+			DefaultParams.CacheWords, DefaultParams.LineWords)
 	}
-	if m.CacheLines() != 256 {
-		t.Errorf("CacheLines = %d, want 256", m.CacheLines())
+	if m.CacheLines() != DefaultParams.CacheWords/DefaultParams.LineWords {
+		t.Errorf("CacheLines = %d", m.CacheLines())
 	}
-	if m.PrefetchQueueWords != 16 {
-		t.Errorf("queue = %d, want 16", m.PrefetchQueueWords)
+	if m.PrefetchQueueWords != DefaultParams.PrefetchQueueWords {
+		t.Errorf("queue = %d, want %d", m.PrefetchQueueWords, DefaultParams.PrefetchQueueWords)
+	}
+}
+
+// TestTopologyValidation: the machine validates its interconnect config,
+// and the default is the flat model.
+func TestTopologyValidation(t *testing.T) {
+	if DefaultParams.Topology.Kind != noc.KindFlat {
+		t.Fatalf("DefaultParams topology = %v, want flat", DefaultParams.Topology)
+	}
+	m := T3D(8)
+	m.Topology = noc.Config{Kind: noc.KindTorus, X: 4, Y: 4, Z: 4} // 64 ≠ 8
+	if err := m.Validate(); err == nil {
+		t.Error("mismatched torus dims accepted")
+	}
+	m.Topology = noc.Config{Kind: noc.KindTorus, X: 4, Y: 2, Z: 1}
+	if err := m.Validate(); err != nil {
+		t.Errorf("4x2x1 over 8 PEs rejected: %v", err)
 	}
 }
 

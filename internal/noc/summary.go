@@ -1,0 +1,141 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LinkStat is the cumulative traffic of one unidirectional link.
+type LinkStat struct {
+	Name    string  // "PE7+x": the +x link out of node 7
+	Busy    int64   // cycles the link was occupied by message flits
+	Msgs    int64   // messages that crossed the link
+	Words   int64   // payload words that crossed the link
+	Wait    int64   // cycles messages spent queued for the link
+	MaxWait int64   // worst single queue wait on the link
+	Util    float64 // Busy / total run cycles, in [0,1]
+}
+
+// Summary is the interconnect observability snapshot of one run: per-link
+// utilization, contention hotspots, and the hop-distance histogram.
+type Summary struct {
+	Topology string // "4x4x4 torus (64 PEs)"
+	X, Y, Z  int
+
+	Messages   int64   // messages sent
+	Words      int64   // payload words carried
+	MeanHops   float64 // mean route length over all messages
+	MaxHops    int     // longest route observed
+	HopHist    []int64 // messages by route length (index = hops)
+	WaitCycles int64   // total cycles spent queued on busy links
+	Contended  int64   // messages that waited at least one cycle
+	MaxWait    int64   // worst single message queueing wait
+
+	// Links holds every link that carried traffic, sorted by Busy
+	// descending (the hotspots first).
+	Links []LinkStat
+}
+
+// Summary snapshots the network's cumulative statistics. totalCycles (the
+// run's final cycle count) scales the per-link utilization.
+func (n *Network) Summary(totalCycles int64) *Summary {
+	s := &Summary{
+		X: n.dims[0], Y: n.dims[1], Z: n.dims[2],
+		Topology:   fmt.Sprintf("%dx%dx%d torus (%d PEs)", n.dims[0], n.dims[1], n.dims[2], n.numPE),
+		Messages:   n.msgs,
+		Words:      n.words,
+		WaitCycles: n.waitCycles,
+		Contended:  n.contended,
+		MaxWait:    n.maxWait,
+		HopHist:    append([]int64(nil), n.hopHist...),
+	}
+	if n.msgs > 0 {
+		s.MeanHops = float64(n.hops) / float64(n.msgs)
+	}
+	for h := len(n.hopHist) - 1; h > 0; h-- {
+		if n.hopHist[h] > 0 {
+			s.MaxHops = h
+			break
+		}
+	}
+	for id := range n.links {
+		l := &n.links[id]
+		if l.msgs == 0 {
+			continue
+		}
+		ls := LinkStat{
+			Name: n.LinkName(int32(id)),
+			Busy: l.busy, Msgs: l.msgs, Words: l.words,
+			Wait: l.wait, MaxWait: l.maxWait,
+		}
+		if totalCycles > 0 {
+			ls.Util = float64(ls.Busy) / float64(totalCycles)
+		}
+		s.Links = append(s.Links, ls)
+	}
+	sort.Slice(s.Links, func(i, j int) bool {
+		if s.Links[i].Busy != s.Links[j].Busy {
+			return s.Links[i].Busy > s.Links[j].Busy
+		}
+		return s.Links[i].Name < s.Links[j].Name
+	})
+	return s
+}
+
+// MeanHopsOrZero returns the mean route length (0 on a nil summary).
+func (s *Summary) MeanHopsOrZero() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.MeanHops
+}
+
+// MaxHopsOrZero returns the longest route observed (0 on a nil summary).
+func (s *Summary) MaxHopsOrZero() int {
+	if s == nil {
+		return 0
+	}
+	return s.MaxHops
+}
+
+// MaxLinkUtil returns the busiest link's utilization (0 with no traffic).
+func (s *Summary) MaxLinkUtil() float64 {
+	if s == nil || len(s.Links) == 0 {
+		return 0
+	}
+	return s.Links[0].Util
+}
+
+// HottestLink names the busiest link ("" with no traffic).
+func (s *Summary) HottestLink() string {
+	if s == nil || len(s.Links) == 0 {
+		return ""
+	}
+	return s.Links[0].Name
+}
+
+// String renders a compact human-readable report: topology, totals, the
+// hop-distance histogram and the top contention hotspots.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network: %s\n", s.Topology)
+	fmt.Fprintf(&b, "network: msgs=%d words=%d mean-hops=%.2f max-hops=%d contended=%d wait=%d max-wait=%d\n",
+		s.Messages, s.Words, s.MeanHops, s.MaxHops, s.Contended, s.WaitCycles, s.MaxWait)
+	b.WriteString("network: hop-histogram:")
+	for h, c := range s.HopHist {
+		if c > 0 {
+			fmt.Fprintf(&b, " %d:%d", h, c)
+		}
+	}
+	b.WriteString("\n")
+	top := s.Links
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, l := range top {
+		fmt.Fprintf(&b, "network: link %-8s util=%5.1f%% msgs=%d words=%d wait=%d max-wait=%d\n",
+			l.Name, 100*l.Util, l.Msgs, l.Words, l.Wait, l.MaxWait)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

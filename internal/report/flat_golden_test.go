@@ -1,0 +1,68 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// flatGoldenCSV pins the flat-topology simulator output: the exact CSV
+// (cycle counts included) that cmd/ccdpbench emitted for the four paper
+// applications at small scale before the interconnect model existed. The
+// flat model is the repo's calibrated baseline — any change to these
+// numbers is a behavioral regression, and the noc integration in
+// particular must reproduce them bit-identically when Topology is unset.
+const flatGoldenCSV = `app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct,drops,late,demotions,oracle_violations,attempts
+MXM,1,74656,142476,75706,0.5240,0.9861,46.8640,0,0,0,0,1
+MXM,2,74656,383440,42294,0.1947,1.7652,88.9699,0,0,0,0,1
+MXM,4,74656,208240,23982,0.3585,3.1130,88.4835,0,0,0,0,1
+MXM,8,74656,120640,14826,0.6188,5.0355,87.7105,0,0,0,0,1
+VPENTA,1,393984,447524,394734,0.8804,0.9981,11.7960,0,0,0,0,1
+VPENTA,2,393984,236112,198545,1.6686,1.9844,15.9107,0,0,0,0,1
+VPENTA,4,393984,129856,100049,3.0340,3.9379,22.9539,0,0,0,0,1
+VPENTA,8,393984,76728,50801,5.1348,7.7554,33.7908,0,0,0,0,1
+TOMCATV,1,781807,1517312,801157,0.5153,0.9758,47.1989,0,0,0,0,1
+TOMCATV,2,781807,2967422,1106570,0.2635,0.7065,62.7094,0,0,0,0,1
+TOMCATV,4,781807,2006074,684274,0.3897,1.1425,65.8899,0,0,0,0,1
+TOMCATV,8,781807,1403402,431320,0.5571,1.8126,69.2661,0,0,0,0,1
+SWIM,1,1073428,1349510,1075678,0.7954,0.9979,20.2912,0,0,0,0,1
+SWIM,2,1073428,872628,634214,1.2301,1.6925,27.3214,0,0,0,0,1
+SWIM,4,1073428,552246,352079,1.9437,3.0488,36.2460,0,0,0,0,1
+SWIM,8,1073428,385782,209350,2.7825,5.1274,45.7336,0,0,0,0,1
+`
+
+// TestFlatTopologyGoldenCSV runs the full small-scale sweep under the
+// default (flat) topology and asserts the rendered CSV — cycle counts,
+// speedups and all — is byte-identical to the pre-noc golden capture.
+func TestFlatTopologyGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale sweep in -short mode")
+	}
+	var results []*harness.AppResult
+	for _, s := range workloads.Small() {
+		ar, err := harness.RunApp(s, harness.Config{PECounts: []int{1, 2, 4, 8}})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		results = append(results, ar)
+	}
+	got := report.CSV(results)
+	if got == flatGoldenCSV {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(flatGoldenCSV, "\n")
+	for i := range wantLines {
+		if i >= len(gotLines) || gotLines[i] != wantLines[i] {
+			g := "<missing>"
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			t.Fatalf("flat CSV diverges from the pre-noc golden at line %d:\n got: %s\nwant: %s", i+1, g, wantLines[i])
+		}
+	}
+	t.Fatalf("flat CSV has %d lines, golden has %d", len(gotLines), len(wantLines))
+}

@@ -59,20 +59,28 @@ func Table2(results []*harness.AppResult) string {
 
 // Details renders per-configuration cycle counts and key metrics for one
 // application (diagnostics beyond the paper's tables). Fault columns are
-// shown when any row saw injected faults or demotions.
+// shown when any row saw injected faults or demotions; interconnect columns
+// (CCDP run: mean/max hop distance, busiest-link utilization, queueing)
+// when any row ran over a modeled topology. A flat sweep's output is
+// byte-identical to the pre-noc renderer.
 func Details(ar *harness.AppResult) string {
-	faulty := false
+	faulty, netted := false, false
 	for _, r := range ar.Rows {
 		if r.CCDPStats.FaultsInjected() > 0 || r.CCDPStats.Demotions > 0 ||
 			r.BaseStats.FaultsInjected() > 0 {
 			faulty = true
-			break
+		}
+		if r.CCDPNet != nil || r.BaseNet != nil {
+			netted = true
 		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: sequential %d cycles\n", ar.Name, ar.SeqCycles)
 	fmt.Fprintf(&b, "%4s %14s %14s %8s %10s %10s %10s %10s",
 		"PEs", "BASE cycles", "CCDP cycles", "improv", "hits", "remote", "pf", "vector-w")
+	if netted {
+		fmt.Fprintf(&b, " %9s %8s %9s %10s", "mean-hops", "max-hops", "link-util", "net-wait")
+	}
 	if faulty {
 		fmt.Fprintf(&b, " %8s %8s %8s %8s", "faults", "demotion", "oracle", "attempts")
 	}
@@ -82,6 +90,11 @@ func Details(ar *harness.AppResult) string {
 			r.PEs, r.BaseCycles, r.CCDPCycles, r.Improvement,
 			r.CCDPStats.Hits, r.CCDPStats.RemoteReads,
 			r.CCDPStats.PrefetchIssued, r.CCDPStats.VectorWords)
+		if netted {
+			fmt.Fprintf(&b, " %9.2f %8d %8.1f%% %10d",
+				r.CCDPNet.MeanHopsOrZero(), r.CCDPNet.MaxHopsOrZero(),
+				100*r.CCDPNet.MaxLinkUtil(), r.CCDPStats.NetWaitCycles)
+		}
 		if faulty {
 			fmt.Fprintf(&b, " %8d %8d %8d %8d",
 				r.CCDPStats.FaultsInjected()+r.BaseStats.FaultsInjected(),
@@ -96,15 +109,30 @@ func Details(ar *harness.AppResult) string {
 
 // CSV renders both tables' data in machine-readable form: one row per
 // (application, PE count) with cycles, speedups, improvement, and the
-// fault-injection counters (all zero in fault-free runs).
+// fault-injection counters (all zero in fault-free runs). When any row ran
+// over a modeled interconnect, the CCDP run's net columns (mean/max hop
+// distance, busiest-link utilization, queueing, congestion drops) are
+// appended; a flat sweep's CSV stays byte-identical to the pre-noc format.
 func CSV(results []*harness.AppResult) string {
+	netted := false
+	for _, ar := range results {
+		for _, r := range ar.Rows {
+			if r.CCDPNet != nil || r.BaseNet != nil {
+				netted = true
+			}
+		}
+	}
 	var b strings.Builder
 	b.WriteString("app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct," +
-		"drops,late,demotions,oracle_violations,attempts\n")
+		"drops,late,demotions,oracle_violations,attempts")
+	if netted {
+		b.WriteString(",mean_hops,max_hops,max_link_util,net_wait,net_contended,net_drops")
+	}
+	b.WriteString("\n")
 	for _, ar := range results {
 		for _, r := range ar.Rows {
 			s := &r.CCDPStats
-			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d\n",
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d",
 				ar.Name, r.PEs, ar.SeqCycles, r.BaseCycles, r.CCDPCycles,
 				r.BaseSpeedup, r.CCDPSpeedup, r.Improvement,
 				s.FaultDrops+r.BaseStats.FaultDrops,
@@ -112,6 +140,12 @@ func CSV(results []*harness.AppResult) string {
 				s.Demotions+r.BaseStats.Demotions,
 				s.OracleViolations+r.BaseStats.OracleViolations,
 				r.CCDPAttempts)
+			if netted {
+				fmt.Fprintf(&b, ",%.4f,%d,%.4f,%d,%d,%d",
+					r.CCDPNet.MeanHopsOrZero(), r.CCDPNet.MaxHopsOrZero(),
+					r.CCDPNet.MaxLinkUtil(), s.NetWaitCycles, s.NetContended, s.NetDrops)
+			}
+			b.WriteString("\n")
 		}
 	}
 	return b.String()

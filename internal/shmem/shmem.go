@@ -9,10 +9,12 @@ package shmem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/noc"
 )
 
 // Faults carries optional fault-injection hooks for one transfer; nil (or a
@@ -44,6 +46,19 @@ func Get(m *mem.Memory, c *cache.Cache, mp machine.Params, addrs []int64, now in
 // late lines are installed with a delayed ready time. The returned dropped
 // set is keyed by line address; it is nil when nothing was dropped.
 func GetWithFaults(m *mem.Memory, c *cache.Cache, mp machine.Params, addrs []int64, now int64, f *Faults) (cost int64, dropped map[int64]bool) {
+	return GetOverNet(m, c, mp, nil, 0, addrs, now, f)
+}
+
+// GetOverNet is GetWithFaults routed over an interconnect model. With a
+// nil network it reproduces the flat model bit-identically: the blocking
+// cost is ShmemStartupCost + len(addrs)·ShmemPerWordCost regardless of
+// where the data lives. Over a torus, the surviving lines are grouped by
+// their home PE and each home sends one pipelined reply message to src;
+// the gathers proceed in parallel, so the blocking cost is the startup
+// plus the slowest home's arrival (queueing included), plus the per-word
+// copy cost for locally-homed lines. Lines are installed with their own
+// message's arrival as ready time — per-message arrival, not a constant.
+func GetOverNet(m *mem.Memory, c *cache.Cache, mp machine.Params, net *noc.Network, src int, addrs []int64, now int64, f *Faults) (cost int64, dropped map[int64]bool) {
 	if len(addrs) == 0 {
 		return 0, nil
 	}
@@ -51,6 +66,17 @@ func GetWithFaults(m *mem.Memory, c *cache.Cache, mp machine.Params, addrs []int
 	seen := map[int64]bool{}
 	vals := make([]float64, lw)
 	gens := make([]uint32, lw)
+
+	// First pass: dedupe lines in address order, poll the fault hooks once
+	// per surviving line (identical polling order in both topology modes,
+	// so a seeded fault stream sees the same schedule), and group lines by
+	// home PE.
+	type pending struct {
+		la   int64
+		late int64
+	}
+	byHome := map[int]*[]pending{} // home PE -> lines (flat: single bucket 0)
+	var homes []int
 	for _, a := range addrs {
 		if a < 0 || a >= m.Words() {
 			panic(fmt.Sprintf("shmem: get of out-of-range address %d (memory is %d words)", a, m.Words()))
@@ -67,19 +93,68 @@ func GetWithFaults(m *mem.Memory, c *cache.Cache, mp machine.Params, addrs []int
 			dropped[la] = true
 			continue
 		}
-		readyAt := now
+		var late int64
 		if f != nil && f.LateDelay != nil {
-			readyAt += f.LateDelay()
+			late = f.LateDelay()
 		}
+		home := 0
+		if net != nil {
+			home = m.OwnerOf(la)
+		}
+		bucket, ok := byHome[home]
+		if !ok {
+			bucket = &[]pending{}
+			byHome[home] = bucket
+			homes = append(homes, home)
+		}
+		*bucket = append(*bucket, pending{la, late})
+	}
+
+	install := func(la, readyAt int64) {
 		for k := int64(0); k < lw; k++ {
 			if la+k >= m.Words() {
 				// mem.Layout aligns the total to a line boundary, so a
 				// valid word's line never extends past memory.
-				panic(fmt.Sprintf("shmem: line %d of word %d extends past memory (%d words)", la, a, m.Words()))
+				panic(fmt.Sprintf("shmem: line %d extends past memory (%d words)", la, m.Words()))
 			}
 			vals[k], gens[k] = m.Read(la + k)
 		}
 		c.Install(la, vals, gens, readyAt)
 	}
-	return mp.ShmemStartupCost + int64(len(addrs))*mp.ShmemPerWordCost, dropped
+
+	if net == nil {
+		// Flat model: constant per-word pipelined cost, location-blind.
+		if bucket, ok := byHome[0]; ok {
+			for _, p := range *bucket {
+				install(p.la, now+p.late)
+			}
+		}
+		return mp.ShmemStartupCost + int64(len(addrs))*mp.ShmemPerWordCost, dropped
+	}
+
+	// Torus: one reply message per home PE, booked in home order for
+	// determinism; the call blocks until the slowest gather lands.
+	sort.Ints(homes)
+	done := now
+	for _, home := range homes {
+		lines := *byHome[home]
+		if home == src {
+			// Locally homed lines: a plain pipelined copy.
+			for _, p := range lines {
+				install(p.la, now+p.late)
+			}
+			if t := now + int64(len(lines))*lw*mp.ShmemPerWordCost; t > done {
+				done = t
+			}
+			continue
+		}
+		arrive, _ := net.RoundTrip(src, home, int64(len(lines))*lw, now, 0)
+		for _, p := range lines {
+			install(p.la, arrive+p.late)
+		}
+		if arrive > done {
+			done = arrive
+		}
+	}
+	return mp.ShmemStartupCost + (done - now), dropped
 }

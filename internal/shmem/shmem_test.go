@@ -7,6 +7,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/noc"
 )
 
 func setup(t *testing.T) (*mem.Memory, *cache.Cache, machine.Params, *ir.Array) {
@@ -115,5 +116,50 @@ func TestStridedGet(t *testing.T) {
 	Get(m, c, mp, addrs, 0)
 	if c.Installs != 10 {
 		t.Errorf("installs = %d, want 10", c.Installs)
+	}
+}
+
+func TestGetOverNetTorus(t *testing.T) {
+	m, c, mp, a := setup(t)
+	net, err := noc.New(noc.Config{Kind: noc.KindTorus, X: 4, Y: 1, Z: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One line homed on each of two remote PEs plus one local line.
+	words := m.Words() / 4 // block distribution: words per PE
+	local := a.Base
+	rem1 := words + (a.Base % mp.LineWords)   // somewhere on PE 1
+	rem2 := 2*words + (a.Base % mp.LineWords) // somewhere on PE 2
+	if m.OwnerOf(local) != 0 || m.OwnerOf(rem1) != 1 || m.OwnerOf(rem2) != 2 {
+		t.Fatalf("owners %d/%d/%d, want 0/1/2", m.OwnerOf(local), m.OwnerOf(rem1), m.OwnerOf(rem2))
+	}
+	cost, dropped := GetOverNet(m, c, mp, net, 0, []int64{local, rem1, rem2}, 1000, nil)
+	if dropped != nil {
+		t.Fatalf("fault-free get dropped %v", dropped)
+	}
+	// The blocking cost covers the slowest gather: PE 2 is 2 hops away, so
+	// its reply (1 line) must arrive after 2 routed trips plus base cost —
+	// strictly more than the flat per-word formula charges for 3 words.
+	flat := mp.ShmemStartupCost + 3*mp.ShmemPerWordCost
+	if cost <= flat {
+		t.Errorf("torus get cost %d, want > flat %d (distance-dependent)", cost, flat)
+	}
+	// Each line is usable at its own message's arrival: the near line
+	// strictly before the far line.
+	_, _, r1, hit1 := c.Lookup(rem1)
+	_, _, r2, hit2 := c.Lookup(rem2)
+	if !hit1 || !hit2 {
+		t.Fatalf("remote lines not installed (hit1=%v hit2=%v)", hit1, hit2)
+	}
+	if !(r1 < r2) {
+		t.Errorf("near line ready %d, far line ready %d; want near < far", r1, r2)
+	}
+	if _, _, r0, hit := c.Lookup(local); !hit || r0 != 1000 {
+		t.Errorf("local line ready %d hit=%v, want 1000", r0, hit)
+	}
+	// A nil network must reproduce the flat cost for the same request.
+	c2 := cache.New(mp.CacheWords, mp.LineWords)
+	if got, _ := GetOverNet(m, c2, mp, nil, 0, []int64{local, rem1, rem2}, 1000, nil); got != flat {
+		t.Errorf("flat get cost %d, want %d", got, flat)
 	}
 }

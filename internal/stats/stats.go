@@ -45,6 +45,15 @@ type Stats struct {
 	FaultEvictions   int64 // injected forced cache evictions
 	FaultSkews       int64 // injected per-epoch clock skews
 
+	// Interconnect accounting (internal/noc). All zero under the flat
+	// topology. NetDrops counts prefetches the congested network timed out
+	// (each one demotes its consuming read, §3.2) — contention-induced
+	// demotions, distinct from the fault-injected FaultDrops above.
+	NetMessages   int64 // messages routed over the torus
+	NetWaitCycles int64 // total cycles messages queued on busy links
+	NetContended  int64 // messages that waited at least one cycle
+	NetDrops      int64 // prefetches dropped by congestion timeout
+
 	FlopCycles int64
 }
 
@@ -75,6 +84,10 @@ func (s *Stats) Merge(o *Stats) {
 	s.FaultSpikes += o.FaultSpikes
 	s.FaultEvictions += o.FaultEvictions
 	s.FaultSkews += o.FaultSkews
+	s.NetMessages += o.NetMessages
+	s.NetWaitCycles += o.NetWaitCycles
+	s.NetContended += o.NetContended
+	s.NetDrops += o.NetDrops
 	s.FlopCycles += o.FlopCycles
 }
 
@@ -94,6 +107,10 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "prefetch: issued=%d consumed=%d late=%d dropped=%d unused=%d vector=%d(%d words)",
 		s.PrefetchIssued, s.PrefetchConsumed, s.PrefetchLate, s.PrefetchDropped, s.PrefetchUnused,
 		s.VectorPrefetches, s.VectorWords)
+	if s.NetMessages > 0 || s.NetDrops > 0 {
+		fmt.Fprintf(&b, "\nnetwork: msgs=%d contended=%d wait=%d congestion-drops=%d",
+			s.NetMessages, s.NetContended, s.NetWaitCycles, s.NetDrops)
+	}
 	if s.FaultsInjected() > 0 || s.Demotions > 0 || s.OracleViolations > 0 {
 		fmt.Fprintf(&b, "\nfault: drops=%d late=%d spikes=%d evictions=%d skews=%d demotions=%d oracle-violations=%d",
 			s.FaultDrops, s.FaultLate, s.FaultSpikes, s.FaultEvictions, s.FaultSkews,
