@@ -2,49 +2,64 @@ package main
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/workloads"
 )
 
 // runAblation executes the design-choice experiments DESIGN.md indexes.
-func runAblation(name string, peCounts []int) error {
+func runAblation(w io.Writer, name string, peCounts []int, jobs int) error {
 	switch name {
 	case "vpg":
-		return ablateVPG(peCounts)
+		return ablateVPG(w, peCounts, jobs)
 	case "mbp":
-		return ablateMBP(peCounts)
+		return ablateMBP(w, peCounts, jobs)
 	case "nonstale":
-		return ablateNonStale(peCounts)
+		return ablateNonStale(w, peCounts, jobs)
 	default:
 		return fmt.Errorf("unknown ablation %q (want vpg, mbp or nonstale)", name)
 	}
 }
 
+// runConfigs executes one application under several harness configurations
+// concurrently and returns the results in configuration order.
+func runConfigs(s *workloads.Spec, cfgs []harness.Config, jobs int) ([]*harness.AppResult, error) {
+	results := make([]*harness.AppResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	parallel.ForEach(len(cfgs), jobs,
+		func(i int) { results[i], errs[i] = harness.RunApp(s, cfgs[i]) },
+		nil)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // ablateVPG compares full CCDP scheduling against a scheduler with vector
 // prefetches disabled (VectorMaxWords=0 forces SP/MBP) on MXM — the paper's
 // §4.3 claim that vector prefetches amortize initiation costs.
-func ablateVPG(peCounts []int) error {
+func ablateVPG(w io.Writer, peCounts []int, jobs int) error {
 	s := workloads.MXM(256, 128, 64)
-	full, err := harness.RunApp(s, harness.Config{PECounts: peCounts})
+	rs, err := runConfigs(s, []harness.Config{
+		{PECounts: peCounts},
+		{PECounts: peCounts, Tune: func(mp *machine.Params) { mp.VectorMaxWords = 0 }},
+	}, jobs)
 	if err != nil {
 		return err
 	}
-	noVPG, err := harness.RunApp(s, harness.Config{
-		PECounts: peCounts,
-		Tune:     func(mp *machine.Params) { mp.VectorMaxWords = 0 },
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Println("Ablation A: vector prefetch generation on MXM")
-	fmt.Printf("%6s %16s %16s %10s\n", "#PEs", "CCDP cycles", "no-VPG cycles", "VPG gain")
+	full, noVPG := rs[0], rs[1]
+	fmt.Fprintln(w, "Ablation A: vector prefetch generation on MXM")
+	fmt.Fprintf(w, "%6s %16s %16s %10s\n", "#PEs", "CCDP cycles", "no-VPG cycles", "VPG gain")
 	for i, r := range full.Rows {
 		n := noVPG.Rows[i]
 		gain := 100 * (1 - float64(r.CCDPCycles)/float64(n.CCDPCycles))
-		fmt.Printf("%6d %16d %16d %9.2f%%\n", r.PEs, r.CCDPCycles, n.CCDPCycles, gain)
+		fmt.Fprintf(w, "%6d %16d %16d %9.2f%%\n", r.PEs, r.CCDPCycles, n.CCDPCycles, gain)
 	}
 	return nil
 }
@@ -52,29 +67,44 @@ func ablateVPG(peCounts []int) error {
 // ablateMBP sweeps the moving-back minimum-distance parameter on SWIM —
 // the paper's §4.3.2 tunable ("the range of values for this parameter
 // indicates the suitable distance to move back the prefetches").
-func ablateMBP(peCounts []int) error {
+func ablateMBP(w io.Writer, peCounts []int, jobs int) error {
 	s := workloads.SWIM(513, 3)
-	fmt.Println("Ablation B: moving-back minimum useful distance on SWIM")
-	fmt.Printf("%12s", "min-dist")
+	fmt.Fprintln(w, "Ablation B: moving-back minimum useful distance on SWIM")
+	fmt.Fprintf(w, "%12s", "min-dist")
 	for _, p := range peCounts {
-		fmt.Printf(" %12s", fmt.Sprintf("P=%d", p))
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("P=%d", p))
 	}
-	fmt.Println()
-	for _, minDist := range []int64{10, 40, 200, 1000} {
-		ar, err := harness.RunApp(s, harness.Config{
-			PECounts: peCounts,
-			Tune:     func(mp *machine.Params) { mp.MinMoveBackCycles = minDist },
+	fmt.Fprintln(w)
+
+	minDists := []int64{10, 40, 200, 1000}
+	results := make([]*harness.AppResult, len(minDists))
+	errs := make([]error, len(minDists))
+	var firstErr error
+	parallel.ForEach(len(minDists), jobs,
+		func(i int) {
+			minDist := minDists[i]
+			results[i], errs[i] = harness.RunApp(s, harness.Config{
+				PECounts: peCounts,
+				Tune:     func(mp *machine.Params) { mp.MinMoveBackCycles = minDist },
+			})
+		},
+		func(i int) {
+			if errs[i] != nil {
+				if firstErr == nil {
+					firstErr = errs[i]
+				}
+				return
+			}
+			if firstErr != nil {
+				return
+			}
+			fmt.Fprintf(w, "%12d", minDists[i])
+			for _, r := range results[i].Rows {
+				fmt.Fprintf(w, " %12d", r.CCDPCycles)
+			}
+			fmt.Fprintln(w)
 		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%12d", minDist)
-		for _, r := range ar.Rows {
-			fmt.Printf(" %12d", r.CCDPCycles)
-		}
-		fmt.Println()
-	}
-	return nil
+	return firstErr
 }
 
 // ablateNonStale runs the paper's §6 future-work extension — prefetching
@@ -86,25 +116,22 @@ func ablateMBP(peCounts []int) error {
 // coherent read, with no intervening writes. The ablation therefore uses a
 // table-lookup kernel with exactly that shape: a distributed coefficient
 // table initialized once and then read gathered/reversed every time step.
-func ablateNonStale(peCounts []int) error {
+func ablateNonStale(w io.Writer, peCounts []int, jobs int) error {
 	s := lookupKernel(4096, 12)
-	std, err := harness.RunApp(s, harness.Config{PECounts: peCounts})
+	rs, err := runConfigs(s, []harness.Config{
+		{PECounts: peCounts},
+		{PECounts: peCounts, Tune: func(mp *machine.Params) { mp.PrefetchNonStale = true }},
+	}, jobs)
 	if err != nil {
 		return err
 	}
-	ext, err := harness.RunApp(s, harness.Config{
-		PECounts: peCounts,
-		Tune:     func(mp *machine.Params) { mp.PrefetchNonStale = true },
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Println("Ablation C: §6 extension — also prefetch non-stale remote references (table-lookup kernel)")
-	fmt.Printf("%6s %16s %16s %12s %14s\n", "#PEs", "CCDP cycles", "+nonstale", "extra gain", "remote left")
+	std, ext := rs[0], rs[1]
+	fmt.Fprintln(w, "Ablation C: §6 extension — also prefetch non-stale remote references (table-lookup kernel)")
+	fmt.Fprintf(w, "%6s %16s %16s %12s %14s\n", "#PEs", "CCDP cycles", "+nonstale", "extra gain", "remote left")
 	for i, r := range std.Rows {
 		e := ext.Rows[i]
 		gain := 100 * (1 - float64(e.CCDPCycles)/float64(r.CCDPCycles))
-		fmt.Printf("%6d %16d %16d %11.2f%% %14d\n",
+		fmt.Fprintf(w, "%6d %16d %16d %11.2f%% %14d\n",
 			r.PEs, r.CCDPCycles, e.CCDPCycles, gain, e.CCDPStats.RemoteReads)
 	}
 	return nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/noc"
+	"repro/internal/parallel"
 	"repro/internal/workloads"
 )
 
@@ -20,7 +22,12 @@ import (
 // fault-free baseline. Over a torus topology the congestion-timeout
 // prefetch drops (contention-induced demotions) are reported in their own
 // column, separately from the fault-induced demotions.
-func runFaultSweep(specs []*workloads.Spec, peCounts []int, topo noc.Config, kindsFlag, ratesFlag string, trials int, seed int64) error {
+//
+// Every (app, rate, trial) point — plus each app's fault-free baseline —
+// is an independent simulation, so the whole sweep fans out over the
+// worker pool; rows are aggregated and printed in point order at emit
+// time, which keeps the output byte-identical at any -jobs setting.
+func runFaultSweep(w io.Writer, specs []*workloads.Spec, peCounts []int, topo noc.Config, kindsFlag, ratesFlag string, trials int, seed int64, jobs int) error {
 	kinds, err := fault.ParseKinds(kindsFlag)
 	if err != nil {
 		return err
@@ -33,65 +40,119 @@ func runFaultSweep(specs []*workloads.Spec, peCounts []int, topo noc.Config, kin
 		trials = 1
 	}
 
-	fmt.Printf("Fault sweep: kinds=%s trials=%d pes=%v topology=%s (CCDP cycles at the largest PE count)\n\n",
+	// Flatten the sweep to trial granularity. Each app's fault-free
+	// baseline comes first (rate == -1), so by the time a rate row is
+	// emitted its overhead denominator is already available.
+	type point struct {
+		app   int // index into specs
+		rate  int // index into rates; -1 = fault-free baseline
+		trial int
+	}
+	var points []point
+	for ai := range specs {
+		points = append(points, point{ai, -1, 0})
+		for ri := range rates {
+			for t := 0; t < trials; t++ {
+				points = append(points, point{ai, ri, t})
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "Fault sweep: kinds=%s trials=%d pes=%v topology=%s (CCDP cycles at the largest PE count)\n\n",
 		fault.FormatKinds(kinds), trials, peCounts, topo)
-	fmt.Printf("%-8s %8s %10s %9s %12s %9s %8s %10s %9s %8s\n",
+	fmt.Fprintf(w, "%-8s %8s %10s %9s %12s %9s %8s %10s %9s %8s\n",
 		"app", "rate", "survived", "attempts", "ccdp_cycles", "overhead", "faults", "demotions", "cont-drop", "oracle")
 
-	for _, s := range specs {
-		fmt.Fprintf(os.Stderr, "sweeping %s...\n", s.Name)
-		// Fault-free baseline for the overhead column (same topology: the
-		// overhead must isolate the faults, not the interconnect model).
-		base, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Topology: topo})
-		if err != nil {
-			return fmt.Errorf("%s baseline: %w", s.Name, err)
-		}
-		baseRow := base.Rows[len(base.Rows)-1]
-		fmt.Printf("%-8s %8g %10s %9s %12d %9s %8d %10d %9d %8d\n",
-			s.Name, 0.0, fmt.Sprintf("%d/%d", trials, trials), "1.0",
-			baseRow.CCDPCycles, "+0.00%", 0, baseRow.CCDPStats.Demotions,
-			baseRow.CCDPStats.NetDrops, 0)
+	results := make([]*harness.AppResult, len(points))
+	errs := make([]error, len(points))
+	baseRows := make([]harness.Row, len(specs))
 
-		for _, rate := range rates {
-			survived, attempts := 0, 0
-			var cycles, faults, demotions, contDrops, oracle int64
-			var lastErr error
-			for trial := 0; trial < trials; trial++ {
-				plan := fault.Plan{
-					Seed:  seed + int64(trial)*7919, // distinct stream per trial
-					Rate:  rate,
+	// Per-rate aggregate, reset at each rate's first trial. Emission is
+	// strictly ascending, so a rate's trials arrive contiguously.
+	var agg struct {
+		survived, attempts                           int
+		cycles, faults, demotions, contDrops, oracle int64
+		lastErr                                      error
+	}
+	var firstErr error
+	parallel.ForEach(len(points), jobs,
+		func(i int) {
+			p := points[i]
+			s := specs[p.app]
+			cfg := harness.Config{PECounts: peCounts, Topology: topo}
+			if p.rate >= 0 {
+				cfg.Fault = fault.Plan{
+					Seed:  seed + int64(p.trial)*7919, // distinct stream per trial
+					Rate:  rates[p.rate],
 					Kinds: kinds,
 				}
-				ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo})
-				if err != nil {
-					lastErr = err
-					continue
+			}
+			results[i], errs[i] = harness.RunApp(s, cfg)
+		},
+		func(i int) {
+			if firstErr != nil {
+				return
+			}
+			p := points[i]
+			s := specs[p.app]
+			if p.rate < 0 {
+				// Fault-free baseline for the overhead column (same
+				// topology: the overhead must isolate the faults, not the
+				// interconnect model).
+				fmt.Fprintf(os.Stderr, "sweeping %s...\n", s.Name)
+				if errs[i] != nil {
+					firstErr = fmt.Errorf("%s baseline: %w", s.Name, errs[i])
+					return
 				}
-				survived++
-				row := ar.Rows[len(ar.Rows)-1]
-				attempts += row.CCDPAttempts
-				cycles += row.CCDPCycles
-				faults += row.CCDPStats.FaultsInjected() + row.BaseStats.FaultsInjected()
-				demotions += row.CCDPStats.Demotions
-				contDrops += row.CCDPStats.NetDrops
-				oracle += row.CCDPStats.OracleViolations + row.BaseStats.OracleViolations
+				baseRow := results[i].Rows[len(results[i].Rows)-1]
+				baseRows[p.app] = baseRow
+				fmt.Fprintf(w, "%-8s %8g %10s %9s %12d %9s %8d %10d %9d %8d\n",
+					s.Name, 0.0, fmt.Sprintf("%d/%d", trials, trials), "1.0",
+					baseRow.CCDPCycles, "+0.00%", 0, baseRow.CCDPStats.Demotions,
+					baseRow.CCDPStats.NetDrops, 0)
+				return
 			}
-			if survived == 0 {
-				fmt.Printf("%-8s %8g %10s %9s %12s %9s %8s %10s %9s %8s  (last: %v)\n",
-					s.Name, rate, fmt.Sprintf("0/%d", trials), "-", "-", "-", "-", "-", "-", "-", lastErr)
-				continue
+
+			if p.trial == 0 {
+				agg = struct {
+					survived, attempts                           int
+					cycles, faults, demotions, contDrops, oracle int64
+					lastErr                                      error
+				}{}
 			}
-			n := int64(survived)
-			avgCycles := cycles / n
-			overhead := 100 * (float64(avgCycles)/float64(baseRow.CCDPCycles) - 1)
-			fmt.Printf("%-8s %8g %10s %9.1f %12d %+8.2f%% %8d %10d %9d %8d\n",
-				s.Name, rate, fmt.Sprintf("%d/%d", survived, trials),
-				float64(attempts)/float64(survived), avgCycles, overhead,
-				faults/n, demotions/n, contDrops/n, oracle/n)
-		}
-		fmt.Println()
-	}
-	return nil
+			if errs[i] != nil {
+				agg.lastErr = errs[i]
+			} else {
+				agg.survived++
+				row := results[i].Rows[len(results[i].Rows)-1]
+				agg.attempts += row.CCDPAttempts
+				agg.cycles += row.CCDPCycles
+				agg.faults += row.CCDPStats.FaultsInjected() + row.BaseStats.FaultsInjected()
+				agg.demotions += row.CCDPStats.Demotions
+				agg.contDrops += row.CCDPStats.NetDrops
+				agg.oracle += row.CCDPStats.OracleViolations + row.BaseStats.OracleViolations
+			}
+			if p.trial != trials-1 {
+				return
+			}
+			rate := rates[p.rate]
+			if agg.survived == 0 {
+				fmt.Fprintf(w, "%-8s %8g %10s %9s %12s %9s %8s %10s %9s %8s  (last: %v)\n",
+					s.Name, rate, fmt.Sprintf("0/%d", trials), "-", "-", "-", "-", "-", "-", "-", agg.lastErr)
+			} else {
+				n := int64(agg.survived)
+				avgCycles := agg.cycles / n
+				overhead := 100 * (float64(avgCycles)/float64(baseRows[p.app].CCDPCycles) - 1)
+				fmt.Fprintf(w, "%-8s %8g %10s %9.1f %12d %+8.2f%% %8d %10d %9d %8d\n",
+					s.Name, rate, fmt.Sprintf("%d/%d", agg.survived, trials),
+					float64(agg.attempts)/float64(agg.survived), avgCycles, overhead,
+					agg.faults/n, agg.demotions/n, agg.contDrops/n, agg.oracle/n)
+			}
+			if p.rate == len(rates)-1 {
+				fmt.Fprintln(w) // blank line between applications
+			}
+		})
+	return firstErr
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -3,18 +3,25 @@
 // BASE) for MXM, VPENTA, TOMCATV and SWIM across 1–64 PEs, plus the
 // ablation experiments DESIGN.md defines.
 //
+// Independent sweep points (applications, parameter settings, fault
+// trials) run concurrently on a worker pool (-jobs, default GOMAXPROCS);
+// rows are always emitted in deterministic point order, so the output is
+// byte-identical at any -jobs setting.
+//
 // Usage:
 //
 //	ccdpbench [-table 1|2|all] [-apps MXM,VPENTA,TOMCATV,SWIM] [-pes 1,2,4,...]
-//	          [-scale small|paper] [-topology flat|torus|XxYxZ]
+//	          [-scale small|paper] [-topology flat|torus|XxYxZ] [-jobs N]
 //	          [-ablation vpg|mbp|nonstale] [-details]
 //	          [-fault-rate 0.01] [-fault-kinds all] [-fault-seed 1]
 //	          [-faultsweep] [-fault-rates 0.001,0.01,0.05] [-fault-trials 3]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +29,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/noc"
+	"repro/internal/parallel"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -36,13 +45,22 @@ func main() {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	ablation := flag.String("ablation", "", "run an ablation instead: vpg, mbp or nonstale")
 	sweep := flag.String("sweep", "", "run an architectural parameter sweep instead: remote, cache, queue or line")
+	jobs := flag.Int("jobs", 0, "concurrent sweep points (0 = GOMAXPROCS); output is identical at any setting")
 	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)")
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 	faultSweep := flag.Bool("faultsweep", false, "run the fault-injection sweep ablation instead")
 	faultRates := flag.String("fault-rates", "0.001,0.01,0.05", "fault rates for -faultsweep")
 	faultTrials := flag.Int("fault-trials", 3, "trials (distinct seeds) per rate for -faultsweep")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	peCounts, err := parsePEs(*pes)
 	if err != nil {
@@ -62,19 +80,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runFaultSweep(specs, peCounts, topo, *faultKinds, *faultRates, *faultTrials, *faultSeed); err != nil {
+		if err := runFaultSweep(os.Stdout, specs, peCounts, topo, *faultKinds, *faultRates, *faultTrials, *faultSeed, *jobs); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *ablation != "" {
-		if err := runAblation(*ablation, peCounts); err != nil {
+		if err := runAblation(os.Stdout, *ablation, peCounts, *jobs); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *sweep != "" {
-		if err := runSweep(*sweep, peCounts); err != nil {
+		if err := runSweep(os.Stdout, *sweep, peCounts, *jobs); err != nil {
 			fatal(err)
 		}
 		return
@@ -84,18 +102,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	var results []*harness.AppResult
-	for _, s := range specs {
-		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Description)
-		ar, err := harness.RunApp(s, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo})
-		if err != nil {
-			fatal(err)
-		}
-		results = append(results, ar)
-		if *details {
-			fmt.Println(report.Details(ar))
-		}
+	results, err := runApps(os.Stdout, specs, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo}, *jobs, *details)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *csv {
@@ -111,6 +120,31 @@ func main() {
 		fmt.Println(report.Table1(results))
 		fmt.Println(report.Table2(results))
 	}
+}
+
+// runApps sweeps every application on the worker pool. Per-app detail
+// blocks are emitted to w in application order regardless of completion
+// order; the returned results are indexed like specs.
+func runApps(w io.Writer, specs []*workloads.Spec, cfg harness.Config, jobs int, details bool) ([]*harness.AppResult, error) {
+	results := make([]*harness.AppResult, len(specs))
+	errs := make([]error, len(specs))
+	parallel.ForEach(len(specs), jobs,
+		func(i int) {
+			s := specs[i]
+			fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name, s.Description)
+			results[i], errs[i] = harness.RunApp(s, cfg)
+		},
+		func(i int) {
+			if details && errs[i] == nil {
+				fmt.Fprintln(w, report.Details(results[i]))
+			}
+		})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 func selectApps(list, scale string) ([]*workloads.Spec, error) {

@@ -2,22 +2,27 @@ package main
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/workloads"
 )
+
+// sweepPoint is one row of an architectural sweep: a label plus the
+// machine-parameter perturbation it measures.
+type sweepPoint struct {
+	label string
+	tune  func(*machine.Params)
+}
 
 // runSweep measures the interaction of the CCDP scheme with one
 // architectural parameter — the "detailed simulation studies ... and the
 // interaction of the compiler implementation with various important
 // architectural parameters" the paper's §6 plans as future work.
-func runSweep(name string, peCounts []int) error {
-	type point struct {
-		label string
-		tune  func(*machine.Params)
-	}
-	var points []point
+func runSweep(w io.Writer, name string, peCounts []int, jobs int) error {
+	var points []sweepPoint
 	var app *workloads.Spec
 	switch name {
 	case "remote":
@@ -27,7 +32,7 @@ func runSweep(name string, peCounts []int) error {
 		base := machine.DefaultParams.RemoteReadCost
 		for _, lat := range []int64{base / 3, 2 * base / 3, base, 2 * base, 4 * base} {
 			lat := lat
-			points = append(points, point{
+			points = append(points, sweepPoint{
 				label: fmt.Sprintf("remote=%d", lat),
 				tune:  func(mp *machine.Params) { mp.RemoteReadCost = lat },
 			})
@@ -36,7 +41,7 @@ func runSweep(name string, peCounts []int) error {
 		app = workloads.SWIM(257, 3)
 		for _, words := range []int64{256, 512, 1024, 4096, 16384} {
 			words := words
-			points = append(points, point{
+			points = append(points, sweepPoint{
 				label: fmt.Sprintf("cache=%dKB", words*8/1024),
 				tune: func(mp *machine.Params) {
 					mp.CacheWords = words
@@ -50,7 +55,7 @@ func runSweep(name string, peCounts []int) error {
 		app = workloads.TOMCATV(257, 3)
 		for _, depth := range []int{1, 4, 16, 64, 256} {
 			depth := depth
-			points = append(points, point{
+			points = append(points, sweepPoint{
 				label: fmt.Sprintf("queue=%d", depth),
 				tune: func(mp *machine.Params) {
 					mp.PrefetchQueueWords = depth
@@ -62,7 +67,7 @@ func runSweep(name string, peCounts []int) error {
 		app = workloads.SWIM(257, 3)
 		for _, lw := range []int64{2, 4, 8, 16} {
 			lw := lw
-			points = append(points, point{
+			points = append(points, sweepPoint{
 				label: fmt.Sprintf("line=%dB", lw*8),
 				tune:  func(mp *machine.Params) { mp.LineWords = lw },
 			})
@@ -71,22 +76,41 @@ func runSweep(name string, peCounts []int) error {
 		return fmt.Errorf("unknown sweep %q (want remote, cache, queue or line)", name)
 	}
 
-	fmt.Printf("Architectural sweep %q on %s\n", name, app.Name)
-	fmt.Printf("%14s", "")
+	fmt.Fprintf(w, "Architectural sweep %q on %s\n", name, app.Name)
+	return sweepTable(w, app, points, peCounts, jobs)
+}
+
+// sweepTable runs every sweep point on the worker pool and prints the
+// improvement table, rows in point order.
+func sweepTable(w io.Writer, app *workloads.Spec, points []sweepPoint, peCounts []int, jobs int) error {
+	fmt.Fprintf(w, "%14s", "")
 	for _, p := range peCounts {
-		fmt.Printf(" %14s", fmt.Sprintf("P=%d improv", p))
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("P=%d improv", p))
 	}
-	fmt.Println()
-	for _, pt := range points {
-		ar, err := harness.RunApp(app, harness.Config{PECounts: peCounts, Tune: pt.tune})
-		if err != nil {
-			return fmt.Errorf("%s: %w", pt.label, err)
-		}
-		fmt.Printf("%14s", pt.label)
-		for _, r := range ar.Rows {
-			fmt.Printf(" %13.2f%%", r.Improvement)
-		}
-		fmt.Println()
-	}
-	return nil
+	fmt.Fprintln(w)
+
+	results := make([]*harness.AppResult, len(points))
+	errs := make([]error, len(points))
+	var firstErr error
+	parallel.ForEach(len(points), jobs,
+		func(i int) {
+			results[i], errs[i] = harness.RunApp(app, harness.Config{PECounts: peCounts, Tune: points[i].tune})
+		},
+		func(i int) {
+			if errs[i] != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", points[i].label, errs[i])
+				}
+				return
+			}
+			if firstErr != nil {
+				return // keep the table's prefix clean once a point failed
+			}
+			fmt.Fprintf(w, "%14s", points[i].label)
+			for _, r := range results[i].Rows {
+				fmt.Fprintf(w, " %13.2f%%", r.Improvement)
+			}
+			fmt.Fprintln(w)
+		})
+	return firstErr
 }

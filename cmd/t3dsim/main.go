@@ -6,6 +6,7 @@
 //	t3dsim -app TOMCATV -mode ccdp -pes 16 [-scale small|paper] [-races] [-verify]
 //	       [-topology flat|torus|XxYxZ]
 //	       [-fault-rate 0.01] [-fault-kinds drop,late,spike,evict,skew] [-fault-seed 1]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/noc"
+	"repro/internal/prof"
 	"repro/internal/workloads"
 )
 
@@ -33,7 +35,15 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)")
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection RNG seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var pool []*workloads.Spec
 	if *scale == "paper" {
@@ -115,9 +125,8 @@ func main() {
 			fatal(err)
 		}
 		for _, name := range spec.CheckArrays {
-			arr := spec.Prog.ArrayByName(name)
-			a := ref.Mem.ArrayData(arr)
-			b := res.Mem.ArrayData(arr)
+			a := ref.Mem.ArrayData(ref.Mem.ArrayNamed(name))
+			b := res.Mem.ArrayData(res.Mem.ArrayNamed(name))
 			for i := range a {
 				if a[i] != b[i] {
 					fatal(fmt.Errorf("verification FAILED: %s[%d] = %v, sequential %v", name, i, b[i], a[i]))

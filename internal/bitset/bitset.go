@@ -1,0 +1,85 @@
+// Package bitset provides the dense, allocation-free set representations
+// the execution engine's hot path uses in place of Go maps: a plain bitset
+// over a word-address (or line-address) universe, and a Sparse variant that
+// additionally tracks which indices were set so it can be cleared in time
+// proportional to its population, not its universe — the property the
+// per-epoch sets (vector-buffered lines, race-detection address sets) need.
+package bitset
+
+// Set is a fixed-universe bitset.
+type Set struct {
+	bits []uint64
+}
+
+// NewSet returns a set over the universe [0, n).
+func NewSet(n int64) *Set {
+	return &Set{bits: make([]uint64, (n+63)/64)}
+}
+
+// Grow extends the universe to at least n.
+func (s *Set) Grow(n int64) {
+	need := (n + 63) / 64
+	if int64(len(s.bits)) < need {
+		nb := make([]uint64, need)
+		copy(nb, s.bits)
+		s.bits = nb
+	}
+}
+
+// Add inserts i and reports whether it was newly added.
+func (s *Set) Add(i int64) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.bits[w]&b != 0 {
+		return false
+	}
+	s.bits[w] |= b
+	return true
+}
+
+// Remove deletes i.
+func (s *Set) Remove(i int64) { s.bits[i>>6] &^= uint64(1) << (i & 63) }
+
+// Contains reports membership of i.
+func (s *Set) Contains(i int64) bool {
+	return s.bits[i>>6]&(uint64(1)<<(i&63)) != 0
+}
+
+// Sparse is a bitset plus the list of members in insertion order: O(1)
+// insert and membership, O(population) clear and iteration. Iteration order
+// is the deterministic insertion order, unlike a Go map.
+type Sparse struct {
+	set     Set
+	members []int64
+}
+
+// NewSparse returns a sparse set over the universe [0, n).
+func NewSparse(n int64) *Sparse {
+	return &Sparse{set: Set{bits: make([]uint64, (n+63)/64)}}
+}
+
+// Add inserts i (idempotent) and reports whether it was newly added.
+func (s *Sparse) Add(i int64) bool {
+	if !s.set.Add(i) {
+		return false
+	}
+	s.members = append(s.members, i)
+	return true
+}
+
+// Contains reports membership of i.
+func (s *Sparse) Contains(i int64) bool { return s.set.Contains(i) }
+
+// Len returns the population.
+func (s *Sparse) Len() int { return len(s.members) }
+
+// Members returns the members in insertion order. The slice is owned by the
+// set and valid until the next Add or Reset.
+func (s *Sparse) Members() []int64 { return s.members }
+
+// Reset empties the set in O(population), keeping the backing storage.
+func (s *Sparse) Reset() {
+	for _, i := range s.members {
+		s.set.Remove(i)
+	}
+	s.members = s.members[:0]
+}

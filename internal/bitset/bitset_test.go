@@ -1,0 +1,67 @@
+package bitset
+
+import "testing"
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(200)
+	if s.Contains(63) || s.Contains(64) {
+		t.Fatal("empty set contains elements")
+	}
+	if !s.Add(63) || !s.Add(64) || !s.Add(199) {
+		t.Fatal("fresh Add reported existing")
+	}
+	if s.Add(64) {
+		t.Fatal("duplicate Add reported new")
+	}
+	for _, i := range []int64{63, 64, 199} {
+		if !s.Contains(i) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Remove left 64 behind")
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Fatal("phantom members")
+	}
+}
+
+func TestSetGrow(t *testing.T) {
+	s := NewSet(10)
+	s.Add(5)
+	s.Grow(1000)
+	if !s.Contains(5) {
+		t.Fatal("Grow lost members")
+	}
+	s.Add(999)
+	if !s.Contains(999) {
+		t.Fatal("grown universe not addressable")
+	}
+}
+
+func TestSparseInsertionOrderAndReset(t *testing.T) {
+	s := NewSparse(512)
+	in := []int64{300, 7, 300, 64, 7, 0}
+	for _, i := range in {
+		s.Add(i)
+	}
+	want := []int64{300, 7, 64, 0}
+	got := s.Members()
+	if len(got) != len(want) || s.Len() != len(want) {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members = %v, want %v (insertion order)", got, want)
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Contains(300) || s.Contains(0) {
+		t.Fatal("Reset left members behind")
+	}
+	// Storage is reusable after Reset.
+	if !s.Add(7) || s.Len() != 1 || !s.Contains(7) {
+		t.Fatal("set unusable after Reset")
+	}
+}

@@ -62,6 +62,12 @@ type Compiled struct {
 	Machine    machine.Params
 	TotalWords int64
 
+	// Syms interns every scalar and integer-variable name of the final
+	// (post-scheduling) program: the execution engine resolves names to
+	// dense slots through this table once, at compile time, so its hot
+	// path never hashes a string.
+	Syms *ir.SymTable
+
 	// Analysis results (CCDP mode only; nil otherwise).
 	Stale   *stale.Result
 	Targets *target.Result
@@ -86,14 +92,14 @@ func Compile(src *ir.Program, mode Mode, mp machine.Params) (*Compiled, error) {
 		return nil, err
 	}
 
-	// Lay out the shared array metadata once, under a lock: clones share
-	// the Array values, and concurrent compiles of the same source must
-	// not race on Base assignment.
+	// Lay out the source arrays and snapshot the result into the clone's
+	// private Array copies, all under one lock: concurrent compiles of the
+	// same source (sweep points, possibly at different line sizes) each get
+	// their own immutable layout and never race on Base assignment.
 	layoutMu.Lock()
 	total := mem.Layout(src, mp.LineWords)
-	layoutMu.Unlock()
-
 	prog := ir.CloneProgram(src)
+	layoutMu.Unlock()
 	prog.Finalize()
 
 	c := &Compiled{Prog: prog, Mode: mode, Machine: mp, TotalWords: total}
@@ -135,6 +141,9 @@ func Compile(src *ir.Program, mode Mode, mp machine.Params) (*Compiled, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", mode)
 	}
+	// Intern symbols AFTER the mode lowering: the CCDP scheduler inserts
+	// vector prefetches with fresh pull variables that need slots too.
+	c.Syms = ir.CollectSyms(prog)
 	return c, nil
 }
 

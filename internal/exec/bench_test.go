@@ -1,0 +1,73 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/workloads"
+)
+
+// Engine hot-path micro-benchmarks: compile once, measure ONLY the
+// interpreter inner loop (exec.Run). These are the numbers the engine
+// overhaul is pinned against — see BENCH_baseline.json and the
+// "Engine performance" section of DESIGN.md. ReportAllocs makes the
+// per-simulated-access allocation behaviour part of the regression surface.
+
+func benchEngine(b *testing.B, spec *workloads.Spec, mode core.Mode, pes int) {
+	b.Helper()
+	c, err := core.Compile(spec.Prog, mode, machine.T3D(pes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := exec.Run(c, exec.Options{FailOnStale: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkEngineHotPathMXMSeq(b *testing.B) {
+	benchEngine(b, workloads.MXM(64, 32, 16), core.ModeSeq, 1)
+}
+
+func BenchmarkEngineHotPathMXMCCDP(b *testing.B) {
+	benchEngine(b, workloads.MXM(64, 32, 16), core.ModeCCDP, 8)
+}
+
+func BenchmarkEngineHotPathTOMCATVCCDP(b *testing.B) {
+	benchEngine(b, workloads.TOMCATV(65, 2), core.ModeCCDP, 8)
+}
+
+func BenchmarkEngineHotPathSWIMBase(b *testing.B) {
+	benchEngine(b, workloads.SWIM(65, 2), core.ModeBase, 8)
+}
+
+func BenchmarkEngineHotPathVPENTATorus(b *testing.B) {
+	spec := workloads.VPENTA(64, 2)
+	mp := machine.T3D(8)
+	topo, err := noc.Parse("torus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp.Topology = topo
+	c, err := core.Compile(spec.Prog, core.ModeCCDP, mp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(c, exec.Options{FailOnStale: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,21 +15,27 @@
 // the golden-value comparison then catches). SEQ, BASE and CCDP runs must
 // report zero; the deliberately naive INCOHERENT mode demonstrates the
 // failure the scheme prevents.
+//
+// Before anything executes, the ir tree is lowered to the engine's
+// compiled form (compile.go): names become dense slots, subscripts become
+// stride-resolved affine forms, and the per-PE state becomes plain slices
+// — the cycle arithmetic is unchanged, so results stay bit-identical to
+// the tree-walking engine this replaced.
 package exec
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/craft"
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/pfq"
+	"repro/internal/shmem"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -95,6 +101,10 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 		return nil, fmt.Errorf("exec: invalidation table has %d nodes, graph has %d",
 			len(c.Stale.Invalidate), len(graph.Nodes))
 	}
+	cp, err := compileProgram(c, graph)
+	if err != nil {
+		return nil, err
+	}
 
 	if err := opts.Fault.Validate(); err != nil {
 		return nil, err
@@ -107,29 +117,50 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 			return nil, err
 		}
 	}
-	eng := &engine{c: c, mem: m, graph: graph, opts: opts, net: net,
+	// The engine starts single-threaded (epoch setup, serial epochs); the
+	// parallel fan-out flips the memory to atomic mode only while PE
+	// goroutines actually run concurrently.
+	m.SetSerial(true)
+	eng := &engine{c: c, cp: cp, mem: m, graph: graph, opts: opts, net: net,
 		inj: fault.NewInjector(opts.Fault, mp.NumPE)}
+	maxRank := 1
+	for _, a := range prog.Arrays {
+		if r := a.Rank(); r > maxRank {
+			maxRank = r
+		}
+	}
+	lines := c.TotalWords/mp.LineWords + 1
 	eng.pes = make([]*peState, mp.NumPE)
 	for p := 0; p < mp.NumPE; p++ {
-		eng.pes[p] = &peState{
-			id:      p,
-			eng:     eng,
-			cache:   cache.New(mp.CacheWords, mp.LineWords),
-			pq:      pfq.New(mp.PrefetchQueueWords),
-			scalars: map[string]float64{},
-			env:     map[string]int64{},
+		pe := &peState{
+			id:            p,
+			eng:           eng,
+			cache:         cache.New(mp.CacheWords, mp.LineWords),
+			pq:            pfq.New(mp.PrefetchQueueWords),
+			scalars:       make([]float64, cp.nScalars),
+			scalarWritten: make([]bool, cp.nScalars),
+			env:           make([]int64, cp.nVars),
+			bound:         make([]bool, cp.nVars),
+			buffered:      bitset.NewSparse(lines),
+			idxScratch:    make([]int64, maxRank),
+			shScratch:     shmem.NewScratch(m, mp),
 		}
+		eng.pes[p] = pe
 		if eng.inj != nil {
-			eng.pes[p].fault = eng.inj.PE(p)
+			pe.fault = eng.inj.PE(p)
+			pe.shFaults = &shmem.Faults{DropLine: pe.fault.DropPrefetch, LateDelay: pe.fault.LateDelay}
 		}
 		if opts.Trace != nil {
 			if len(opts.Trace.PerPE) != mp.NumPE {
 				return nil, fmt.Errorf("exec: trace has %d PEs, machine has %d", len(opts.Trace.PerPE), mp.NumPE)
 			}
-			eng.pes[p].trace = opts.Trace.PerPE[p]
+			pe.trace = opts.Trace.PerPE[p]
 		}
 		for k, v := range prog.Params {
-			eng.pes[p].env[k] = v
+			if s := cp.syms.VarIndex(k); s >= 0 {
+				pe.env[s] = v
+				pe.bound[s] = true
+			}
 		}
 	}
 
@@ -163,6 +194,7 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 
 type engine struct {
 	c     *core.Compiled
+	cp    *cProgram
 	mem   *mem.Memory
 	graph *ir.EpochGraph
 	opts  Options
@@ -237,7 +269,10 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 			pe.now += pe.fault.ClockSkew()
 		}
 		for k, v := range inst.Env {
-			pe.env[k] = v
+			if s := e.cp.syms.VarIndex(k); s >= 0 {
+				pe.env[s] = v
+				pe.bound[s] = true
+			}
 		}
 	}
 
@@ -247,13 +282,18 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 		}
 	} else {
 		pe0 := e.pes[0]
-		if err := pe0.runStmts(node.Stmts); err != nil {
+		if err := pe0.runStmts(e.cp.nodes[node.Index].stmts); err != nil {
 			return err
 		}
 		// Scalars written in a serial epoch are broadcast at the barrier.
+		// The written mask mirrors map-key presence in the old map-based
+		// state: only slots PE 0 has ever stored to are propagated.
 		for _, pe := range e.pes[1:] {
-			for k, v := range pe0.scalars {
-				pe.scalars[k] = v
+			for s, w := range pe0.scalarWritten {
+				if w {
+					pe.scalars[s] = pe0.scalars[s]
+					pe.scalarWritten[s] = true
+				}
 			}
 		}
 	}
@@ -272,9 +312,11 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 	for _, pe := range e.pes {
 		pe.now = maxNow
 		e.stats.PrefetchUnused += pe.pq.Flush()
-		pe.buffered = nil
+		pe.buffered.Reset()
 		for k := range inst.Env {
-			delete(pe.env, k)
+			if s := e.cp.syms.VarIndex(k); s >= 0 {
+				pe.bound[s] = false
+			}
 		}
 	}
 	if e.net != nil {
@@ -289,7 +331,11 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 		}
 	}
 	for _, pe := range e.pes {
-		pe.reads, pe.writes = nil, nil
+		if pe.reads != nil {
+			pe.reads.Reset()
+			pe.writes.Reset()
+			pe.reads, pe.writes = nil, nil
+		}
 	}
 	return nil
 }
@@ -303,10 +349,12 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 // design center is bit-identical results regardless of goroutine
 // interleaving — PE clocks are independent, so booking PE p's epoch in full
 // before PE p+1's does not change any PE's own timeline, only resolves
-// contention ties deterministically.
+// contention ties deterministically. A 1-PE run also stays on the calling
+// goroutine (and keeps the memory in plain, non-atomic mode): spawning a
+// single worker buys nothing.
 func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 	mp := e.c.Machine
-	l := node.Loop
+	l := e.cp.nodes[node.Index].loop
 	errs := make([]error, len(e.pes))
 	runPE := func(p int) {
 		defer func() {
@@ -316,8 +364,12 @@ func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 		}()
 		pe := e.pes[p]
 		if e.opts.DetectRaces {
-			pe.reads = map[int64]struct{}{}
-			pe.writes = map[int64]struct{}{}
+			if pe.raceRd == nil {
+				pe.raceRd = bitset.NewSparse(e.mem.Words())
+				pe.raceWr = bitset.NewSparse(e.mem.Words())
+			}
+			pe.reads = pe.raceRd
+			pe.writes = pe.raceWr
 		}
 		switch e.c.Mode {
 		case core.ModeBase:
@@ -327,11 +379,12 @@ func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 		}
 		errs[p] = pe.runDoall(l)
 	}
-	if e.opts.DetectRaces || e.net != nil {
+	if e.opts.DetectRaces || e.net != nil || len(e.pes) == 1 {
 		for p := range e.pes {
 			runPE(p)
 		}
 	} else {
+		e.mem.SetSerial(false)
 		var wg sync.WaitGroup
 		for p := range e.pes {
 			wg.Add(1)
@@ -341,6 +394,7 @@ func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 			}(p)
 		}
 		wg.Wait()
+		e.mem.SetSerial(true)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -350,21 +404,23 @@ func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 	return nil
 }
 
-// checkRaces verifies that no two PEs conflicted inside the epoch.
+// checkRaces verifies that no two PEs conflicted inside the epoch. The
+// Sparse sets iterate in insertion order, so the first conflict reported is
+// deterministic (a map-keyed set would pick an arbitrary one).
 func (e *engine) checkRaces(node *ir.EpochNode) error {
 	for p, pa := range e.pes {
 		for q := p + 1; q < len(e.pes); q++ {
 			pb := e.pes[q]
-			for a := range pa.writes {
-				if _, ok := pb.writes[a]; ok {
+			for _, a := range pa.writes.Members() {
+				if pb.writes.Contains(a) {
 					return fmt.Errorf("exec: epoch %d: PEs %d and %d both write addr %d", node.Index, p, q, a)
 				}
-				if _, ok := pb.reads[a]; ok {
+				if pb.reads.Contains(a) {
 					return fmt.Errorf("exec: epoch %d: PE %d writes addr %d read by PE %d", node.Index, p, a, q)
 				}
 			}
-			for a := range pa.reads {
-				if _, ok := pb.writes[a]; ok {
+			for _, a := range pa.reads.Members() {
+				if pb.writes.Contains(a) {
 					return fmt.Errorf("exec: epoch %d: PE %d reads addr %d written by PE %d", node.Index, p, a, q)
 				}
 			}
@@ -411,16 +467,3 @@ func (e *engine) reportStale(pe *peState, r *ir.Ref, addr int64, gen uint32) {
 	}
 	e.staleMu.Unlock()
 }
-
-// sortedKeys is a test helper for deterministic map iteration in dumps.
-func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-var _ = sortedKeys
-var _ = craft.BlockChunk

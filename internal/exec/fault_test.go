@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/pfq"
+	"repro/internal/shmem"
 )
 
 // spProg returns a program whose consumer loop is software-pipelined with
@@ -147,7 +149,7 @@ func TestPrefetchQueueOverflowDemotes(t *testing.T) {
 
 	ref0 := ir.At(arr, ir.K(0))
 	ref0.Prefetched = true
-	if v := pe.readMem(ref0, addr0); v != 5.0 {
+	if v := pe.readMem(compileRef(t, eng, ref0), addr0); v != 5.0 {
 		t.Errorf("queued word read %v, want 5.0", v)
 	}
 	if pe.pq.Consumed != 1 || pe.stats.Demotions != 0 {
@@ -157,7 +159,7 @@ func TestPrefetchQueueOverflowDemotes(t *testing.T) {
 
 	ref1 := ir.At(arr, ir.K(1))
 	ref1.Prefetched = true
-	if v := pe.readMem(ref1, addr1); v != 7.0 {
+	if v := pe.readMem(compileRef(t, eng, ref1), addr1); v != 7.0 {
 		t.Errorf("overflow-dropped word read %v, want the fresh 7.0", v)
 	}
 	if pe.stats.Demotions != 1 {
@@ -230,18 +232,35 @@ func plantPE(t *testing.T, opts Options) (*engine, *peState) {
 	m := mem.New(c.Prog, 1, c.TotalWords)
 	eng := &engine{c: c, mem: m, opts: opts, inj: fault.NewInjector(opts.Fault, 1)}
 	pe := &peState{
-		id:      0,
-		eng:     eng,
-		cache:   cache.New(c.Machine.CacheWords, c.Machine.LineWords),
-		pq:      pfq.New(c.Machine.PrefetchQueueWords),
-		scalars: map[string]float64{},
-		env:     map[string]int64{},
+		id:            0,
+		eng:           eng,
+		cache:         cache.New(c.Machine.CacheWords, c.Machine.LineWords),
+		pq:            pfq.New(c.Machine.PrefetchQueueWords),
+		scalars:       make([]float64, c.Syms.NumScalars()),
+		scalarWritten: make([]bool, c.Syms.NumScalars()),
+		env:           make([]int64, c.Syms.NumVars()),
+		bound:         make([]bool, c.Syms.NumVars()),
+		buffered:      bitset.NewSparse(c.TotalWords/c.Machine.LineWords + 1),
+		idxScratch:    make([]int64, 4),
+		shScratch:     shmem.NewScratch(m, c.Machine),
 	}
 	if eng.inj != nil {
 		pe.fault = eng.inj.PE(0)
 	}
 	eng.pes = []*peState{pe}
 	return eng, pe
+}
+
+// compileRef lowers a hand-built reference the way Run's program lowering
+// would, so tests can drive readMem directly.
+func compileRef(t *testing.T, eng *engine, r *ir.Ref) *cRef {
+	t.Helper()
+	cc := &compiler{prog: eng.c.Prog, syms: eng.c.Syms, routines: map[string]*[]cStmt{}}
+	cr, err := cc.ref(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr
 }
 
 // The oracle must catch a deliberately planted stale cache line the moment
@@ -256,7 +275,7 @@ func TestOracleCatchesPlantedStaleLine(t *testing.T) {
 	pe.installLine(addr, 0)  // cache now holds gen 1
 	eng.mem.Write(addr, 2.0) // gen 2: the cached copy is stale
 
-	v := pe.readMem(ref, addr)
+	v := pe.readMem(compileRef(t, eng, ref), addr)
 	if v != 1.0 {
 		t.Fatalf("planted stale hit returned %v, want the stale 1.0", v)
 	}
@@ -289,7 +308,7 @@ func TestPlantedStaleLineDemotesUnderFaults(t *testing.T) {
 	pe.installLine(addr, 0)
 	eng.mem.Write(addr, 2.0)
 
-	v := pe.readMem(ref, addr)
+	v := pe.readMem(compileRef(t, eng, ref), addr)
 	if v != 2.0 {
 		t.Fatalf("degraded read returned %v, want the fresh 2.0", v)
 	}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bitset"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/craft"
-	"repro/internal/expr"
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mem"
@@ -18,40 +18,71 @@ import (
 )
 
 // peState is one processing element: its cycle clock, cache, prefetch
-// queue, scalar registers and induction-variable environment.
+// queue, scalar registers and induction-variable environment. All value
+// state is slot-indexed through the program's symbol table (dense slices,
+// no string-keyed maps): the engine executes the compiled mirror tree
+// (compile.go), so its hot path allocates nothing per simulated access.
 type peState struct {
-	id      int
-	eng     *engine
-	now     int64
-	cache   *cache.Cache
-	pq      *pfq.Queue
-	scalars map[string]float64
-	env     map[string]int64
-	stats   stats.Stats
+	id    int
+	eng   *engine
+	now   int64
+	cache *cache.Cache
+	pq    *pfq.Queue
+	stats stats.Stats
 
-	// regs models compiler register allocation: within one iteration of the
-	// innermost executing loop, repeated loads of the same address are
-	// register hits costing nothing — in every mode, exactly as the Fortran
-	// compiler eliminates redundant loads in both the BASE and CCDP codes.
-	// Cleared at each iteration boundary; updated by the PE's own stores.
-	regs map[int64]float64
+	// scalars holds the PE-private scalar values, indexed by scalar slot;
+	// scalarWritten marks the slots this PE has ever stored to (the set the
+	// serial-epoch barrier broadcasts, mirroring the map-key semantics the
+	// engine had when scalars were a map).
+	scalars       []float64
+	scalarWritten []bool
+
+	// env/bound is the integer-variable environment, indexed by var slot:
+	// params, induction variables and prefetch pull variables. bound mirrors
+	// map-key presence; reading an unbound slot is an engine bug and panics
+	// with the same diagnostic the map-based evaluator raised.
+	env   []int64
+	bound []bool
+
+	// regA/regV model compiler register allocation as a linear-scan window:
+	// within one iteration of the innermost executing loop, repeated loads
+	// of the same address are register hits costing nothing — in every mode,
+	// exactly as the Fortran compiler eliminates redundant loads in both the
+	// BASE and CCDP codes. Truncated at each iteration boundary; updated by
+	// the PE's own stores. The window holds the handful of addresses one
+	// iteration touches, so a scan beats any map.
+	regA []int64
+	regV []float64
 
 	// buffered records the cache lines fetched by a vector prefetch in the
-	// current epoch: shmem_get lands the data in a LOCAL buffer, so a line
-	// evicted from the cache refills from local DRAM, not from the remote
-	// home. Cleared at every epoch boundary (the buffer contents are only
-	// coherent for the epoch the get served).
-	buffered map[int64]struct{}
+	// current epoch, keyed by line index (addr/LineWords): shmem_get lands
+	// the data in a LOCAL buffer, so a line evicted from the cache refills
+	// from local DRAM, not from the remote home. Reset at every epoch
+	// boundary (the buffer contents are only coherent for the epoch the get
+	// served).
+	buffered *bitset.Sparse
 
-	// Race-detection address sets (shared arrays only), per epoch.
-	reads, writes map[int64]struct{}
+	// Race-detection address sets (shared arrays only), per epoch; non-nil
+	// only while a parallel epoch runs under Options.DetectRaces. raceRd and
+	// raceWr are the lazily-allocated backing sets reads/writes point at.
+	reads, writes  *bitset.Sparse
+	raceRd, raceWr *bitset.Sparse
+
+	// idxScratch holds one reference's subscript values during address
+	// computation; vpAddrs accumulates a vector prefetch's address list;
+	// shScratch is this PE's reusable shmem transfer state.
+	idxScratch []int64
+	vpAddrs    []int64
+	shScratch  *shmem.Scratch
 
 	// staleByRef attributes stale-value reads to reference sites
 	// (Options.TrackStaleRefs).
 	staleByRef map[ir.RefID]int64
 
 	// fault is this PE's seeded fault stream; nil in a fault-free run.
-	fault *fault.PE
+	// shFaults is the prefetch-drop/late hook pair handed to shmem.
+	fault    *fault.PE
+	shFaults *shmem.Faults
 	// demoted counts bypass-fetch fallbacks, checked against the per-PE
 	// demotion budget when faults are enabled.
 	demoted int64
@@ -61,28 +92,28 @@ type peState struct {
 }
 
 // runDoall executes the PE's share of a parallel epoch.
-func (pe *peState) runDoall(l *ir.Loop) error {
+func (pe *peState) runDoall(l *cLoop) error {
 	mp := pe.eng.c.Machine
-	lo := pe.evalAffine(l.Lo)
-	hi := pe.evalAffine(l.Hi)
-	step := l.Step.ConstPart()
+	lo := pe.evalAffine(&l.lo)
+	hi := pe.evalAffine(&l.hi)
+	step := l.step
 
 	// Prologue: vector prefetches hoisted to the epoch entry. A vector
 	// over the DOALL's own variable covers only this PE's chunk.
 	chunk := craft.Chunk{Lo: lo, Hi: hi}
-	if l.Sched == ir.SchedStatic && step == 1 {
-		if l.AlignExtent > 0 {
-			chunk = craft.AlignedChunk(lo, hi, l.AlignExtent, mp.NumPE, pe.id)
+	if l.sched == ir.SchedStatic && step == 1 {
+		if l.alignExt > 0 {
+			chunk = craft.AlignedChunk(lo, hi, l.alignExt, mp.NumPE, pe.id)
 		} else {
 			chunk = craft.BlockChunk(lo, hi, mp.NumPE, pe.id)
 		}
 	}
-	for _, s := range l.Prologue {
-		if vp, ok := s.(*ir.VectorPrefetch); ok {
-			if vp.LoopVar == l.Var {
+	for _, s := range l.prologue {
+		if vp, ok := s.(*cVP); ok {
+			if vp.varSlot == l.varSlot {
 				pe.vectorPrefetch(vp, chunk.Lo, chunk.Hi, step)
 			} else {
-				pe.vectorPrefetch(vp, pe.evalAffine(vp.Lo), pe.evalAffine(vp.Hi), vp.Step.ConstPart())
+				pe.vectorPrefetch(vp, pe.evalAffine(&vp.lo), pe.evalAffine(&vp.hi), vp.step)
 			}
 			continue
 		}
@@ -92,46 +123,47 @@ func (pe *peState) runDoall(l *ir.Loop) error {
 	}
 
 	switch {
-	case l.Sched == ir.SchedDynamic:
+	case l.sched == ir.SchedDynamic:
 		// Deterministic round-robin stand-in for runtime self-scheduling.
 		for it := lo; it <= hi; it += step {
 			if int((it-lo)/step)%mp.NumPE != pe.id {
 				continue
 			}
 			pe.now += mp.DynamicSchedCost + mp.LoopIterCost
-			pe.env[l.Var] = it
+			pe.env[l.varSlot] = it
+			pe.bound[l.varSlot] = true
 			pe.clearRegs()
-			if err := pe.runStmts(l.Body); err != nil {
+			if err := pe.runStmts(l.body); err != nil {
 				return err
 			}
 		}
 	default:
 		if step != 1 {
-			return fmt.Errorf("exec: DOALL %q with step %d unsupported", l.Var, step)
+			return fmt.Errorf("exec: DOALL %q with step %d unsupported", l.src.Var, step)
 		}
 		if chunk.Empty() {
 			break
 		}
 		for it := chunk.Lo; it <= chunk.Hi; it++ {
 			pe.now += mp.LoopIterCost
-			pe.env[l.Var] = it
+			pe.env[l.varSlot] = it
+			pe.bound[l.varSlot] = true
 			pe.clearRegs()
-			if err := pe.runStmts(l.Body); err != nil {
+			if err := pe.runStmts(l.body); err != nil {
 				return err
 			}
 		}
 	}
-	delete(pe.env, l.Var)
+	pe.bound[l.varSlot] = false
 	return nil
 }
 
 func (pe *peState) clearRegs() {
-	for k := range pe.regs {
-		delete(pe.regs, k)
-	}
+	pe.regA = pe.regA[:0]
+	pe.regV = pe.regV[:0]
 }
 
-func (pe *peState) runStmts(body []ir.Stmt) error {
+func (pe *peState) runStmts(body []cStmt) error {
 	for _, s := range body {
 		if err := pe.runStmt(s); err != nil {
 			return err
@@ -140,38 +172,37 @@ func (pe *peState) runStmts(body []ir.Stmt) error {
 	return nil
 }
 
-func (pe *peState) runStmt(s ir.Stmt) error {
+func (pe *peState) runStmt(s cStmt) error {
 	mp := pe.eng.c.Machine
 	switch st := s.(type) {
-	case *ir.Loop:
-		if st.Parallel {
-			return fmt.Errorf("exec: nested parallel loop %q", st.Var)
+	case *cLoop:
+		if st.parallel {
+			return fmt.Errorf("exec: nested parallel loop %q", st.src.Var)
 		}
 		return pe.runSerialLoop(st)
-	case *ir.Assign:
+	case *cAssign:
 		pe.now += mp.StmtOverheadCost
-		v := pe.evalExpr(st.RHS)
-		pe.writeRef(st.LHS, v)
+		v := pe.evalExpr(st.rhs)
+		pe.writeRef(st.lhs, v)
 		return nil
-	case *ir.If:
+	case *cIf:
 		pe.now += mp.StmtOverheadCost
-		l := pe.evalExpr(st.Cond.L)
-		r := pe.evalExpr(st.Cond.R)
-		if evalCmp(st.Cond.Op, l, r) {
-			return pe.runStmts(st.Then)
+		l := pe.evalExpr(st.l)
+		r := pe.evalExpr(st.r)
+		if evalCmp(st.op, l, r) {
+			return pe.runStmts(st.then)
 		}
-		return pe.runStmts(st.Else)
-	case *ir.Call:
-		rt := pe.eng.c.Prog.Routine(st.Name)
-		if rt == nil {
-			return fmt.Errorf("exec: call to undefined routine %q", st.Name)
+		return pe.runStmts(st.els)
+	case *cCall:
+		if st.body == nil {
+			return fmt.Errorf("exec: call to undefined routine %q", st.name)
 		}
-		return pe.runStmts(rt.Body)
-	case *ir.Prefetch:
-		pe.issuePrefetch(st.Target)
+		return pe.runStmts(*st.body)
+	case *cPrefetch:
+		pe.issuePrefetch(st.target)
 		return nil
-	case *ir.VectorPrefetch:
-		pe.vectorPrefetch(st, pe.evalAffine(st.Lo), pe.evalAffine(st.Hi), st.Step.ConstPart())
+	case *cVP:
+		pe.vectorPrefetch(st, pe.evalAffine(&st.lo), pe.evalAffine(&st.hi), st.step)
 		return nil
 	default:
 		return fmt.Errorf("exec: unknown statement %T", s)
@@ -180,63 +211,66 @@ func (pe *peState) runStmt(s ir.Stmt) error {
 
 // runSerialLoop interprets a serial loop, driving any software-pipelined
 // prefetch streams attached to it.
-func (pe *peState) runSerialLoop(l *ir.Loop) error {
+func (pe *peState) runSerialLoop(l *cLoop) error {
 	mp := pe.eng.c.Machine
-	lo := pe.evalAffine(l.Lo)
-	hi := pe.evalAffine(l.Hi)
-	step := l.Step.ConstPart()
+	lo := pe.evalAffine(&l.lo)
+	hi := pe.evalAffine(&l.hi)
+	step := l.step
 	if hi < lo {
 		return nil
 	}
 
 	// Pipeline prologue: prime `ahead` iterations per stream.
-	for _, pp := range l.Pipelined {
-		for d := int64(0); d < pp.Ahead; d++ {
+	for i := range l.pipelined {
+		pp := &l.pipelined[i]
+		for d := int64(0); d < pp.ahead; d++ {
 			it := lo + d*step
 			if it > hi {
 				break
 			}
-			pe.issuePrefetchAt(pp.Target, l.Var, it)
+			pe.issuePrefetchAt(pp.target, l.varSlot, it)
 		}
 	}
 
 	for it := lo; it <= hi; it += step {
 		pe.now += mp.LoopIterCost
-		pe.env[l.Var] = it
+		pe.env[l.varSlot] = it
+		pe.bound[l.varSlot] = true
 		pe.clearRegs()
 		// Steady state: prefetch `ahead` iterations forward.
-		for _, pp := range l.Pipelined {
-			fut := it + pp.Ahead*step
+		for i := range l.pipelined {
+			pp := &l.pipelined[i]
+			fut := it + pp.ahead*step
 			if fut <= hi {
-				pe.issuePrefetchAt(pp.Target, l.Var, fut)
+				pe.issuePrefetchAt(pp.target, l.varSlot, fut)
 			}
 		}
-		if err := pe.runStmts(l.Body); err != nil {
+		if err := pe.runStmts(l.body); err != nil {
 			return err
 		}
 	}
-	delete(pe.env, l.Var)
+	pe.bound[l.varSlot] = false
 	return nil
 }
 
 // --- Value evaluation -----------------------------------------------------
 
-func (pe *peState) evalExpr(e ir.Expr) float64 {
+func (pe *peState) evalExpr(e cExpr) float64 {
 	mp := pe.eng.c.Machine
 	switch x := e.(type) {
-	case ir.Num:
-		return x.V
-	case ir.IVal:
+	case *cNum:
+		return x.v
+	case *cIVal:
 		pe.now++
-		return float64(pe.evalAffine(x.A))
-	case ir.Load:
-		return pe.readRef(x.Ref)
-	case ir.Bin:
-		l := pe.evalExpr(x.L)
-		r := pe.evalExpr(x.R)
+		return float64(pe.evalAffine(&x.a))
+	case *cLoad:
+		return pe.readRef(x.ref)
+	case *cBin:
+		l := pe.evalExpr(x.l)
+		r := pe.evalExpr(x.r)
 		pe.now += mp.FlopCost
 		pe.stats.FlopCycles += mp.FlopCost
-		switch x.Op {
+		switch x.op {
 		case ir.OpAdd:
 			return l + r
 		case ir.OpSub:
@@ -250,9 +284,9 @@ func (pe *peState) evalExpr(e ir.Expr) float64 {
 		case ir.OpMax:
 			return math.Max(l, r)
 		}
-	case ir.Un:
-		v := pe.evalExpr(x.X)
-		switch x.Op {
+	case *cUn:
+		v := pe.evalExpr(x.x)
+		switch x.op {
 		case ir.OpNeg:
 			pe.now += mp.FlopCost
 			pe.stats.FlopCycles += mp.FlopCost
@@ -288,34 +322,71 @@ func evalCmp(op ir.CmpOp, l, r float64) bool {
 	return false
 }
 
-func (pe *peState) evalAffine(a expr.Affine) int64 {
-	return a.MustEval(pe.env)
+func (pe *peState) evalAffine(a *caff) int64 {
+	return a.eval(pe.env, pe.bound)
 }
 
-// addrOf resolves an array reference to a word address.
-func (pe *peState) addrOf(r *ir.Ref) int64 {
-	idx := make([]int64, len(r.Index))
-	for d := range r.Index {
-		idx[d] = r.Index[d].MustEval(pe.env)
+// addrOf resolves an array reference to a word address. Subscripts are all
+// evaluated before any bound is checked, and bounds are checked in
+// dimension order — the exact panic precedence of mem.AddrOf over
+// MustEval'd indices, which it replaces.
+func (pe *peState) addrOf(r *cRef) int64 {
+	idx := pe.idxScratch[:len(r.dims)]
+	for d := range r.dims {
+		idx[d] = r.dims[d].idx.eval(pe.env, pe.bound)
 	}
-	return mem.AddrOf(r.Array, idx)
+	addr := r.base
+	for d := range r.dims {
+		if idx[d] < 0 || idx[d] >= r.dims[d].extent {
+			mem.BoundsPanic(r.arr, d, idx[d])
+		}
+		addr += idx[d] * r.dims[d].stride
+	}
+	return addr
+}
+
+// --- Register window --------------------------------------------------------
+
+func (pe *peState) regLookup(addr int64) (float64, bool) {
+	for i, a := range pe.regA {
+		if a == addr {
+			return pe.regV[i], true
+		}
+	}
+	return 0, false
+}
+
+func (pe *peState) regInsert(addr int64, v float64) {
+	pe.regA = append(pe.regA, addr)
+	pe.regV = append(pe.regV, v)
+}
+
+// regUpdate refreshes an address already in the window (a store updates the
+// register copy only if one exists — no-insert, like the map it replaces).
+func (pe *peState) regUpdate(addr int64, v float64) {
+	for i, a := range pe.regA {
+		if a == addr {
+			pe.regV[i] = v
+			return
+		}
+	}
 }
 
 // --- Memory reference paths ------------------------------------------------
 
 // readRef performs a read through the mode-appropriate path.
-func (pe *peState) readRef(r *ir.Ref) float64 {
-	if r.IsScalar() {
-		return pe.scalars[r.Scalar]
+func (pe *peState) readRef(r *cRef) float64 {
+	if r.isScalar() {
+		return pe.scalars[r.scalar]
 	}
 	addr := pe.addrOf(r)
-	if pe.reads != nil && r.Array.Shared {
-		pe.reads[addr] = struct{}{}
+	if pe.reads != nil && r.shared {
+		pe.reads.Add(addr)
 	}
 
 	// Register reuse: the compiler keeps a value loaded earlier in the same
 	// iteration in a register (all modes).
-	if v, ok := pe.regs[addr]; ok {
+	if v, ok := pe.regLookup(addr); ok {
 		pe.stats.RegisterHits++
 		if pe.trace != nil {
 			pe.trace.Record(addr, pe.now, trace.KindRegister)
@@ -323,10 +394,7 @@ func (pe *peState) readRef(r *ir.Ref) float64 {
 		return v
 	}
 	v := pe.readMem(r, addr)
-	if pe.regs == nil {
-		pe.regs = map[int64]float64{}
-	}
-	pe.regs[addr] = v
+	pe.regInsert(addr, v)
 	return v
 }
 
@@ -334,13 +402,13 @@ func (pe *peState) readRef(r *ir.Ref) float64 {
 // register window. Every path ends in oracleCheck: the coherence safety
 // oracle verifies the consumed word's generation against memory on every
 // read the simulated program makes.
-func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
+func (pe *peState) readMem(r *cRef, addr int64) float64 {
 	mp := pe.eng.c.Machine
 	m := pe.eng.mem
 	local := m.OwnerOf(addr) == pe.id
 
 	// BASE: CRAFT shared data is never cached.
-	if r.NonCached {
+	if r.nonCached {
 		pe.stats.NonCachedRefs++
 		pe.now += mp.CraftSharedAccessCost
 		if local {
@@ -358,7 +426,7 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 
 	// Bypass-cache fetch: stale read not worth prefetching, or dropped
 	// prefetch (paper §3.2) — read memory directly around the cache.
-	if r.Bypass {
+	if r.bypass {
 		pe.stats.BypassReads++
 		if local {
 			pe.now += mp.LocalReadCost
@@ -414,7 +482,7 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 			pe.record(addr, trace.KindPrefetched)
 			return e.Val
 		}
-	} else if r.Prefetched && !demoted {
+	} else if r.prefetched && !demoted {
 		// A scheduled prefetch never arrived (queue overflow, or an
 		// injected drop): the reference demotes to the demand fetch
 		// below, which is exactly the paper's bypass fallback.
@@ -422,7 +490,7 @@ func (pe *peState) readMem(r *ir.Ref, addr int64) float64 {
 	}
 
 	lineAddr := addr - addr%mp.LineWords
-	if _, buf := pe.buffered[lineAddr]; local || buf {
+	if local || pe.buffered.Contains(lineAddr/mp.LineWords) {
 		// Local miss (or a vector-buffered remote line): fill the line
 		// from local DRAM.
 		pe.now += mp.LocalMemCost
@@ -482,12 +550,12 @@ func (pe *peState) chargeRemoteWrite(addr int64) {
 
 // oracleCheck is the coherence safety oracle: every word the simulated
 // program consumes must carry memory's current generation for its address.
-// The fast path is one atomic load and a compare.
-func (pe *peState) oracleCheck(r *ir.Ref, addr int64, gen uint32) {
+// The fast path is one load and a compare.
+func (pe *peState) oracleCheck(r *cRef, addr int64, gen uint32) {
 	if gen == pe.eng.mem.Gen(addr) {
 		return
 	}
-	pe.eng.reportStale(pe, r, addr, gen)
+	pe.eng.reportStale(pe, r.src, addr, gen)
 }
 
 // remoteSpike draws an injected remote-latency spike (0 when fault-free).
@@ -510,28 +578,25 @@ func (pe *peState) demote() {
 }
 
 // writeRef performs a write (write-through, no-write-allocate).
-func (pe *peState) writeRef(r *ir.Ref, v float64) {
-	if r.IsScalar() {
-		pe.scalars[r.Scalar] = v
+func (pe *peState) writeRef(r *cRef, v float64) {
+	if r.isScalar() {
+		pe.scalars[r.scalar] = v
+		pe.scalarWritten[r.scalar] = true
 		return
 	}
 	mp := pe.eng.c.Machine
 	m := pe.eng.mem
 	addr := pe.addrOf(r)
-	if pe.writes != nil && r.Array.Shared {
-		pe.writes[addr] = struct{}{}
+	if pe.writes != nil && r.shared {
+		pe.writes.Add(addr)
 	}
 	local := m.OwnerOf(addr) == pe.id
 
-	if pe.regs != nil {
-		if _, ok := pe.regs[addr]; ok {
-			pe.regs[addr] = v
-		}
-	}
+	pe.regUpdate(addr, v)
 	pe.record(addr, trace.KindWrite)
 	gen := m.Write(addr, v)
 
-	if r.NonCached {
+	if r.nonCached {
 		pe.stats.NonCachedRefs++
 		pe.now += mp.CraftSharedAccessCost
 		if local {
@@ -564,11 +629,13 @@ func (pe *peState) installLine(addr int64, readyAt int64) {
 	m := pe.eng.mem
 	lw := pe.eng.c.Machine.LineWords
 	la := addr - addr%lw
-	vals := make([]float64, lw)
-	gens := make([]uint32, lw)
+	sc := pe.shScratch
+	vals, gens := sc.LineBuffers()
 	for k := int64(0); k < lw; k++ {
 		if la+k < m.Words() {
 			vals[k], gens[k] = m.Read(la + k)
+		} else {
+			vals[k], gens[k] = 0, 0
 		}
 	}
 	pe.cache.Install(la, vals, gens, readyAt)
@@ -578,21 +645,18 @@ func (pe *peState) installLine(addr int64, readyAt int64) {
 
 // issuePrefetch issues a single-word prefetch for the target at the current
 // environment.
-func (pe *peState) issuePrefetch(target *ir.Ref) {
+func (pe *peState) issuePrefetch(target *cRef) {
 	pe.issueAt(pe.addrOf(target))
 }
 
-// issuePrefetchAt issues a prefetch for the target with loop variable v
-// bound to iteration it (software pipelining's future-iteration address).
-func (pe *peState) issuePrefetchAt(target *ir.Ref, v string, it int64) {
-	old, had := pe.env[v]
-	pe.env[v] = it
+// issuePrefetchAt issues a prefetch for the target with the loop variable at
+// slot v bound to iteration it (software pipelining's future-iteration
+// address).
+func (pe *peState) issuePrefetchAt(target *cRef, v int32, it int64) {
+	oldV, oldB := pe.env[v], pe.bound[v]
+	pe.env[v], pe.bound[v] = it, true
 	addr := pe.addrOf(target)
-	if had {
-		pe.env[v] = old
-	} else {
-		delete(pe.env, v)
-	}
+	pe.env[v], pe.bound[v] = oldV, oldB
 	pe.issueAt(addr)
 }
 
@@ -638,40 +702,30 @@ func (pe *peState) issueAt(addr int64) {
 
 // vectorPrefetch performs one shmem_get realizing a vector prefetch over
 // the pulled loop range [lo,hi] step step.
-func (pe *peState) vectorPrefetch(vp *ir.VectorPrefetch, lo, hi, step int64) {
+func (pe *peState) vectorPrefetch(vp *cVP, lo, hi, step int64) {
 	if hi < lo {
 		return
 	}
-	var addrs []int64
-	old, had := pe.env[vp.LoopVar]
+	pe.vpAddrs = pe.vpAddrs[:0]
+	oldV, oldB := pe.env[vp.varSlot], pe.bound[vp.varSlot]
+	pe.bound[vp.varSlot] = true
 	for v := lo; v <= hi; v += step {
-		pe.env[vp.LoopVar] = v
-		addrs = append(addrs, pe.addrOf(vp.Target))
+		pe.env[vp.varSlot] = v
+		pe.vpAddrs = append(pe.vpAddrs, pe.addrOf(vp.target))
 	}
-	if had {
-		pe.env[vp.LoopVar] = old
-	} else {
-		delete(pe.env, vp.LoopVar)
-	}
-	var lf *shmem.Faults
-	if pe.fault != nil {
-		lf = &shmem.Faults{DropLine: pe.fault.DropPrefetch, LateDelay: pe.fault.LateDelay}
-	}
-	cost, droppedLines := shmem.GetOverNet(pe.eng.mem, pe.cache, pe.eng.c.Machine, pe.eng.net, pe.id, addrs, pe.now, lf)
+	pe.env[vp.varSlot], pe.bound[vp.varSlot] = oldV, oldB
+	cost, droppedLines := shmem.GetOverNet(pe.eng.mem, pe.cache, pe.eng.c.Machine, pe.eng.net, pe.id, pe.vpAddrs, pe.now, pe.shFaults, pe.shScratch)
 	pe.now += cost
-	if pe.buffered == nil {
-		pe.buffered = map[int64]struct{}{}
-	}
 	lw := pe.eng.c.Machine.LineWords
-	for _, a := range addrs {
+	for _, a := range pe.vpAddrs {
 		la := a - a%lw
-		if droppedLines[la] {
+		if droppedLines.Contains(la) {
 			// Lost in flight: the line is neither cached nor locally
 			// buffered, so its reads fall back to demand remote fetches.
 			continue
 		}
-		pe.buffered[la] = struct{}{}
+		pe.buffered.Add(la / lw)
 	}
 	pe.stats.VectorPrefetches++
-	pe.stats.VectorWords += int64(len(addrs))
+	pe.stats.VectorWords += int64(len(pe.vpAddrs))
 }

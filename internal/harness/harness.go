@@ -192,7 +192,7 @@ func runVerified(s *workloads.Spec, mode core.Mode, mp machine.Params, golden ma
 		plan := cfg.Fault.Reseed(attempt) // attempt 0 keeps the seed
 		r, err := runOne(s, mode, mp, plan)
 		if err == nil {
-			err = verify(s, golden, r)
+			err = verify(golden, r)
 		}
 		if err == nil {
 			return r, attempt + 1, nil
@@ -214,7 +214,7 @@ func runVerified(s *workloads.Spec, mode core.Mode, mp machine.Params, golden ma
 func snapshot(s *workloads.Spec, r *exec.Result) map[string][]float64 {
 	out := map[string][]float64{}
 	for _, name := range s.CheckArrays {
-		data := r.Mem.ArrayData(s.Prog.ArrayByName(name))
+		data := r.Mem.ArrayData(r.Mem.ArrayNamed(name))
 		cp := make([]float64, len(data))
 		copy(cp, data)
 		out[name] = cp
@@ -222,12 +222,12 @@ func snapshot(s *workloads.Spec, r *exec.Result) map[string][]float64 {
 	return out
 }
 
-func verify(s *workloads.Spec, golden map[string][]float64, r *exec.Result) error {
+func verify(golden map[string][]float64, r *exec.Result) error {
 	if r.Stats.StaleValueReads != 0 {
 		return fmt.Errorf("%d stale-value reads", r.Stats.StaleValueReads)
 	}
 	for name, want := range golden {
-		got := r.Mem.ArrayData(s.Prog.ArrayByName(name))
+		got := r.Mem.ArrayData(r.Mem.ArrayNamed(name))
 		for i := range want {
 			if got[i] != want[i] {
 				return fmt.Errorf("array %s differs from sequential at %d: %v vs %v",

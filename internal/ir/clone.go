@@ -2,13 +2,22 @@ package ir
 
 // CloneProgram deep-copies a program so that a transformation (BASE or CCDP
 // lowering) can annotate references and insert prefetch statements without
-// disturbing the original. Arrays are shared (they are immutable metadata
-// plus a layout base); statements, refs and routines are copied. The clone
-// is NOT finalized; callers re-Finalize after transforming.
+// disturbing the original. Arrays are copied too — each clone snapshots its
+// own layout Base, so concurrent compiles of one source program (e.g. sweep
+// points at different line sizes) never share mutable layout state — and
+// every cloned reference is remapped to the cloned arrays. The clone is NOT
+// finalized; callers re-Finalize after transforming.
 func CloneProgram(p *Program) *Program {
+	arrays := make([]*Array, len(p.Arrays))
+	amap := make(map[*Array]*Array, len(p.Arrays))
+	for i, a := range p.Arrays {
+		ca := *a // Dims is immutable and may be shared
+		arrays[i] = &ca
+		amap[a] = &ca
+	}
 	cp := &Program{
 		Name:     p.Name,
-		Arrays:   p.Arrays,
+		Arrays:   arrays,
 		Params:   make(map[string]int64, len(p.Params)),
 		Routines: make(map[string]*Routine, len(p.Routines)),
 		Main:     p.Main,
@@ -17,7 +26,13 @@ func CloneProgram(p *Program) *Program {
 		cp.Params[k] = v
 	}
 	for name, rt := range p.Routines {
-		cp.Routines[name] = &Routine{Name: rt.Name, Body: CloneStmts(rt.Body)}
+		body := CloneStmts(rt.Body)
+		WalkRefs(body, func(r *Ref, _ bool) {
+			if ca, ok := amap[r.Array]; ok {
+				r.Array = ca
+			}
+		})
+		cp.Routines[name] = &Routine{Name: rt.Name, Body: body}
 	}
 	return cp
 }

@@ -166,8 +166,17 @@ func TestCloneIsDeepForStmtsAndRefs(t *testing.T) {
 	if origStale {
 		t.Error("mutating clone affected original")
 	}
-	if cp.ArrayByName("A") != p.ArrayByName("A") {
-		t.Error("arrays should be shared metadata")
+	if cp.ArrayByName("A") == p.ArrayByName("A") {
+		t.Error("clone should carry its own array metadata (layout Base is per-compile)")
+	}
+	var cloneArrRef *Ref
+	WalkRefs(cp.MainRoutine().Body, func(r *Ref, _ bool) {
+		if cloneArrRef == nil && !r.IsScalar() {
+			cloneArrRef = r
+		}
+	})
+	if cloneArrRef != nil && cloneArrRef.Array != cp.ArrayByName(cloneArrRef.Array.Name) {
+		t.Error("cloned refs should point at the clone's arrays")
 	}
 }
 

@@ -56,6 +56,13 @@ type Memory struct {
 	words []uint64 // float64 bits
 	gen   []uint32
 
+	// serial, when true, lets Read/Write/Gen use plain (non-atomic) loads
+	// and stores: the engine sets it whenever exactly one goroutine touches
+	// the memory — serial epochs, 1-PE runs, and the deterministic
+	// sequential orders (race detection, torus booking). The stored values
+	// are identical either way; only the synchronization cost differs.
+	serial bool
+
 	// bases[i] is the base address of arrays[i], sorted ascending, for
 	// address→array lookup.
 	bases  []int64
@@ -78,6 +85,15 @@ func New(p *ir.Program, numPE int, totalWords int64) *Memory {
 		m.arrays = append(m.arrays, a)
 	}
 	return m
+}
+
+// ArrayNamed returns this memory's own record of the named array — the
+// compiled clone's copy, whose Base matches this memory's layout. Callers
+// comparing results across runs must resolve arrays through each run's
+// memory, not through the shared source program, whose Base may since have
+// been re-laid-out (e.g. by a concurrent compile at another line size).
+func (m *Memory) ArrayNamed(name string) *ir.Array {
+	return m.prog.ArrayByName(name)
 }
 
 // ArrayOf returns the array containing the given word address, or nil.
@@ -103,23 +119,45 @@ func (m *Memory) OwnerOf(addr int64) int {
 	return craft.OwnerOfOffset(a, m.numPE, addr-a.Base)
 }
 
+// SetSerial switches between plain and atomic word/generation accesses.
+// Callers must only enable it while a single goroutine accesses the memory;
+// the engine toggles it at the parallel-epoch boundaries. It must itself be
+// called from a single-goroutine section.
+func (m *Memory) SetSerial(serial bool) { m.serial = serial }
+
 // Read returns the value and generation of the word at addr.
 func (m *Memory) Read(addr int64) (float64, uint32) {
+	if m.serial {
+		return math.Float64frombits(m.words[addr]), m.gen[addr]
+	}
 	return math.Float64frombits(atomic.LoadUint64(&m.words[addr])), atomic.LoadUint32(&m.gen[addr])
 }
 
 // Value returns just the value at addr.
 func (m *Memory) Value(addr int64) float64 {
+	if m.serial {
+		return math.Float64frombits(m.words[addr])
+	}
 	return math.Float64frombits(atomic.LoadUint64(&m.words[addr]))
 }
 
 // Gen returns the current generation of addr.
-func (m *Memory) Gen(addr int64) uint32 { return atomic.LoadUint32(&m.gen[addr]) }
+func (m *Memory) Gen(addr int64) uint32 {
+	if m.serial {
+		return m.gen[addr]
+	}
+	return atomic.LoadUint32(&m.gen[addr])
+}
 
 // Write stores v at addr and bumps its generation. Within a parallel epoch
 // only one PE writes a given address (the epoch execution model); the
 // engine's race detector verifies this in tests.
 func (m *Memory) Write(addr int64, v float64) uint32 {
+	if m.serial {
+		m.words[addr] = math.Float64bits(v)
+		m.gen[addr]++
+		return m.gen[addr]
+	}
 	atomic.StoreUint64(&m.words[addr], math.Float64bits(v))
 	return atomic.AddUint32(&m.gen[addr], 1)
 }
@@ -146,8 +184,15 @@ func (m *Memory) NumPE() int { return m.numPE }
 func AddrOf(a *ir.Array, idx []int64) int64 {
 	for d, x := range idx {
 		if x < 0 || x >= a.Dims[d] {
-			panic(fmt.Sprintf("mem: %s subscript %d out of range: %d (extent %d)", a.Name, d, x, a.Dims[d]))
+			BoundsPanic(a, d, x)
 		}
 	}
 	return a.Base + a.LinearOffset(idx)
+}
+
+// BoundsPanic reports an out-of-range subscript; the execution engine's
+// precompiled address paths call it so their diagnostics stay identical to
+// AddrOf's.
+func BoundsPanic(a *ir.Array, d int, x int64) {
+	panic(fmt.Sprintf("mem: %s subscript %d out of range: %d (extent %d)", a.Name, d, x, a.Dims[d]))
 }

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachEmitsInOrder(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 0} {
+		var ran int64
+		var out strings.Builder
+		results := make([]int, 100)
+		ForEach(100, jobs,
+			func(i int) {
+				results[i] = i * i
+				atomic.AddInt64(&ran, 1)
+			},
+			func(i int) { fmt.Fprintf(&out, "%d:%d\n", i, results[i]) })
+		if ran != 100 {
+			t.Fatalf("jobs=%d: ran %d items, want 100", jobs, ran)
+		}
+		var want strings.Builder
+		for i := 0; i < 100; i++ {
+			fmt.Fprintf(&want, "%d:%d\n", i, i*i)
+		}
+		if out.String() != want.String() {
+			t.Errorf("jobs=%d: emission out of order", jobs)
+		}
+	}
+}
+
+func TestForEachIdenticalOutputAcrossJobCounts(t *testing.T) {
+	render := func(jobs int) string {
+		var out strings.Builder
+		vals := make([]float64, 37)
+		ForEach(37, jobs,
+			func(i int) { vals[i] = float64(i) * 1.5 },
+			func(i int) { fmt.Fprintf(&out, "row,%d,%.3f\n", i, vals[i]) })
+		return out.String()
+	}
+	ref := render(1)
+	for _, jobs := range []int{2, 4, 16} {
+		if got := render(jobs); got != ref {
+			t.Errorf("jobs=%d output differs from jobs=1", jobs)
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("ran on n=0") }, nil)
+	var n int64
+	ForEach(3, 100, func(int) { atomic.AddInt64(&n, 1) }, nil) // jobs > n
+	if n != 3 {
+		t.Fatalf("ran %d, want 3", n)
+	}
+}

@@ -8,6 +8,12 @@
 // The real queue is a FIFO popped in issue order; the model matches entries
 // by address, which is equivalent for the compiler-scheduled access
 // patterns (each issued word is extracted exactly once, in order).
+//
+// The queue is allocation-free in steady state, which matters because it
+// sits on the engine's per-word hot path: the backing array is allocated
+// once in New with the full capacity, Issue appends within that capacity,
+// Take deletes by sliding within the same array, and Flush re-slices to
+// zero length. BenchmarkQueueSteadyState pins this at 0 allocs/op.
 package pfq
 
 // Entry is one outstanding or arrived prefetched word.

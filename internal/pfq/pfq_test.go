@@ -64,3 +64,20 @@ func TestFlushCountsUnused(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkQueueSteadyState pins the queue's zero-allocation guarantee: a
+// full issue/take/flush cycle at capacity must not touch the heap after New.
+func BenchmarkQueueSteadyState(b *testing.B) {
+	q := New(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := int64(0); w < 16; w++ {
+			q.Issue(Entry{Addr: w, Val: float64(w), ReadyAt: int64(i)})
+		}
+		for w := int64(0); w < 8; w++ {
+			q.Take(w)
+		}
+		q.Flush()
+	}
+}

@@ -1,0 +1,74 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/noc"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// torusGoldenCSV pins the torus-topology simulator output: the exact CSV
+// (cycle counts, hop statistics and link-utilization columns included) that
+// cmd/ccdpbench emitted for the four paper applications at small scale with
+// `-topology torus` when the interconnect model landed. Together with the
+// flat golden this pins BOTH topologies before any engine-internal change:
+// a hot-path refactor that alters a single simulated cycle, a routing
+// decision or a contention tie-break fails one of the two tests.
+const torusGoldenCSV = `app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct,drops,late,demotions,oracle_violations,attempts,mean_hops,max_hops,max_link_util,net_wait,net_contended,net_drops
+MXM,1,74656,142476,75706,0.5240,0.9861,46.8640,0,0,0,0,1,0.0000,0,0.0000,0,0,0
+MXM,2,74656,262608,44182,0.2843,1.6897,83.1757,0,0,0,0,1,1.0000,1,0.0234,0,0,0
+MXM,4,74656,180671,26737,0.4132,2.7922,85.2013,0,0,0,0,1,1.3333,2,0.0386,818,17,0
+MXM,8,74656,117220,20255,0.6369,3.6858,82.7205,0,0,0,0,1,1.7143,3,0.0510,9923,63,0
+VPENTA,1,393984,447524,394734,0.8804,0.9981,11.7960,0,0,0,0,1,0.0000,0,0.0000,0,0,0
+VPENTA,2,393984,236112,198545,1.6686,1.9844,15.9107,0,0,0,0,1,0.0000,0,0.0000,0,0,0
+VPENTA,4,393984,129856,100049,3.0340,3.9379,22.9539,0,0,0,0,1,0.0000,0,0.0000,0,0,0
+VPENTA,8,393984,76728,50801,5.1348,7.7554,33.7908,0,0,0,0,1,0.0000,0,0.0000,0,0,0
+TOMCATV,1,781807,1517312,801157,0.5153,0.9758,47.1989,0,0,0,0,1,0.0000,0,0.0000,0,0,0
+TOMCATV,2,781807,2249698,1000012,0.3475,0.7818,55.5491,0,0,0,0,1,1.0000,1,0.1361,0,0,0
+TOMCATV,4,781807,1754352,704198,0.4456,1.1102,59.8599,0,0,0,0,1,1.3409,2,0.1328,106934,3028,0
+TOMCATV,8,781807,1400538,550540,0.5582,1.4201,60.6908,0,0,0,0,1,1.7079,3,0.1235,351319,6553,0
+SWIM,1,1073428,1349510,1075678,0.7954,0.9979,20.2912,0,0,0,0,1,0.0000,0,0.0000,0,0,0
+SWIM,2,1073428,824956,630810,1.3012,1.7017,23.5341,0,0,0,0,1,1.0000,1,0.0121,0,0,0
+SWIM,4,1073428,529118,353021,2.0287,3.0407,33.2812,0,0,0,0,1,1.3256,2,0.0304,2048,85,0
+SWIM,8,1073428,387642,214627,2.7691,5.0014,44.6327,0,0,0,0,1,1.6663,3,0.0503,5791,244,0
+`
+
+// TestTorusTopologyGoldenCSV runs the full small-scale sweep over the torus
+// interconnect and asserts the rendered CSV — cycle counts, hop statistics
+// and all — is byte-identical to the golden capture above.
+func TestTorusTopologyGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale sweep in -short mode")
+	}
+	topo, err := noc.Parse("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*harness.AppResult
+	for _, s := range workloads.Small() {
+		ar, err := harness.RunApp(s, harness.Config{PECounts: []int{1, 2, 4, 8}, Topology: topo})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		results = append(results, ar)
+	}
+	got := report.CSV(results)
+	if got == torusGoldenCSV {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(torusGoldenCSV, "\n")
+	for i := range wantLines {
+		if i >= len(gotLines) || gotLines[i] != wantLines[i] {
+			g := "<missing>"
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			t.Fatalf("torus CSV diverges from the golden at line %d:\n got: %s\nwant: %s", i+1, g, wantLines[i])
+		}
+	}
+	t.Fatalf("torus CSV has %d lines, golden has %d", len(gotLines), len(wantLines))
+}

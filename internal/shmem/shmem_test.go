@@ -94,8 +94,8 @@ func TestGetWithFaultsDropAndLate(t *testing.T) {
 	if want := mp.ShmemStartupCost + 2*mp.ShmemPerWordCost; cost != want {
 		t.Errorf("cost = %d, want %d (dropped lines are still charged)", cost, want)
 	}
-	if !dropped[a.Base] || len(dropped) != 1 {
-		t.Errorf("dropped = %v, want {%d}", dropped, a.Base)
+	if !dropped.Contains(a.Base) || dropped.Len() != 1 {
+		t.Errorf("dropped = %v, want {%d}", dropped.Lines(), a.Base)
 	}
 	if c.Contains(a.Base) {
 		t.Error("dropped line was installed")
@@ -133,9 +133,9 @@ func TestGetOverNetTorus(t *testing.T) {
 	if m.OwnerOf(local) != 0 || m.OwnerOf(rem1) != 1 || m.OwnerOf(rem2) != 2 {
 		t.Fatalf("owners %d/%d/%d, want 0/1/2", m.OwnerOf(local), m.OwnerOf(rem1), m.OwnerOf(rem2))
 	}
-	cost, dropped := GetOverNet(m, c, mp, net, 0, []int64{local, rem1, rem2}, 1000, nil)
-	if dropped != nil {
-		t.Fatalf("fault-free get dropped %v", dropped)
+	cost, dropped := GetOverNet(m, c, mp, net, 0, []int64{local, rem1, rem2}, 1000, nil, nil)
+	if dropped != NoDrops || dropped.Len() != 0 {
+		t.Fatalf("fault-free get dropped %v (want the shared NoDrops sentinel)", dropped.Lines())
 	}
 	// The blocking cost covers the slowest gather: PE 2 is 2 hops away, so
 	// its reply (1 line) must arrive after 2 routed trips plus base cost —
@@ -159,7 +159,7 @@ func TestGetOverNetTorus(t *testing.T) {
 	}
 	// A nil network must reproduce the flat cost for the same request.
 	c2 := cache.New(mp.CacheWords, mp.LineWords)
-	if got, _ := GetOverNet(m, c2, mp, nil, 0, []int64{local, rem1, rem2}, 1000, nil); got != flat {
+	if got, _ := GetOverNet(m, c2, mp, nil, 0, []int64{local, rem1, rem2}, 1000, nil, nil); got != flat {
 		t.Errorf("flat get cost %d, want %d", got, flat)
 	}
 }
