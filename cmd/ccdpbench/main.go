@@ -23,88 +23,83 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/fault"
+	"repro/internal/driver"
 	"repro/internal/harness"
-	"repro/internal/noc"
 	"repro/internal/parallel"
-	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
+
+const tool = "ccdpbench"
 
 func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2 or all")
 	apps := flag.String("apps", "MXM,VPENTA,TOMCATV,SWIM", "comma-separated application list")
 	pes := flag.String("pes", "1,2,4,8,16,32,64", "comma-separated PE counts")
 	scale := flag.String("scale", "paper", "problem scale: small or paper")
-	topology := flag.String("topology", "flat", "interconnect model: flat, torus (auto dims) or XxYxZ")
 	details := flag.Bool("details", false, "print per-configuration details")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	ablation := flag.String("ablation", "", "run an ablation instead: vpg, mbp or nonstale")
 	sweep := flag.String("sweep", "", "run an architectural parameter sweep instead: remote, cache, queue or line")
 	jobs := flag.Int("jobs", 0, "concurrent sweep points (0 = GOMAXPROCS); output is identical at any setting")
-	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)")
-	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all")
-	faultSeed := flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 	faultSweep := flag.Bool("faultsweep", false, "run the fault-injection sweep ablation instead")
 	faultRates := flag.String("fault-rates", "0.001,0.01,0.05", "fault rates for -faultsweep")
 	faultTrials := flag.Int("fault-trials", 3, "trials (distinct seeds) per rate for -faultsweep")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tf := driver.RegisterTopology(flag.CommandLine)
+	ff := driver.RegisterFault(flag.CommandLine)
+	pf := driver.RegisterProf(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := pf.Start()
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
 	defer stopProf()
 
-	peCounts, err := parsePEs(*pes)
+	peCounts, err := driver.ParsePEs(*pes)
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
-	plan, err := buildPlan(*faultRate, *faultKinds, *faultSeed)
+	plan, err := ff.Plan()
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
-	topo, err := noc.Parse(*topology)
+	topo, err := tf.Config()
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
 
 	if *faultSweep {
-		specs, err := selectApps(*apps, *scale)
+		specs, err := driver.Apps(*apps, *scale)
 		if err != nil {
-			fatal(err)
+			driver.Fatal(tool, err)
 		}
-		if err := runFaultSweep(os.Stdout, specs, peCounts, topo, *faultKinds, *faultRates, *faultTrials, *faultSeed, *jobs); err != nil {
-			fatal(err)
+		if err := runFaultSweep(os.Stdout, specs, peCounts, topo, *ff.Kinds, *faultRates, *faultTrials, *ff.Seed, *jobs); err != nil {
+			driver.Fatal(tool, err)
 		}
 		return
 	}
 	if *ablation != "" {
 		if err := runAblation(os.Stdout, *ablation, peCounts, *jobs); err != nil {
-			fatal(err)
+			driver.Fatal(tool, err)
 		}
 		return
 	}
 	if *sweep != "" {
 		if err := runSweep(os.Stdout, *sweep, peCounts, *jobs); err != nil {
-			fatal(err)
+			driver.Fatal(tool, err)
 		}
 		return
 	}
 
-	specs, err := selectApps(*apps, *scale)
+	specs, err := driver.Apps(*apps, *scale)
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
 	results, err := runApps(os.Stdout, specs, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo}, *jobs, *details)
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
 
 	if *csv {
@@ -145,56 +140,4 @@ func runApps(w io.Writer, specs []*workloads.Spec, cfg harness.Config, jobs int,
 		}
 	}
 	return results, nil
-}
-
-func selectApps(list, scale string) ([]*workloads.Spec, error) {
-	all := workloads.Paper()
-	if scale == "small" {
-		all = workloads.Small()
-	} else if scale != "paper" {
-		return nil, fmt.Errorf("unknown scale %q", scale)
-	}
-	byName := map[string]*workloads.Spec{}
-	for _, s := range all {
-		byName[s.Name] = s
-	}
-	var out []*workloads.Spec
-	for _, name := range strings.Split(list, ",") {
-		s, ok := byName[strings.TrimSpace(strings.ToUpper(name))]
-		if !ok {
-			return nil, fmt.Errorf("unknown application %q", name)
-		}
-		out = append(out, s)
-	}
-	return out, nil
-}
-
-// buildPlan assembles a fault.Plan from the command-line flags.
-func buildPlan(rate float64, kinds string, seed int64) (fault.Plan, error) {
-	if rate == 0 {
-		return fault.Plan{}, nil
-	}
-	ks, err := fault.ParseKinds(kinds)
-	if err != nil {
-		return fault.Plan{}, err
-	}
-	plan := fault.Plan{Seed: seed, Rate: rate, Kinds: ks}
-	return plan, plan.Validate()
-}
-
-func parsePEs(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad PE count %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ccdpbench:", err)
-	os.Exit(1)
 }

@@ -1,91 +1,194 @@
-// Command ccdpc is the CCDP "compiler" driver: it runs the three analysis
-// phases of the paper on a workload program and prints their results — the
-// epoch partition and potentially-stale references (stale reference
-// analysis, §4.1), the prefetch target set (Figure 1), the scheduling
-// decisions (Figure 2) — and optionally the transformed program.
+// Command ccdpc is the CCDP "compiler" driver: it runs the lowering pass
+// pipeline on a workload program and prints the phase reports — the epoch
+// partition and potentially-stale references (stale reference analysis,
+// §4.1), the prefetch target set (Figure 1), the scheduling decisions
+// (Figure 2) — plus, on request, per-pass snapshots of the pipeline state
+// and the provenance of any per-reference decision.
 //
 // Usage:
 //
-//	ccdpc -app MXM [-pes 8] [-scale small|paper] [-phase stale|target|sched|all] [-dump]
+//	ccdpc -app MXM [-pes 8] [-scale small|paper] [-mode seq|base|ccdp|incoherent]
+//	      [-phase stale|target|sched|all] [-dump]
+//	      [-dump-after <pass>|all] [-dump-format text|json]
+//	      [-explain <array>|#<id>|all] [-check]
+//
+// Examples:
+//
+//	ccdpc -app MXM -pes 8                      # the three phase reports
+//	ccdpc -app SWIM -dump-after all            # snapshot after every pass
+//	ccdpc -app MXM -dump-after stale-analysis  # one snapshot, text form
+//	ccdpc -app MXM -dump-after all -dump-format json
+//	ccdpc -app TOMCATV -explain A              # why each A reference was
+//	                                           # marked/selected/dropped
+//	ccdpc -app MXM -explain '#12'              # one reference by id
+//	ccdpc -app VPENTA -explain all -check      # everything, with between-
+//	                                           # pass invariant checking
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/parse"
-	"repro/internal/workloads"
+	"repro/internal/pass"
 )
+
+const tool = "ccdpc"
 
 func main() {
 	app := flag.String("app", "MXM", "workload: MXM, VPENTA, TOMCATV or SWIM")
 	file := flag.String("file", "", "compile a program from a source file instead of a built-in workload")
 	pes := flag.Int("pes", 8, "number of PEs to compile for")
 	scale := flag.String("scale", "small", "problem scale: small or paper")
+	mode := flag.String("mode", "ccdp", "execution mode to lower for: seq, base, ccdp or incoherent")
 	phase := flag.String("phase", "all", "phase to report: stale, target, sched or all")
 	dump := flag.Bool("dump", false, "print the transformed program")
+	dumpAfter := flag.String("dump-after", "", "print a pipeline snapshot after the named pass (or \"all\")")
+	dumpFormat := flag.String("dump-format", "text", "snapshot format for -dump-after: text or json")
+	explain := flag.String("explain", "", "print decision provenance: an array name, #<ref id>, or \"all\"")
+	check := flag.Bool("check", false, "verify pipeline invariants between every pair of passes")
 	flag.Parse()
+
+	m, err := driver.ParseMode(*mode)
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
+	switch *phase {
+	case "stale", "target", "sched", "all":
+	default:
+		driver.Fatal(tool, fmt.Errorf("unknown phase %q: valid phases are stale, target, sched, all", *phase))
+	}
+	dumpPasses, err := selectDumpPasses(*dumpAfter, *dumpFormat, m)
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
 
 	var prog *ir.Program
 	var title string
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ccdpc:", err)
-			os.Exit(1)
+			driver.Fatal(tool, err)
 		}
 		prog, err = parse.Program(string(src))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ccdpc:", err)
-			os.Exit(1)
+			driver.Fatal(tool, err)
 		}
 		title = fmt.Sprintf("%s (from %s)", prog.Name, *file)
 	} else {
-		var pool []*workloads.Spec
-		if *scale == "paper" {
-			pool = workloads.Paper()
-		} else {
-			pool = workloads.Small()
-		}
-		var spec *workloads.Spec
-		for _, s := range pool {
-			if strings.EqualFold(s.Name, *app) {
-				spec = s
-			}
-		}
-		if spec == nil {
-			fmt.Fprintf(os.Stderr, "ccdpc: unknown app %q\n", *app)
-			os.Exit(1)
+		spec, err := driver.App(*app, *scale)
+		if err != nil {
+			driver.Fatal(tool, err)
 		}
 		prog = spec.Prog
 		title = fmt.Sprintf("%s (%s)", spec.Name, spec.Description)
 	}
 
-	c, err := core.Compile(prog, core.ModeCCDP, machine.T3D(*pes))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccdpc:", err)
-		os.Exit(1)
+	opts := core.Options{CheckInvariants: *check}
+	if len(dumpPasses) > 0 {
+		opts.Dump = func(name string, ctx *pass.Context) {
+			if !dumpPasses[name] {
+				return
+			}
+			fmt.Printf("=== after %s ===\n", name)
+			if *dumpFormat == "json" {
+				out, err := pass.SnapshotJSON(ctx)
+				if err != nil {
+					driver.Fatal(tool, err)
+				}
+				fmt.Printf("%s\n", out)
+			} else {
+				fmt.Print(pass.Snapshot(ctx))
+			}
+		}
 	}
 
-	fmt.Printf("%s, compiled for %d PEs\n\n", title, *pes)
-	switch *phase {
-	case "stale":
-		fmt.Println(c.Stale.Report())
-	case "target":
-		fmt.Println(c.Targets.Report(c.Prog))
-	case "sched":
-		fmt.Println(c.Sched.Report())
-	default:
-		fmt.Println(c.Stale.Report())
-		fmt.Println(c.Targets.Report(c.Prog))
-		fmt.Println(c.Sched.Report())
+	c, err := core.CompileOpt(prog, m, machine.T3D(*pes), opts)
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
+
+	fmt.Printf("%s, compiled for %s on %d PEs\n\n", title, m, *pes)
+	if m != core.ModeCCDP {
+		fmt.Println(c.Report())
+	} else {
+		switch *phase {
+		case "stale":
+			fmt.Println(c.Stale.Report())
+		case "target":
+			fmt.Println(c.Targets.Report(c.Prog))
+		case "sched":
+			fmt.Println(c.Sched.Report())
+		default:
+			fmt.Println(c.Report())
+		}
+	}
+	if *explain != "" {
+		explainRefs(c, *explain)
 	}
 	if *dump {
 		fmt.Println(ir.Format(c.Prog))
 	}
+}
+
+// selectDumpPasses resolves -dump-after into the set of pass names to
+// snapshot, validated against the pipeline the chosen mode actually runs.
+func selectDumpPasses(arg, format string, m core.Mode) (map[string]bool, error) {
+	if format != "text" && format != "json" {
+		return nil, fmt.Errorf("unknown dump format %q: valid formats are text, json", format)
+	}
+	if arg == "" {
+		return nil, nil
+	}
+	names := core.PassNames(m)
+	out := map[string]bool{}
+	if arg == "all" {
+		for _, n := range names {
+			out[n] = true
+		}
+		return out, nil
+	}
+	for _, n := range names {
+		if n == arg {
+			out[n] = true
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown pass %q for mode %s: valid passes are %s",
+		arg, m, strings.Join(names, ", "))
+}
+
+// explainRefs prints the provenance filtered per the -explain argument.
+func explainRefs(c *core.Compiled, arg string) {
+	var filter func(*ir.Ref) bool
+	label := arg
+	switch {
+	case arg == "all":
+		filter = nil
+		label = "all references"
+	case strings.HasPrefix(arg, "#"):
+		id, err := strconv.Atoi(arg[1:])
+		if err != nil {
+			driver.Fatal(tool, fmt.Errorf("bad -explain reference %q: want an array name, #<ref id>, or \"all\"", arg))
+		}
+		filter = func(r *ir.Ref) bool { return r != nil && int(r.ID) == id }
+	default:
+		filter = func(r *ir.Ref) bool {
+			return r != nil && r.Array != nil && strings.EqualFold(r.Array.Name, arg)
+		}
+	}
+	fmt.Printf("provenance (%s):\n", label)
+	out := c.Prov.Explain(c.Prog, filter)
+	if out == "" {
+		fmt.Println("  no recorded decisions (nothing matched, or a mode without analysis passes)")
+		return
+	}
+	fmt.Print(out)
 }

@@ -13,88 +13,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/exec"
-	"repro/internal/fault"
 	"repro/internal/machine"
-	"repro/internal/noc"
-	"repro/internal/prof"
-	"repro/internal/workloads"
 )
+
+const tool = "t3dsim"
 
 func main() {
 	app := flag.String("app", "MXM", "workload: MXM, VPENTA, TOMCATV or SWIM")
 	mode := flag.String("mode", "ccdp", "execution mode: seq, base, ccdp or incoherent")
-	pes := flag.Int("pes", 8, "number of PEs")
 	scale := flag.String("scale", "small", "problem scale: small or paper")
 	races := flag.Bool("races", false, "enable the epoch-model race detector (slow)")
-	topology := flag.String("topology", "flat", "interconnect model: flat, torus (auto dims) or XxYxZ")
 	verify := flag.Bool("verify", false, "also run sequentially and compare results")
-	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)")
-	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all")
-	faultSeed := flag.Int64("fault-seed", 1, "fault-injection RNG seed")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mf := driver.RegisterMachine(flag.CommandLine, 8)
+	ff := driver.RegisterFault(flag.CommandLine)
+	pf := driver.RegisterProf(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := pf.Start()
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
 	defer stopProf()
 
-	var pool []*workloads.Spec
-	if *scale == "paper" {
-		pool = workloads.Paper()
-	} else {
-		pool = workloads.Small()
-	}
-	var spec *workloads.Spec
-	for _, s := range pool {
-		if strings.EqualFold(s.Name, *app) {
-			spec = s
-		}
-	}
-	if spec == nil {
-		fatal(fmt.Errorf("unknown app %q", *app))
-	}
-
-	var m core.Mode
-	switch strings.ToLower(*mode) {
-	case "seq":
-		m = core.ModeSeq
-	case "base":
-		m = core.ModeBase
-	case "ccdp":
-		m = core.ModeCCDP
-	case "incoherent":
-		m = core.ModeIncoherent
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-
-	plan, err := buildPlan(*faultRate, *faultKinds, *faultSeed)
+	spec, err := driver.App(*app, *scale)
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
+	}
+	m, err := driver.ParseMode(*mode)
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
+	plan, err := ff.Plan()
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
+	mp, err := mf.Params()
+	if err != nil {
+		driver.Fatal(tool, err)
 	}
 
-	topo, err := noc.Parse(*topology)
-	if err != nil {
-		fatal(err)
-	}
-	mp := machine.T3D(*pes)
-	mp.Topology = topo
 	c, err := core.Compile(spec.Prog, m, mp)
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
 	res, err := exec.Run(c, exec.Options{DetectRaces: *races, Fault: plan})
 	if err != nil {
-		fatal(err)
+		driver.Fatal(tool, err)
 	}
-	fmt.Printf("%s %v on %d PEs: %d cycles\n", spec.Name, m, *pes, res.Cycles)
+	fmt.Printf("%s %v on %d PEs: %d cycles\n", spec.Name, m, mp.NumPE, res.Cycles)
 	if plan.Enabled() {
 		fmt.Println(plan)
 	}
@@ -108,49 +78,31 @@ func main() {
 	// exactly these violations, so there they are only reported).
 	if res.Stats.OracleViolations > 0 {
 		for _, v := range res.Violations {
-			fmt.Fprintln(os.Stderr, "t3dsim:", v.Error())
+			fmt.Fprintln(os.Stderr, tool+":", v.Error())
 		}
 		if m != core.ModeIncoherent {
-			fatal(fmt.Errorf("%d coherence-oracle violations", res.Stats.OracleViolations))
+			driver.Fatal(tool, fmt.Errorf("%d coherence-oracle violations", res.Stats.OracleViolations))
 		}
 	}
 
 	if *verify {
 		cs, err := core.Compile(spec.Prog, core.ModeSeq, machine.T3D(1))
 		if err != nil {
-			fatal(err)
+			driver.Fatal(tool, err)
 		}
 		ref, err := exec.Run(cs, exec.Options{})
 		if err != nil {
-			fatal(err)
+			driver.Fatal(tool, err)
 		}
 		for _, name := range spec.CheckArrays {
 			a := ref.Mem.ArrayData(ref.Mem.ArrayNamed(name))
 			b := res.Mem.ArrayData(res.Mem.ArrayNamed(name))
 			for i := range a {
 				if a[i] != b[i] {
-					fatal(fmt.Errorf("verification FAILED: %s[%d] = %v, sequential %v", name, i, b[i], a[i]))
+					driver.Fatal(tool, fmt.Errorf("verification FAILED: %s[%d] = %v, sequential %v", name, i, b[i], a[i]))
 				}
 			}
 		}
 		fmt.Println("verification PASSED: results identical to sequential run")
 	}
-}
-
-// buildPlan assembles a fault.Plan from the command-line flags.
-func buildPlan(rate float64, kinds string, seed int64) (fault.Plan, error) {
-	if rate == 0 {
-		return fault.Plan{}, nil
-	}
-	ks, err := fault.ParseKinds(kinds)
-	if err != nil {
-		return fault.Plan{}, err
-	}
-	plan := fault.Plan{Seed: seed, Rate: rate, Kinds: ks}
-	return plan, plan.Validate()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "t3dsim:", err)
-	os.Exit(1)
 }

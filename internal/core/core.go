@@ -15,16 +15,25 @@
 //     the broken scheme the paper's problem statement warns
 //     about. Used by tests to show stale-value reads occur
 //     and that the checker catches them.
+//
+// The lowering runs as an instrumented pass pipeline (internal/pass): named
+// ordered passes over a shared context, with per-pass wall times, optional
+// between-pass invariant checking, stable dump-after-pass snapshots, and a
+// provenance store recording why every reference was marked stale,
+// selected, dropped, covered, scheduled or bypassed. The source program is
+// never mutated — each compile clones it first and lays out the clone — so
+// concurrent compiles of any programs never contend or race.
 package core
 
 import (
 	"fmt"
-	"sync"
+	"strings"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/machine"
-	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/pass"
 	"repro/internal/sched"
 	"repro/internal/stale"
 	"repro/internal/target"
@@ -72,14 +81,39 @@ type Compiled struct {
 	Stale   *stale.Result
 	Targets *target.Result
 	Sched   *sched.Result
+
+	// Timings is the per-pass wall time of the pipeline that produced this
+	// compilation, in pass order.
+	Timings []pass.Timing
+
+	// Prov records a reason for every per-reference pipeline decision
+	// (stale-because, dropped-because, covered-by, scheduling outcome);
+	// surfaced by `ccdpc -explain`. Never nil; empty outside CCDP mode.
+	Prov *pass.Provenance
 }
 
-var layoutMu sync.Mutex
+// Options tunes a compilation beyond mode and machine.
+type Options struct {
+	// CheckInvariants runs pass.Check between every pair of passes:
+	// ir.Validate plus analysis-map consistency.
+	CheckInvariants bool
+	// Dump, when set, is called after every pass; pass.Snapshot /
+	// pass.SnapshotJSON render the context deterministically.
+	Dump func(pass string, ctx *pass.Context)
+}
 
-// Compile lowers src for the given mode and machine. src is cloned, never
-// mutated (beyond the shared array layout, which is deterministic and
-// identical across modes).
+// Compile lowers src for the given mode and machine. src is cloned first
+// and never mutated, so any number of compiles — same source or different —
+// may run concurrently.
 func Compile(src *ir.Program, mode Mode, mp machine.Params) (*Compiled, error) {
+	return CompileOpt(src, mode, mp, Options{})
+}
+
+// CompileOpt is Compile with pipeline instrumentation options.
+func CompileOpt(src *ir.Program, mode Mode, mp machine.Params, opts Options) (*Compiled, error) {
+	if mode < ModeSeq || mode > ModeIncoherent {
+		return nil, fmt.Errorf("core: unknown mode %v", mode)
+	}
 	if mode == ModeSeq {
 		// The sequential baseline runs on one PE with no interconnect, even
 		// when the caller's config (e.g. a flat-vs-torus sweep) says
@@ -92,59 +126,25 @@ func Compile(src *ir.Program, mode Mode, mp machine.Params) (*Compiled, error) {
 		return nil, err
 	}
 
-	// Lay out the source arrays and snapshot the result into the clone's
-	// private Array copies, all under one lock: concurrent compiles of the
-	// same source (sweep points, possibly at different line sizes) each get
-	// their own immutable layout and never race on Base assignment.
-	layoutMu.Lock()
-	total := mem.Layout(src, mp.LineWords)
-	prog := ir.CloneProgram(src)
-	layoutMu.Unlock()
-	prog.Finalize()
-
-	c := &Compiled{Prog: prog, Mode: mode, Machine: mp, TotalWords: total}
-
-	switch mode {
-	case ModeSeq, ModeIncoherent:
-		// No transformation: plain cached execution.
-	case ModeBase:
-		lowerBase(prog)
-	case ModeCCDP:
-		sres, err := stale.Analyze(prog, mp.NumPE)
-		if err != nil {
-			return nil, fmt.Errorf("core: stale analysis: %w", err)
-		}
-		candidates := sres.StaleReads
-		if mp.PrefetchNonStale {
-			// Paper §6 extension: also prefetch non-stale remote reads.
-			candidates = make(map[ir.RefID]bool, len(sres.StaleReads)+len(sres.RemoteReads))
-			for id := range sres.StaleReads {
-				candidates[id] = true
-			}
-			for id := range sres.RemoteReads {
-				candidates[id] = true
-			}
-		}
-		tres := target.Analyze(prog, candidates, mp.LineWords)
-		scres := sched.Schedule(prog, sres, tres, mp)
-		// Re-finalizing after the insertions assigns new RefIDs; remap the
-		// analysis maps so they key on the final IDs.
-		old := append([]*ir.Ref(nil), prog.Refs()...)
-		prog.Finalize()
-		remapIDs(sres, tres, old)
-		if err := ir.Validate(prog); err != nil {
-			return nil, fmt.Errorf("core: scheduled program invalid: %w", err)
-		}
-		c.Stale = sres
-		c.Targets = tres
-		c.Sched = scres
-	default:
-		return nil, fmt.Errorf("core: unknown mode %v", mode)
+	ctx := &pass.Context{Src: src, Machine: mp, Prov: pass.NewProvenance()}
+	mgr := pass.NewManager(pass.Options{CheckInvariants: opts.CheckInvariants, Dump: opts.Dump},
+		pipeline(mode)...)
+	timings, err := mgr.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	// Intern symbols AFTER the mode lowering: the CCDP scheduler inserts
-	// vector prefetches with fresh pull variables that need slots too.
-	c.Syms = ir.CollectSyms(prog)
-	return c, nil
+	return &Compiled{
+		Prog:       ctx.Prog,
+		Mode:       mode,
+		Machine:    mp,
+		TotalWords: ctx.TotalWords,
+		Syms:       ctx.Syms,
+		Stale:      ctx.Stale,
+		Targets:    ctx.Targets,
+		Sched:      ctx.Sched,
+		Timings:    timings,
+		Prov:       ctx.Prov,
+	}, nil
 }
 
 // remapIDs rewrites the RefID-keyed analysis maps after re-finalization.
@@ -157,8 +157,17 @@ func remapIDs(sres *stale.Result, tres *target.Result, old []*ir.Ref) {
 		}
 		return out
 	}
+	newStr := func(m map[ir.RefID]string) map[ir.RefID]string {
+		out := make(map[ir.RefID]string, len(m))
+		for id, v := range m {
+			out[old[id].ID] = v
+		}
+		return out
+	}
 	sres.StaleReads = newBool(sres.StaleReads)
 	sres.RemoteReads = newBool(sres.RemoteReads)
+	sres.Why = newStr(sres.Why)
+	sres.RemoteWhy = newStr(sres.RemoteWhy)
 	tres.Targets = newBool(tres.Targets)
 	dropped := make(map[ir.RefID]target.Drop, len(tres.Dropped))
 	for id, v := range tres.Dropped {
@@ -177,24 +186,30 @@ func remapIDs(sres *stale.Result, tres *target.Result, old []*ir.Ref) {
 	tres.RegionOf = regions
 }
 
-// lowerBase marks every reference to a shared array as non-cached (the
-// CRAFT rule: shared data is not cached, so BASE never violates coherence).
-func lowerBase(p *ir.Program) {
-	for _, r := range p.Refs() {
-		if !r.IsScalar() && r.Array.Shared {
-			r.NonCached = true
-		}
-	}
-}
-
-// Report summarizes the compilation for the ccdpc driver.
+// Report summarizes the compilation for the ccdpc driver: the phase
+// reports (CCDP mode), the per-pass wall times of the pipeline, and the
+// provenance decision counts.
 func (c *Compiled) Report() string {
-	s := fmt.Sprintf("mode %s on %d PEs, %d words of shared address space\n",
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode %s on %d PEs, %d words of shared address space\n",
 		c.Mode, c.Machine.NumPE, c.TotalWords)
 	if c.Mode == ModeCCDP {
-		s += c.Stale.Report()
-		s += c.Targets.Report(c.Prog)
-		s += c.Sched.Report()
+		b.WriteString(c.Stale.Report())
+		b.WriteString(c.Targets.Report(c.Prog))
+		b.WriteString(c.Sched.Report())
 	}
-	return s
+	if len(c.Timings) > 0 {
+		b.WriteString("pass timings:\n")
+		var total int64
+		for _, t := range c.Timings {
+			fmt.Fprintf(&b, "  %-18s %v\n", t.Pass, t.Duration)
+			total += int64(t.Duration)
+		}
+		fmt.Fprintf(&b, "  %-18s %v\n", "total", time.Duration(total))
+	}
+	if c.Prov != nil && c.Prov.Len() > 0 {
+		b.WriteString(c.Prov.Summary())
+		b.WriteString("\n")
+	}
+	return b.String()
 }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/pass"
+	"repro/internal/sched"
+	"repro/internal/stale"
+	"repro/internal/target"
+)
+
+// Pass names, in pipeline order. Exported as constants so drivers can
+// validate -dump-after arguments without stringly-typed guesswork.
+const (
+	PassClone      = "clone"
+	PassLayout     = "layout"
+	PassBaseLower  = "base-lower"
+	PassStale      = "stale-analysis"
+	PassCandidates = "select-candidates"
+	PassTargets    = "target-analysis"
+	PassSched      = "prefetch-sched"
+	PassRemap      = "remap-ids"
+	PassValidate   = "validate"
+	PassSyms       = "intern-syms"
+)
+
+// pipeline assembles the pass list for one execution mode:
+//
+//	all modes:  clone → layout → ... → intern-syms
+//	BASE:       + base-lower (CRAFT shared data is not cached)
+//	CCDP:       + stale-analysis → select-candidates → target-analysis →
+//	              prefetch-sched → remap-ids → validate
+//
+// SEQ and INCOHERENT insert no transformation passes: plain cached
+// execution.
+func pipeline(mode Mode) []pass.Pass {
+	ps := []pass.Pass{clonePass(), layoutPass()}
+	switch mode {
+	case ModeBase:
+		ps = append(ps, baseLowerPass())
+	case ModeCCDP:
+		ps = append(ps, stalePass(), candidatesPass(), targetsPass(),
+			schedPass(), remapPass(), validatePass())
+	}
+	return append(ps, symsPass())
+}
+
+// PassNames returns the pipeline's pass names for one mode, in order.
+func PassNames(mode Mode) []string {
+	ps := pipeline(mode)
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// clonePass deep-copies the source program (arrays included — the clone
+// owns its layout) and finalizes the copy so analyses can key on RefIDs.
+// The source program is never touched, so compiles of any programs —
+// related or not — run concurrently without locking.
+func clonePass() pass.Pass {
+	return pass.Func(PassClone, func(ctx *pass.Context) error {
+		ctx.Prog = ir.CloneProgram(ctx.Src)
+		ctx.Prog.Finalize()
+		return nil
+	})
+}
+
+// layoutPass assigns cache-line-aligned base addresses to the clone's
+// arrays and records the total shared address-space extent. Layout is
+// deterministic in (program, LineWords), so every mode of a sweep point
+// sees the identical layout.
+func layoutPass() pass.Pass {
+	return pass.Func(PassLayout, func(ctx *pass.Context) error {
+		ctx.TotalWords = mem.Layout(ctx.Prog, ctx.Machine.LineWords)
+		return nil
+	})
+}
+
+// baseLowerPass marks every reference to a shared array as non-cached (the
+// CRAFT rule: shared data is not cached, so BASE never violates coherence).
+func baseLowerPass() pass.Pass {
+	return pass.Func(PassBaseLower, func(ctx *pass.Context) error {
+		for _, r := range ctx.Prog.Refs() {
+			if !r.IsScalar() && r.Array.Shared {
+				r.NonCached = true
+			}
+		}
+		return nil
+	})
+}
+
+// stalePass runs the stale reference analysis (paper §4.1) and records a
+// witness for every stale and remote read.
+func stalePass() pass.Pass {
+	return pass.Func(PassStale, func(ctx *pass.Context) error {
+		sres, err := stale.Analyze(ctx.Prog, ctx.Machine.NumPE)
+		if err != nil {
+			return err
+		}
+		ctx.Stale = sres
+		for id, why := range sres.Why {
+			ctx.Prov.Record(id, PassStale, pass.VerdictStale, why)
+		}
+		for id, why := range sres.RemoteWhy {
+			ctx.Prov.Record(id, PassStale, pass.VerdictRemote, why)
+		}
+		return nil
+	})
+}
+
+// candidatesPass derives the prefetch candidate set: every potentially-
+// stale read, widened by the paper's §6 extension to the non-stale remote
+// reads when the machine enables it.
+func candidatesPass() pass.Pass {
+	return pass.Func(PassCandidates, func(ctx *pass.Context) error {
+		s := ctx.Stale
+		cand := make(map[ir.RefID]bool, len(s.StaleReads)+len(s.RemoteReads))
+		for id := range s.StaleReads {
+			cand[id] = true
+			ctx.Prov.Record(id, PassCandidates, pass.VerdictCandidate,
+				"potentially-stale read must be re-fetched coherently")
+		}
+		if ctx.Machine.PrefetchNonStale {
+			for id := range s.RemoteReads {
+				if cand[id] {
+					continue
+				}
+				cand[id] = true
+				ctx.Prov.Record(id, PassCandidates, pass.VerdictCandidate,
+					"non-stale remote read (§6 extension: prefetch remote data too)")
+			}
+		}
+		ctx.Candidates = cand
+		return nil
+	})
+}
+
+// targetsPass runs the prefetch target analysis (paper Figure 1): per
+// region, group-spatial class leaders become targets; other members are
+// dropped as covered, scalars are dropped outright.
+func targetsPass() pass.Pass {
+	return pass.Func(PassTargets, func(ctx *pass.Context) error {
+		tres := target.Analyze(ctx.Prog, ctx.Candidates, ctx.Machine.LineWords)
+		ctx.Targets = tres
+		for id := range tres.Targets {
+			ctx.Prov.Record(id, PassTargets, pass.VerdictSelected,
+				"group-spatial class leader in "+target.RegionLabel(tres.RegionOf[id]))
+		}
+		for id, d := range tres.Dropped {
+			if leader, ok := tres.CoveredBy[id]; ok {
+				ctx.Prov.RecordRel(id, PassTargets, pass.VerdictCovered,
+					"leader's prefetch brings the cache line that serves this reference", leader)
+			} else {
+				ctx.Prov.Record(id, PassTargets, pass.VerdictDropped, d.String())
+			}
+		}
+		return nil
+	})
+}
+
+// schedPass runs the prefetch scheduling algorithm (paper Figure 2),
+// mutating the program in place: stale reads get their flags, prefetch
+// statements and annotations are inserted.
+func schedPass() pass.Pass {
+	return pass.Func(PassSched, func(ctx *pass.Context) error {
+		scres := sched.Schedule(ctx.Prog, ctx.Stale, ctx.Targets, ctx.Machine)
+		ctx.Sched = scres
+		for _, d := range scres.Decisions {
+			verdict := pass.VerdictScheduled
+			if d.Technique == sched.TechNone {
+				verdict = pass.VerdictBypass
+			}
+			ctx.Prov.Record(d.Ref.ID, PassSched, verdict, decisionReason(d))
+		}
+		return nil
+	})
+}
+
+// decisionReason renders one scheduling decision as a provenance reason.
+func decisionReason(d sched.Decision) string {
+	switch d.Technique {
+	case sched.TechVPG:
+		s := fmt.Sprintf("case %d: VPG vector prefetch, %d words", d.Case, d.Words)
+		if d.Hoisted {
+			s += ", hoisted to DOALL prologue"
+		}
+		return s
+	case sched.TechSP:
+		return fmt.Sprintf("case %d: software-pipelined %d iterations ahead", d.Case, d.Ahead)
+	case sched.TechMBP:
+		return fmt.Sprintf("case %d: prefetch moved back %d cycles before the use", d.Case, d.MovedBack)
+	default:
+		return fmt.Sprintf("case %d: demoted to bypass fetch — %s", d.Case, d.Reason)
+	}
+}
+
+// remapPass re-finalizes the program (the scheduler's insertions need
+// RefIDs) and rewrites every RefID-keyed artifact — the analysis maps, the
+// candidate set and the provenance store — onto the new IDs.
+func remapPass() pass.Pass {
+	return pass.Func(PassRemap, func(ctx *pass.Context) error {
+		old := append([]*ir.Ref(nil), ctx.Prog.Refs()...)
+		ctx.Prog.Finalize()
+		remapIDs(ctx.Stale, ctx.Targets, old)
+		cand := make(map[ir.RefID]bool, len(ctx.Candidates))
+		for id, v := range ctx.Candidates {
+			cand[old[id].ID] = v
+		}
+		ctx.Candidates = cand
+		ctx.Prov.Remap(old)
+		return nil
+	})
+}
+
+// validatePass re-checks the transformed program's structural
+// well-formedness: the scheduler's insertions must leave a valid program.
+func validatePass() pass.Pass {
+	return pass.Func(PassValidate, func(ctx *pass.Context) error {
+		if err := ir.Validate(ctx.Prog); err != nil {
+			return fmt.Errorf("scheduled program invalid: %w", err)
+		}
+		return nil
+	})
+}
+
+// symsPass interns the final program's symbol names. It must run after the
+// mode lowering: the CCDP scheduler inserts vector prefetches with fresh
+// pull variables that need slots too.
+func symsPass() pass.Pass {
+	return pass.Func(PassSyms, func(ctx *pass.Context) error {
+		ctx.Syms = ir.CollectSyms(ctx.Prog)
+		return nil
+	})
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/pass"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func allModes() []Mode {
+	return []Mode{ModeSeq, ModeBase, ModeCCDP, ModeIncoherent}
+}
+
+// TestPipelineInvariantsAllWorkloads runs every small workload through
+// every mode with between-pass invariant checking enabled: ir.Validate plus
+// analysis-map consistency must hold after every pass.
+func TestPipelineInvariantsAllWorkloads(t *testing.T) {
+	for _, spec := range workloads.Small() {
+		for _, mode := range allModes() {
+			t.Run(fmt.Sprintf("%s/%s", spec.Name, mode), func(t *testing.T) {
+				c, err := CompileOpt(spec.Prog, mode, machine.T3D(8),
+					Options{CheckInvariants: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := len(c.Timings), len(PassNames(mode)); got != want {
+					t.Errorf("%d timings for %d passes", got, want)
+				}
+				for i, name := range PassNames(mode) {
+					if c.Timings[i].Pass != name {
+						t.Errorf("timing %d = %q, want %q", i, c.Timings[i].Pass, name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProvenanceCoversEveryDecision verifies `ccdpc -explain` has a
+// non-empty reason for every reference the CCDP pipeline decided about:
+// each stale read, each selected target, each dropped or covered candidate.
+func TestProvenanceCoversEveryDecision(t *testing.T) {
+	for _, spec := range workloads.Small() {
+		t.Run(spec.Name, func(t *testing.T) {
+			c, err := Compile(spec.Prog, ModeCCDP, machine.T3D(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reasonWith := func(id ir.RefID, v pass.Verdict) bool {
+				for _, e := range c.Prov.Entries(id) {
+					if e.Verdict == v && e.Reason != "" {
+						return true
+					}
+				}
+				return false
+			}
+			for id := range c.Stale.StaleReads {
+				if !reasonWith(id, pass.VerdictStale) {
+					t.Errorf("stale read #%d %s has no stale reason", id, c.Prog.Ref(id))
+				}
+				if !reasonWith(id, pass.VerdictCandidate) {
+					t.Errorf("stale read #%d %s has no candidate reason", id, c.Prog.Ref(id))
+				}
+			}
+			for id := range c.Stale.RemoteReads {
+				if !reasonWith(id, pass.VerdictRemote) {
+					t.Errorf("remote read #%d %s has no remote reason", id, c.Prog.Ref(id))
+				}
+			}
+			for id := range c.Targets.Targets {
+				if !reasonWith(id, pass.VerdictSelected) {
+					t.Errorf("target #%d %s has no selection reason", id, c.Prog.Ref(id))
+				}
+			}
+			for id := range c.Targets.Dropped {
+				if !reasonWith(id, pass.VerdictCovered) && !reasonWith(id, pass.VerdictDropped) {
+					t.Errorf("dropped #%d %s has no drop/cover reason", id, c.Prog.Ref(id))
+				}
+			}
+			for id, leader := range c.Targets.CoveredBy {
+				found := false
+				for _, e := range c.Prov.Entries(id) {
+					if e.Verdict == pass.VerdictCovered && e.Other == leader {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("covered #%d does not name leader #%d in provenance", id, leader)
+				}
+			}
+			for _, d := range c.Sched.Decisions {
+				want := pass.VerdictScheduled
+				if d.Technique == sched.TechNone {
+					want = pass.VerdictBypass
+				}
+				if !reasonWith(d.Ref.ID, want) {
+					t.Errorf("decision for #%d %s has no %s reason", d.Ref.ID, d.Ref, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPassDumpGolden pins the full dump-after-pass snapshot sequence for
+// MXM / CCDP / 8 PEs. Run `go test ./internal/core -update` after an
+// intentional pipeline change.
+func TestPassDumpGolden(t *testing.T) {
+	var spec *workloads.Spec
+	for _, s := range workloads.Small() {
+		if s.Name == "MXM" {
+			spec = s
+		}
+	}
+	if spec == nil {
+		t.Fatal("no MXM in small workloads")
+	}
+	var b strings.Builder
+	_, err := CompileOpt(spec.Prog, ModeCCDP, machine.T3D(8), Options{
+		CheckInvariants: true,
+		Dump: func(name string, ctx *pass.Context) {
+			fmt.Fprintf(&b, "=== after %s ===\n", name)
+			b.WriteString(pass.Snapshot(ctx))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "mxm_ccdp_8pe_passes.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("pass dump diverged from %s (run with -update if intentional)\ngot %d bytes, want %d",
+			golden, len(got), len(want))
+	}
+}
+
+// TestPassDumpDeterministic compiles twice and requires byte-identical
+// snapshots — the property the CI determinism job checks end-to-end.
+func TestPassDumpDeterministic(t *testing.T) {
+	dump := func() string {
+		var b strings.Builder
+		spec := workloads.Small()[0]
+		_, err := CompileOpt(spec.Prog, ModeCCDP, machine.T3D(8), Options{
+			Dump: func(name string, ctx *pass.Context) {
+				fmt.Fprintf(&b, "=== after %s ===\n", name)
+				b.WriteString(pass.Snapshot(ctx))
+				j, err := pass.SnapshotJSON(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b.Write(j)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if dump() != dump() {
+		t.Error("pass dumps differ between identical compiles")
+	}
+}
+
+// TestConcurrentCompilesDoNotInterfere compiles unrelated programs (and the
+// same program at different line sizes) from many goroutines at once: the
+// clone-first pipeline must never touch a source program, so nothing races
+// and every compile sees its own layout. Run under -race in CI.
+func TestConcurrentCompilesDoNotInterfere(t *testing.T) {
+	specs := workloads.Small()
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for i, spec := range specs {
+			for _, mode := range allModes() {
+				wg.Add(1)
+				go func(spec *workloads.Spec, mode Mode, lineWords int64) {
+					defer wg.Done()
+					mp := machine.T3D(8)
+					mp.LineWords = lineWords
+					c, err := CompileOpt(spec.Prog, mode, mp, Options{CheckInvariants: true})
+					if err != nil {
+						t.Errorf("%s/%s: %v", spec.Name, mode, err)
+						return
+					}
+					for _, a := range c.Prog.Arrays {
+						if a.Base%lineWords != 0 {
+							t.Errorf("%s/%s: array %s base %d not aligned to %d words",
+								spec.Name, mode, a.Name, a.Base, lineWords)
+						}
+					}
+				}(spec, mode, []int64{4, 8}[i%2])
+			}
+		}
+	}
+	wg.Wait()
+	for _, spec := range specs {
+		for _, a := range spec.Prog.Arrays {
+			if a.Base != 0 {
+				t.Errorf("source program %s array %s was laid out (Base=%d)", spec.Name, a.Name, a.Base)
+			}
+		}
+	}
+}
+
+func TestCompileRejectsUnknownMode(t *testing.T) {
+	p := buildProg(t)
+	_, err := Compile(p, Mode(99), machine.T3D(4))
+	if err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/stale"
+	"repro/internal/target"
+)
+
+// oldTable builds a re-finalization table: old[i] is the ref that held ID i
+// before, and newID[i] is the ID it carries now.
+func oldTable(newID []ir.RefID) []*ir.Ref {
+	out := make([]*ir.Ref, len(newID))
+	for i, id := range newID {
+		r := &ir.Ref{}
+		r.ID = id
+		out[i] = r
+	}
+	return out
+}
+
+func TestRemapIDs(t *testing.T) {
+	region := &ir.Region{}
+	cases := []struct {
+		name  string
+		newID []ir.RefID // old id -> new id
+		sres  *stale.Result
+		tres  *target.Result
+		check func(t *testing.T, sres *stale.Result, tres *target.Result)
+	}{
+		{
+			name:  "identity permutation is a no-op",
+			newID: []ir.RefID{0, 1, 2},
+			sres: &stale.Result{
+				StaleReads:  map[ir.RefID]bool{1: true},
+				RemoteReads: map[ir.RefID]bool{2: true},
+				Why:         map[ir.RefID]string{1: "w1"},
+				RemoteWhy:   map[ir.RefID]string{2: "r2"},
+			},
+			tres: &target.Result{
+				Targets:   map[ir.RefID]bool{1: true},
+				Dropped:   map[ir.RefID]target.Drop{2: target.DropScalar},
+				CoveredBy: map[ir.RefID]ir.RefID{},
+				RegionOf:  map[ir.RefID]*ir.Region{1: region},
+			},
+			check: func(t *testing.T, sres *stale.Result, tres *target.Result) {
+				if !sres.StaleReads[1] || !sres.RemoteReads[2] || sres.Why[1] != "w1" || sres.RemoteWhy[2] != "r2" {
+					t.Errorf("stale maps changed under identity: %+v", sres)
+				}
+				if !tres.Targets[1] || tres.Dropped[2] != target.DropScalar || tres.RegionOf[1] != region {
+					t.Errorf("target maps changed under identity: %+v", tres)
+				}
+			},
+		},
+		{
+			name: "shift after insertion moves every map",
+			// Two prefetch refs inserted before the old refs: ids shift by 2.
+			newID: []ir.RefID{2, 3, 4, 5},
+			sres: &stale.Result{
+				StaleReads:  map[ir.RefID]bool{0: true, 3: true},
+				RemoteReads: map[ir.RefID]bool{1: true},
+				Why:         map[ir.RefID]string{0: "w0", 3: "w3"},
+				RemoteWhy:   map[ir.RefID]string{1: "r1"},
+			},
+			tres: &target.Result{
+				Targets:   map[ir.RefID]bool{0: true},
+				Dropped:   map[ir.RefID]target.Drop{3: target.DropCovered, 1: target.DropScalar},
+				CoveredBy: map[ir.RefID]ir.RefID{3: 0},
+				RegionOf:  map[ir.RefID]*ir.Region{0: region},
+			},
+			check: func(t *testing.T, sres *stale.Result, tres *target.Result) {
+				wantStale := map[ir.RefID]bool{2: true, 5: true}
+				if !reflect.DeepEqual(sres.StaleReads, wantStale) {
+					t.Errorf("StaleReads = %v, want %v", sres.StaleReads, wantStale)
+				}
+				if !reflect.DeepEqual(sres.RemoteReads, map[ir.RefID]bool{3: true}) {
+					t.Errorf("RemoteReads = %v", sres.RemoteReads)
+				}
+				if !reflect.DeepEqual(sres.Why, map[ir.RefID]string{2: "w0", 5: "w3"}) {
+					t.Errorf("Why = %v", sres.Why)
+				}
+				if !reflect.DeepEqual(sres.RemoteWhy, map[ir.RefID]string{3: "r1"}) {
+					t.Errorf("RemoteWhy = %v", sres.RemoteWhy)
+				}
+				if !reflect.DeepEqual(tres.Targets, map[ir.RefID]bool{2: true}) {
+					t.Errorf("Targets = %v", tres.Targets)
+				}
+				wantDrop := map[ir.RefID]target.Drop{5: target.DropCovered, 3: target.DropScalar}
+				if !reflect.DeepEqual(tres.Dropped, wantDrop) {
+					t.Errorf("Dropped = %v, want %v", tres.Dropped, wantDrop)
+				}
+				// Both the key AND the leader value of CoveredBy are remapped.
+				if !reflect.DeepEqual(tres.CoveredBy, map[ir.RefID]ir.RefID{5: 2}) {
+					t.Errorf("CoveredBy = %v", tres.CoveredBy)
+				}
+				if len(tres.RegionOf) != 1 || tres.RegionOf[2] != region {
+					t.Errorf("RegionOf = %v", tres.RegionOf)
+				}
+			},
+		},
+		{
+			name:  "permutation keeps values attached to their refs",
+			newID: []ir.RefID{2, 0, 1},
+			sres: &stale.Result{
+				StaleReads:  map[ir.RefID]bool{0: true, 1: true},
+				RemoteReads: map[ir.RefID]bool{},
+				Why:         map[ir.RefID]string{0: "first", 1: "second"},
+				RemoteWhy:   map[ir.RefID]string{},
+			},
+			tres: &target.Result{
+				Targets:   map[ir.RefID]bool{0: true},
+				Dropped:   map[ir.RefID]target.Drop{1: target.DropCovered},
+				CoveredBy: map[ir.RefID]ir.RefID{1: 0},
+				RegionOf:  map[ir.RefID]*ir.Region{0: region},
+			},
+			check: func(t *testing.T, sres *stale.Result, tres *target.Result) {
+				if !reflect.DeepEqual(sres.StaleReads, map[ir.RefID]bool{2: true, 0: true}) {
+					t.Errorf("StaleReads = %v", sres.StaleReads)
+				}
+				if sres.Why[2] != "first" || sres.Why[0] != "second" {
+					t.Errorf("Why = %v", sres.Why)
+				}
+				if !reflect.DeepEqual(tres.CoveredBy, map[ir.RefID]ir.RefID{0: 2}) {
+					t.Errorf("CoveredBy = %v", tres.CoveredBy)
+				}
+			},
+		},
+		{
+			name:  "empty maps survive",
+			newID: []ir.RefID{1, 0},
+			sres: &stale.Result{
+				StaleReads: map[ir.RefID]bool{}, RemoteReads: map[ir.RefID]bool{},
+				Why: map[ir.RefID]string{}, RemoteWhy: map[ir.RefID]string{},
+			},
+			tres: &target.Result{
+				Targets: map[ir.RefID]bool{}, Dropped: map[ir.RefID]target.Drop{},
+				CoveredBy: map[ir.RefID]ir.RefID{}, RegionOf: map[ir.RefID]*ir.Region{},
+			},
+			check: func(t *testing.T, sres *stale.Result, tres *target.Result) {
+				if len(sres.StaleReads)+len(sres.RemoteReads)+len(sres.Why)+len(sres.RemoteWhy) != 0 {
+					t.Errorf("stale maps not empty: %+v", sres)
+				}
+				if len(tres.Targets)+len(tres.Dropped)+len(tres.CoveredBy)+len(tres.RegionOf) != 0 {
+					t.Errorf("target maps not empty: %+v", tres)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			remapIDs(tc.sres, tc.tres, oldTable(tc.newID))
+			tc.check(t, tc.sres, tc.tres)
+		})
+	}
+}

@@ -1,0 +1,202 @@
+// Package driver holds the command-line plumbing the cmd/ tools share:
+// workload and mode lookup with errors that name the valid choices,
+// PE-list parsing, the fault-injection / profiling / machine flag groups,
+// and uniform fatal-error reporting. Before this package existed, t3dsim,
+// ccdpbench and ccdpc each carried their own copy of this logic — and
+// ccdpc silently fell back to defaults on an unknown scale instead of
+// failing.
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/prof"
+	"repro/internal/workloads"
+)
+
+// osExit is swapped out by the Fatal test.
+var osExit = os.Exit
+
+// Fatal prints "tool: err" to stderr and exits non-zero. Every cmd/ tool
+// reports its errors through this, so unknown flags, apps and modes all
+// fail the same way.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	osExit(1)
+}
+
+// Pool returns the workload set for one problem scale.
+func Pool(scale string) ([]*workloads.Spec, error) {
+	switch strings.ToLower(strings.TrimSpace(scale)) {
+	case "small":
+		return workloads.Small(), nil
+	case "paper":
+		return workloads.Paper(), nil
+	default:
+		return nil, fmt.Errorf("unknown scale %q: valid scales are small, paper", scale)
+	}
+}
+
+// App looks up one workload by name (case-insensitive) at the given scale.
+// An unknown name is an error that lists the valid applications.
+func App(name, scale string) (*workloads.Spec, error) {
+	pool, err := Pool(scale)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range pool {
+		if strings.EqualFold(s.Name, strings.TrimSpace(name)) {
+			return s, nil
+		}
+	}
+	names := make([]string, len(pool))
+	for i, s := range pool {
+		names[i] = s.Name
+	}
+	return nil, fmt.Errorf("unknown application %q: valid applications are %s",
+		name, strings.Join(names, ", "))
+}
+
+// Apps resolves a comma-separated application list at the given scale.
+func Apps(list, scale string) ([]*workloads.Spec, error) {
+	var out []*workloads.Spec
+	for _, name := range strings.Split(list, ",") {
+		s, err := App(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ParseMode parses an execution-mode name. An unknown name is an error
+// that lists the valid modes.
+func ParseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "seq":
+		return core.ModeSeq, nil
+	case "base":
+		return core.ModeBase, nil
+	case "ccdp":
+		return core.ModeCCDP, nil
+	case "incoherent":
+		return core.ModeIncoherent, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q: valid modes are seq, base, ccdp, incoherent", s)
+	}
+}
+
+// ParsePEs parses a comma-separated list of PE counts.
+func ParsePEs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad PE count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// FaultFlags is the fault-injection flag group (-fault-rate, -fault-kinds,
+// -fault-seed).
+type FaultFlags struct {
+	Rate  *float64
+	Kinds *string
+	Seed  *int64
+}
+
+// RegisterFault installs the fault-injection flags on fs.
+func RegisterFault(fs *flag.FlagSet) *FaultFlags {
+	return &FaultFlags{
+		Rate:  fs.Float64("fault-rate", 0, "per-opportunity fault-injection probability (0 disables)"),
+		Kinds: fs.String("fault-kinds", "all", "comma-separated fault kinds: drop,late,spike,evict,skew or all"),
+		Seed:  fs.Int64("fault-seed", 1, "fault-injection RNG seed"),
+	}
+}
+
+// Plan assembles the fault.Plan the flags describe (a zero Plan when the
+// rate is 0).
+func (f *FaultFlags) Plan() (fault.Plan, error) {
+	if *f.Rate == 0 {
+		return fault.Plan{}, nil
+	}
+	ks, err := fault.ParseKinds(*f.Kinds)
+	if err != nil {
+		return fault.Plan{}, err
+	}
+	plan := fault.Plan{Seed: *f.Seed, Rate: *f.Rate, Kinds: ks}
+	return plan, plan.Validate()
+}
+
+// ProfFlags is the profiling flag group (-cpuprofile, -memprofile).
+type ProfFlags struct {
+	CPU *string
+	Mem *string
+}
+
+// RegisterProf installs the profiling flags on fs.
+func RegisterProf(fs *flag.FlagSet) *ProfFlags {
+	return &ProfFlags{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins profiling per the flags; the returned stop function must be
+// deferred.
+func (f *ProfFlags) Start() (func(), error) {
+	return prof.Start(*f.CPU, *f.Mem)
+}
+
+// TopologyFlag is the interconnect-model flag (-topology).
+type TopologyFlag struct {
+	s *string
+}
+
+// RegisterTopology installs the -topology flag on fs.
+func RegisterTopology(fs *flag.FlagSet) *TopologyFlag {
+	return &TopologyFlag{s: fs.String("topology", "flat",
+		"interconnect model: flat, torus (auto dims) or XxYxZ")}
+}
+
+// Config parses the flag into an interconnect configuration.
+func (t *TopologyFlag) Config() (noc.Config, error) {
+	return noc.Parse(*t.s)
+}
+
+// MachineFlags is the machine-configuration flag group (-pes, -topology)
+// for the tools that simulate one configuration at a time.
+type MachineFlags struct {
+	PEs  *int
+	Topo *TopologyFlag
+}
+
+// RegisterMachine installs the machine flags on fs.
+func RegisterMachine(fs *flag.FlagSet, defaultPEs int) *MachineFlags {
+	return &MachineFlags{
+		PEs:  fs.Int("pes", defaultPEs, "number of PEs"),
+		Topo: RegisterTopology(fs),
+	}
+}
+
+// Params builds the T3D machine parameters the flags describe.
+func (m *MachineFlags) Params() (machine.Params, error) {
+	topo, err := m.Topo.Config()
+	if err != nil {
+		return machine.Params{}, err
+	}
+	mp := machine.T3D(*m.PEs)
+	mp.Topology = topo
+	return mp, nil
+}

@@ -163,8 +163,14 @@ func (m *Memory) Write(addr int64, v float64) uint32 {
 }
 
 // ArrayData returns a snapshot of one array's contents (for golden-value
-// comparison after a run).
+// comparison after a run). The array is resolved by name against this
+// memory's own program, so callers may pass a record from the source
+// program even though the compiled clone owns the layout this memory was
+// built from (the source's Base is never assigned).
 func (m *Memory) ArrayData(a *ir.Array) []float64 {
+	if own := m.prog.ArrayByName(a.Name); own != nil {
+		a = own
+	}
 	out := make([]float64, a.Size())
 	for i := range out {
 		out[i] = math.Float64frombits(atomic.LoadUint64(&m.words[a.Base+int64(i)]))

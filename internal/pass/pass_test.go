@@ -1,0 +1,240 @@
+package pass
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/stale"
+	"repro/internal/target"
+)
+
+// testProg builds a tiny finalized program with one shared array read.
+func testProg(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("passtest")
+	a := b.SharedArray("A", 16)
+	c := b.SharedArray("C", 16)
+	b.Routine("main",
+		ir.DoAll("i", ir.K(0), ir.K(15), ir.Set(ir.At(a, ir.I("i")), ir.IV(ir.I("i")))),
+		ir.DoAll("j", ir.K(0), ir.K(15),
+			ir.Set(ir.At(c, ir.I("j")), ir.L(ir.At(a, ir.I("j").Neg().AddConst(15))))),
+	)
+	return b.Build()
+}
+
+func newCtx(t *testing.T) *Context {
+	t.Helper()
+	src := testProg(t)
+	prog := ir.CloneProgram(src)
+	prog.Finalize()
+	return &Context{Src: src, Prog: prog, Machine: machine.T3D(4), Prov: NewProvenance()}
+}
+
+func TestManagerRunsPassesInOrder(t *testing.T) {
+	var ran []string
+	mk := func(name string) Pass {
+		return Func(name, func(*Context) error { ran = append(ran, name); return nil })
+	}
+	m := NewManager(Options{}, mk("one"), mk("two"), mk("three"))
+	if got := m.Passes(); len(got) != 3 || got[0] != "one" || got[2] != "three" {
+		t.Errorf("Passes() = %v", got)
+	}
+	timings, err := m.Run(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 3 || ran[0] != "one" || ran[1] != "two" || ran[2] != "three" {
+		t.Errorf("ran = %v", ran)
+	}
+	if len(timings) != 3 {
+		t.Fatalf("timings = %v", timings)
+	}
+	for i, tm := range timings {
+		if tm.Pass != ran[i] || tm.Duration < 0 {
+			t.Errorf("timing %d = %+v", i, tm)
+		}
+	}
+}
+
+func TestManagerWrapsPassError(t *testing.T) {
+	boom := errors.New("boom")
+	m := NewManager(Options{},
+		Func("fine", func(*Context) error { return nil }),
+		Func("bad", func(*Context) error { return boom }),
+		Func("after", func(*Context) error { t.Error("pass after failure ran"); return nil }),
+	)
+	timings, err := m.Run(&Context{})
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "pass bad") {
+		t.Errorf("err = %v", err)
+	}
+	if len(timings) != 1 {
+		t.Errorf("timings after failure = %v", timings)
+	}
+}
+
+func TestManagerReportsInvariantViolation(t *testing.T) {
+	ctx := newCtx(t)
+	m := NewManager(Options{CheckInvariants: true},
+		Func("corrupt", func(c *Context) error {
+			c.Candidates = map[ir.RefID]bool{ir.RefID(9999): true}
+			return nil
+		}),
+	)
+	_, err := m.Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "invariants violated after pass corrupt") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestManagerDumpCallback(t *testing.T) {
+	var dumped []string
+	m := NewManager(Options{Dump: func(name string, _ *Context) { dumped = append(dumped, name) }},
+		Func("a", func(*Context) error { return nil }),
+		Func("b", func(*Context) error { return nil }),
+	)
+	if _, err := m.Run(&Context{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(dumped) != 2 || dumped[0] != "a" || dumped[1] != "b" {
+		t.Errorf("dumped = %v", dumped)
+	}
+}
+
+func TestCheckCatchesCrossMapViolations(t *testing.T) {
+	read := func(ctx *Context) ir.RefID {
+		// Any A reference will do for map-consistency checks.
+		for _, r := range ctx.Prog.Refs() {
+			if !r.IsScalar() && r.Array.Name == "A" {
+				return r.ID
+			}
+		}
+		t.Fatal("no A ref found")
+		return 0
+	}
+	cases := []struct {
+		name string
+		mut  func(ctx *Context, id ir.RefID)
+		want string
+	}{
+		{"target not candidate", func(ctx *Context, id ir.RefID) {
+			ctx.Candidates = map[ir.RefID]bool{}
+			ctx.Targets = &target.Result{Targets: map[ir.RefID]bool{id: true}}
+		}, "never a candidate"},
+		{"target and dropped", func(ctx *Context, id ir.RefID) {
+			ctx.Targets = &target.Result{
+				Targets: map[ir.RefID]bool{id: true},
+				Dropped: map[ir.RefID]target.Drop{id: target.DropCovered},
+			}
+		}, "both a target and dropped"},
+		{"covered by non-target", func(ctx *Context, id ir.RefID) {
+			ctx.Targets = &target.Result{
+				Targets:   map[ir.RefID]bool{},
+				Dropped:   map[ir.RefID]target.Drop{id: target.DropCovered},
+				CoveredBy: map[ir.RefID]ir.RefID{id: 0},
+			}
+		}, "not a target"},
+		{"region on non-target", func(ctx *Context, id ir.RefID) {
+			ctx.Targets = &target.Result{
+				Targets:  map[ir.RefID]bool{},
+				RegionOf: map[ir.RefID]*ir.Region{id: nil},
+			}
+		}, "non-target"},
+		{"id out of range", func(ctx *Context, id ir.RefID) {
+			ctx.Stale = &stale.Result{StaleReads: map[ir.RefID]bool{ir.RefID(1000): true}}
+		}, "outside table"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := newCtx(t)
+			if err := Check(ctx); err != nil {
+				t.Fatalf("clean context fails check: %v", err)
+			}
+			tc.mut(ctx, read(ctx))
+			err := Check(ctx)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Check = %v; want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestProvenanceRecordAndExplain(t *testing.T) {
+	p := NewProvenance()
+	p.Record(3, "stale-analysis", VerdictStale, "overlaps dirty region")
+	p.RecordRel(1, "target-analysis", VerdictCovered, "leader's line serves it", 3)
+	p.Record(3, "prefetch-sched", VerdictScheduled, "VPG")
+	if p.Len() != 3 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if got := p.Refs(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Refs = %v", got)
+	}
+	if es := p.Entries(3); len(es) != 2 || es[0].Verdict != VerdictStale || es[1].Verdict != VerdictScheduled {
+		t.Errorf("Entries(3) = %v", es)
+	}
+	sum := p.Summary()
+	for _, want := range []string{"3 decisions", "2 refs", "1 stale", "1 covered", "1 scheduled"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestProvenanceRemap(t *testing.T) {
+	p := NewProvenance()
+	p.Record(0, "p", VerdictStale, "r0")
+	p.RecordRel(1, "p", VerdictCovered, "r1", 0)
+	// Old table: ref 0 is now 5, ref 1 is now 2.
+	r0, r1 := &ir.Ref{}, &ir.Ref{}
+	r0.ID, r1.ID = 5, 2
+	p.Remap([]*ir.Ref{r0, r1})
+	if got := p.Refs(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Refs after remap = %v", got)
+	}
+	if es := p.Entries(2); len(es) != 1 || es[0].Other != 5 {
+		t.Errorf("Entries(2) = %v; want Other remapped to 5", es)
+	}
+	if es := p.Entries(5); len(es) != 1 || es[0].Other != NoRef {
+		t.Errorf("Entries(5) = %v; want Other NoRef", es)
+	}
+}
+
+func TestSnapshotDeterministicAndJSONValid(t *testing.T) {
+	ctx := newCtx(t)
+	id := ctx.Prog.Refs()[0].ID
+	ctx.Candidates = map[ir.RefID]bool{id: true}
+	ctx.Prov.Record(id, "select-candidates", VerdictCandidate, "test")
+
+	s1, s2 := Snapshot(ctx), Snapshot(ctx)
+	if s1 != s2 {
+		t.Error("Snapshot is not deterministic")
+	}
+	for _, want := range []string{"-- program --", "-- prefetch candidates --", "-- provenance --"} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+	if strings.Contains(s1, "µs") || strings.Contains(s1, "ns") {
+		t.Error("snapshot contains wall times")
+	}
+
+	j1, err := SnapshotJSON(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := SnapshotJSON(ctx)
+	if string(j1) != string(j2) {
+		t.Error("SnapshotJSON is not deterministic")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(j1, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := decoded["program"]; !ok {
+		t.Error("JSON snapshot missing program")
+	}
+}

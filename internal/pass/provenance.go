@@ -1,0 +1,152 @@
+package pass
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Verdict classifies a per-reference decision.
+type Verdict string
+
+const (
+	// VerdictStale: the stale reference analysis marked the read
+	// potentially stale.
+	VerdictStale Verdict = "stale"
+	// VerdictRemote: the read touches data beyond its PE's slab (the §6
+	// non-stale extension's raw material).
+	VerdictRemote Verdict = "remote"
+	// VerdictCandidate: the reference entered the prefetch candidate set.
+	VerdictCandidate Verdict = "candidate"
+	// VerdictSelected: the target analysis selected the reference as a
+	// prefetch target (a group-spatial class leader).
+	VerdictSelected Verdict = "selected"
+	// VerdictCovered: the reference was dropped because a class leader's
+	// prefetch brings its cache line; Other names the leader.
+	VerdictCovered Verdict = "covered"
+	// VerdictDropped: the reference was dropped for any other reason.
+	VerdictDropped Verdict = "dropped"
+	// VerdictScheduled: the scheduler covered the target with a prefetch
+	// (VPG, SP or MBP — the reason says which, and how far it moved).
+	VerdictScheduled Verdict = "scheduled"
+	// VerdictBypass: every technique failed; the read was demoted to a
+	// bypass-cache fetch (paper §3.2).
+	VerdictBypass Verdict = "bypass"
+)
+
+// NoRef is the Other value of an Entry that names no related reference.
+const NoRef ir.RefID = -1
+
+// Entry is one recorded decision about one reference.
+type Entry struct {
+	Pass    string
+	Verdict Verdict
+	Reason  string
+	// Other is a related reference (the covering leader for
+	// VerdictCovered), or NoRef.
+	Other ir.RefID
+}
+
+// Provenance records why each reference was marked stale, selected,
+// dropped, covered, scheduled or bypassed — the audit trail of the
+// pipeline. Entries are keyed by RefID and remapped together with the
+// analysis maps when re-finalization assigns new IDs.
+type Provenance struct {
+	byRef map[ir.RefID][]Entry
+	count int
+}
+
+// NewProvenance returns an empty store.
+func NewProvenance() *Provenance {
+	return &Provenance{byRef: map[ir.RefID][]Entry{}}
+}
+
+// Record appends a decision about the given reference.
+func (p *Provenance) Record(id ir.RefID, pass string, v Verdict, reason string) {
+	p.RecordRel(id, pass, v, reason, NoRef)
+}
+
+// RecordRel is Record with a related reference (e.g. the covering leader).
+func (p *Provenance) RecordRel(id ir.RefID, pass string, v Verdict, reason string, other ir.RefID) {
+	p.byRef[id] = append(p.byRef[id], Entry{Pass: pass, Verdict: v, Reason: reason, Other: other})
+	p.count++
+}
+
+// Entries returns the decisions recorded for one reference, in record
+// order.
+func (p *Provenance) Entries(id ir.RefID) []Entry { return p.byRef[id] }
+
+// Refs returns every reference with at least one entry, sorted by ID.
+func (p *Provenance) Refs() []ir.RefID {
+	out := make([]ir.RefID, 0, len(p.byRef))
+	for id := range p.byRef {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the total number of recorded decisions.
+func (p *Provenance) Len() int { return p.count }
+
+// Remap rewrites every recorded RefID after a re-finalization. old[i] is
+// the reference that held ID i before; its .ID now carries the new ID.
+func (p *Provenance) Remap(old []*ir.Ref) {
+	byRef := make(map[ir.RefID][]Entry, len(p.byRef))
+	for id, entries := range p.byRef {
+		for i := range entries {
+			if entries[i].Other != NoRef {
+				entries[i].Other = old[entries[i].Other].ID
+			}
+		}
+		byRef[old[id].ID] = entries
+	}
+	p.byRef = byRef
+}
+
+// Summary renders one line of per-verdict decision counts (deterministic).
+func (p *Provenance) Summary() string {
+	if p.count == 0 {
+		return ""
+	}
+	counts := map[Verdict]int{}
+	for _, entries := range p.byRef {
+		for _, e := range entries {
+			counts[e.Verdict]++
+		}
+	}
+	order := []Verdict{VerdictStale, VerdictRemote, VerdictCandidate, VerdictSelected,
+		VerdictCovered, VerdictDropped, VerdictScheduled, VerdictBypass}
+	var parts []string
+	for _, v := range order {
+		if n := counts[v]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, v))
+		}
+	}
+	return fmt.Sprintf("provenance: %d decisions over %d refs (%s)",
+		p.count, len(p.byRef), strings.Join(parts, ", "))
+}
+
+// Explain renders the full decision history of every reference accepted by
+// the filter (nil = all), sorted by RefID. prog resolves IDs to reference
+// syntax; it must be the pipeline's final program.
+func (p *Provenance) Explain(prog *ir.Program, filter func(*ir.Ref) bool) string {
+	var b strings.Builder
+	for _, id := range p.Refs() {
+		r := prog.Ref(id)
+		if filter != nil && !filter(r) {
+			continue
+		}
+		fmt.Fprintf(&b, "#%d %s\n", id, r)
+		for _, e := range p.byRef[id] {
+			fmt.Fprintf(&b, "  %s: %s — %s", e.Pass, e.Verdict, e.Reason)
+			if e.Other != NoRef {
+				fmt.Fprintf(&b, " (#%d %s)", e.Other, prog.Ref(e.Other))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package pass
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/sched"
+	"repro/internal/target"
+)
+
+// Snapshot renders a stable textual snapshot of the pipeline state: the
+// annotated program plus every analysis artifact accumulated so far. The
+// output is deterministic (all map iterations are sorted and no wall times
+// appear), so dump-after-pass golden tests and the CI determinism job can
+// diff it byte for byte.
+func Snapshot(ctx *Context) string {
+	var b strings.Builder
+	prog := ctx.Prog
+	if prog == nil {
+		prog = ctx.Src
+	}
+	fmt.Fprintf(&b, "machine: %d PEs, %d-word lines, %d-word cache\n",
+		ctx.Machine.NumPE, ctx.Machine.LineWords, ctx.Machine.CacheWords)
+	if ctx.TotalWords > 0 {
+		fmt.Fprintf(&b, "total words: %d\n", ctx.TotalWords)
+	}
+	b.WriteString("-- program --\n")
+	b.WriteString(ir.Format(prog))
+	if s := ctx.Stale; s != nil {
+		b.WriteString("-- stale reads --\n")
+		writeRefList(&b, prog, sortedIDs(s.StaleReads))
+		b.WriteString("-- remote reads --\n")
+		writeRefList(&b, prog, sortedIDs(s.RemoteReads))
+	}
+	if ctx.Candidates != nil {
+		b.WriteString("-- prefetch candidates --\n")
+		writeRefList(&b, prog, sortedIDs(ctx.Candidates))
+	}
+	if t := ctx.Targets; t != nil {
+		b.WriteString("-- targets --\n")
+		for _, id := range sortedIDs(t.Targets) {
+			fmt.Fprintf(&b, "#%d %s in %s\n", id, prog.Ref(id), target.RegionLabel(t.RegionOf[id]))
+		}
+		b.WriteString("-- dropped --\n")
+		ids := make([]ir.RefID, 0, len(t.Dropped))
+		for id := range t.Dropped {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			fmt.Fprintf(&b, "#%d %s — %s", id, prog.Ref(id), t.Dropped[id])
+			if leader, ok := t.CoveredBy[id]; ok {
+				fmt.Fprintf(&b, " (#%d %s)", leader, prog.Ref(leader))
+			}
+			b.WriteString("\n")
+		}
+	}
+	if sc := ctx.Sched; sc != nil {
+		b.WriteString("-- schedule --\n")
+		for _, d := range sc.Decisions {
+			fmt.Fprintf(&b, "#%d %s — %s\n", d.Ref.ID, d.Ref, decisionDetail(d))
+		}
+	}
+	if ctx.Syms != nil {
+		fmt.Fprintf(&b, "-- symbols --\n%d scalars, %d integer variables\n",
+			ctx.Syms.NumScalars(), ctx.Syms.NumVars())
+	}
+	if ctx.Prov != nil && ctx.Prov.Len() > 0 {
+		b.WriteString("-- provenance --\n")
+		b.WriteString(ctx.Prov.Explain(prog, nil))
+	}
+	return b.String()
+}
+
+// decisionDetail renders one scheduling decision (shared by Snapshot and
+// the provenance records the scheduling pass writes).
+func decisionDetail(d sched.Decision) string {
+	switch d.Technique {
+	case sched.TechVPG:
+		s := fmt.Sprintf("case %d: VPG vector prefetch, %d words", d.Case, d.Words)
+		if d.Hoisted {
+			s += ", hoisted to DOALL prologue"
+		}
+		return s
+	case sched.TechSP:
+		return fmt.Sprintf("case %d: software-pipelined %d iterations ahead", d.Case, d.Ahead)
+	case sched.TechMBP:
+		return fmt.Sprintf("case %d: prefetch moved back %d cycles before the use", d.Case, d.MovedBack)
+	default:
+		return fmt.Sprintf("case %d: demoted to bypass fetch — %s", d.Case, d.Reason)
+	}
+}
+
+func sortedIDs(m map[ir.RefID]bool) []ir.RefID {
+	out := make([]ir.RefID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func writeRefList(b *strings.Builder, prog *ir.Program, ids []ir.RefID) {
+	for _, id := range ids {
+		fmt.Fprintf(b, "#%d %s\n", id, prog.Ref(id))
+	}
+}
+
+// jsonSnapshot is the stable JSON form of a pipeline snapshot. Every slice
+// is sorted and no struct carries a map, so encoding/json output is
+// byte-deterministic.
+type jsonSnapshot struct {
+	NumPE      int    `json:"num_pe"`
+	LineWords  int64  `json:"line_words"`
+	TotalWords int64  `json:"total_words,omitempty"`
+	Program    string `json:"program"`
+
+	Stale      []jsonRef      `json:"stale,omitempty"`
+	Remote     []jsonRef      `json:"remote,omitempty"`
+	Candidates []jsonRef      `json:"candidates,omitempty"`
+	Targets    []jsonTarget   `json:"targets,omitempty"`
+	Dropped    []jsonDrop     `json:"dropped,omitempty"`
+	Schedule   []jsonDecision `json:"schedule,omitempty"`
+	Provenance []jsonProvRef  `json:"provenance,omitempty"`
+}
+
+type jsonRef struct {
+	ID  int    `json:"id"`
+	Ref string `json:"ref"`
+}
+
+type jsonTarget struct {
+	ID     int    `json:"id"`
+	Ref    string `json:"ref"`
+	Region string `json:"region"`
+}
+
+type jsonDrop struct {
+	ID     int    `json:"id"`
+	Ref    string `json:"ref"`
+	Reason string `json:"reason"`
+	// CoveredBy is the covering leader's id, or -1 (0 is a valid RefID, so
+	// omitempty would be wrong here).
+	CoveredBy int `json:"covered_by"`
+}
+
+type jsonDecision struct {
+	ID     int    `json:"id"`
+	Ref    string `json:"ref"`
+	Detail string `json:"detail"`
+}
+
+type jsonProvRef struct {
+	ID      int         `json:"id"`
+	Ref     string      `json:"ref"`
+	Entries []jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	Pass    string `json:"pass"`
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason"`
+	// Other is a related reference id, or -1 (0 is a valid RefID).
+	Other int `json:"other"`
+}
+
+// SnapshotJSON renders the pipeline state as stable, indented JSON.
+func SnapshotJSON(ctx *Context) ([]byte, error) {
+	prog := ctx.Prog
+	if prog == nil {
+		prog = ctx.Src
+	}
+	snap := jsonSnapshot{
+		NumPE:      ctx.Machine.NumPE,
+		LineWords:  ctx.Machine.LineWords,
+		TotalWords: ctx.TotalWords,
+		Program:    ir.Format(prog),
+	}
+	refList := func(m map[ir.RefID]bool) []jsonRef {
+		var out []jsonRef
+		for _, id := range sortedIDs(m) {
+			out = append(out, jsonRef{ID: int(id), Ref: prog.Ref(id).String()})
+		}
+		return out
+	}
+	if s := ctx.Stale; s != nil {
+		snap.Stale = refList(s.StaleReads)
+		snap.Remote = refList(s.RemoteReads)
+	}
+	if ctx.Candidates != nil {
+		snap.Candidates = refList(ctx.Candidates)
+	}
+	if t := ctx.Targets; t != nil {
+		for _, id := range sortedIDs(t.Targets) {
+			snap.Targets = append(snap.Targets, jsonTarget{
+				ID: int(id), Ref: prog.Ref(id).String(), Region: target.RegionLabel(t.RegionOf[id])})
+		}
+		ids := make([]ir.RefID, 0, len(t.Dropped))
+		for id := range t.Dropped {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			d := jsonDrop{ID: int(id), Ref: prog.Ref(id).String(), Reason: t.Dropped[id].String(), CoveredBy: -1}
+			if leader, ok := t.CoveredBy[id]; ok {
+				d.CoveredBy = int(leader)
+			}
+			snap.Dropped = append(snap.Dropped, d)
+		}
+	}
+	if sc := ctx.Sched; sc != nil {
+		for _, d := range sc.Decisions {
+			snap.Schedule = append(snap.Schedule, jsonDecision{
+				ID: int(d.Ref.ID), Ref: d.Ref.String(), Detail: decisionDetail(d)})
+		}
+	}
+	if ctx.Prov != nil {
+		for _, id := range ctx.Prov.Refs() {
+			pr := jsonProvRef{ID: int(id), Ref: prog.Ref(id).String()}
+			for _, e := range ctx.Prov.Entries(id) {
+				pr.Entries = append(pr.Entries, jsonEntry{
+					Pass: e.Pass, Verdict: string(e.Verdict), Reason: e.Reason, Other: int(e.Other)})
+			}
+			snap.Provenance = append(snap.Provenance, pr)
+		}
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}

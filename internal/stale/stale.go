@@ -30,6 +30,15 @@ type Result struct {
 	// references as well") prefetches these too.
 	RemoteReads map[ir.RefID]bool
 
+	// Why records, per stale read, the first (epoch, PE) witness that made
+	// the analysis mark it: the decision provenance `ccdpc -explain`
+	// surfaces. Deterministic — epochs, references and PEs are visited in
+	// fixed order.
+	Why map[ir.RefID]string
+
+	// RemoteWhy records the first witness for each remote read.
+	RemoteWhy map[ir.RefID]string
+
 	// DirtyAtEntry[n][p] is the fixpoint dirty-for-p region at entry to
 	// epoch node n.
 	DirtyAtEntry [][]ArraySections
@@ -67,7 +76,8 @@ func AnalyzeOpt(prog *ir.Program, numPE int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	r := &Result{Graph: g, Summaries: sums, NumPE: numPE,
-		StaleReads: map[ir.RefID]bool{}, RemoteReads: map[ir.RefID]bool{}, opts: opts}
+		StaleReads: map[ir.RefID]bool{}, RemoteReads: map[ir.RefID]bool{},
+		Why: map[ir.RefID]string{}, RemoteWhy: map[ir.RefID]string{}, opts: opts}
 	r.fixpoint()
 	r.markStale()
 	r.markRemote()
@@ -93,6 +103,11 @@ func (r *Result) markRemote() {
 				for _, rect := range ra.PerPE[p].Rects() {
 					if rect.Lo[lastDim] < slab.Lo || rect.Hi[lastDim] > slab.Hi {
 						r.RemoteReads[ra.Ref.ID] = true
+						if _, ok := r.RemoteWhy[ra.Ref.ID]; !ok {
+							r.RemoteWhy[ra.Ref.ID] = fmt.Sprintf(
+								"PE %d reads %s[..,%d:%d] beyond its own slab [%d:%d] of the distributed dimension",
+								p, arr.Name, rect.Lo[lastDim], rect.Hi[lastDim], slab.Lo, slab.Hi)
+						}
 					}
 				}
 			}
@@ -211,6 +226,11 @@ func (r *Result) markStale() {
 				}
 				if dirty.Overlaps(ra.PerPE[p]) {
 					r.StaleReads[ra.Ref.ID] = true
+					if _, ok := r.Why[ra.Ref.ID]; !ok {
+						r.Why[ra.Ref.ID] = fmt.Sprintf(
+							"PE %d's read section of %s overlaps its dirty region at entry to epoch %d (%s)",
+							p, name, i, r.Graph.Nodes[i].Kind())
+					}
 					break
 				}
 			}

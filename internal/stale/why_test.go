@@ -1,0 +1,105 @@
+package stale
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// crossProg builds the cross-PE read program: epoch 0 writes A distributed,
+// epoch 1 reads it reversed, so every PE's read leaves its slab.
+func crossProg() *ir.Program {
+	b := ir.NewBuilder("cross-why")
+	a := b.SharedArray("A", 64)
+	c := b.SharedArray("C", 64)
+	b.Routine("main",
+		ir.DoAll("i", ir.K(0), ir.K(63), ir.Set(ir.At(a, ir.I("i")), ir.IV(ir.I("i")))),
+		ir.DoAll("j", ir.K(0), ir.K(63),
+			ir.Set(ir.At(c, ir.I("j")), ir.L(ir.At(a, ir.I("j").Neg().AddConst(63))))),
+	)
+	return b.Build()
+}
+
+// Every marked stale read must carry a witness naming the PE, the array and
+// the epoch; every marked remote read a witness naming the slab.
+func TestWhyCoversEveryMarkedRead(t *testing.T) {
+	p := crossProg()
+	res, err := Analyze(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StaleReads) == 0 || len(res.RemoteReads) == 0 {
+		t.Fatalf("expected stale and remote reads, got %d/%d",
+			len(res.StaleReads), len(res.RemoteReads))
+	}
+	for id := range res.StaleReads {
+		why := res.Why[id]
+		if why == "" {
+			t.Errorf("stale read #%d has no witness", id)
+			continue
+		}
+		for _, want := range []string{"PE", "A", "epoch", "dirty region"} {
+			if !strings.Contains(why, want) {
+				t.Errorf("witness %q missing %q", why, want)
+			}
+		}
+	}
+	for id := range res.RemoteReads {
+		why := res.RemoteWhy[id]
+		if why == "" {
+			t.Errorf("remote read #%d has no witness", id)
+			continue
+		}
+		if !strings.Contains(why, "slab") {
+			t.Errorf("remote witness %q does not mention the slab", why)
+		}
+	}
+	// And no witnesses for unmarked reads.
+	for id := range res.Why {
+		if !res.StaleReads[id] {
+			t.Errorf("witness recorded for non-stale read #%d", id)
+		}
+	}
+	for id := range res.RemoteWhy {
+		if !res.RemoteReads[id] {
+			t.Errorf("witness recorded for non-remote read #%d", id)
+		}
+	}
+}
+
+// The first-witness rule makes Why deterministic across runs.
+func TestWhyDeterministic(t *testing.T) {
+	snap := func() string {
+		res, err := Analyze(crossProg(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, id := range sortedWhyIDs(res.Why) {
+			b.WriteString(res.Why[id])
+			b.WriteByte('\n')
+		}
+		for _, id := range sortedWhyIDs(res.RemoteWhy) {
+			b.WriteString(res.RemoteWhy[id])
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	if snap() != snap() {
+		t.Error("witness strings differ between identical analyses")
+	}
+}
+
+func sortedWhyIDs(m map[ir.RefID]string) []ir.RefID {
+	out := make([]ir.RefID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -120,8 +120,9 @@ func Analyze(prog *ir.Program, candidates map[ir.RefID]bool, lineWords int64) *R
 	return res
 }
 
-// regionLabel renders a short human-readable region description.
-func regionLabel(reg *ir.Region) string {
+// RegionLabel renders a short human-readable region description (shared
+// with the pass-pipeline snapshots and provenance records).
+func RegionLabel(reg *ir.Region) string {
 	if reg == nil {
 		return "?"
 	}
@@ -153,7 +154,7 @@ func (r *Result) Report(prog *ir.Program) string {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		fmt.Fprintf(&b, "  target %s (%s)\n", prog.Ref(id), regionLabel(r.RegionOf[id]))
+		fmt.Fprintf(&b, "  target %s (%s)\n", prog.Ref(id), RegionLabel(r.RegionOf[id]))
 	}
 
 	ids = ids[:0]
