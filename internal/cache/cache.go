@@ -21,6 +21,12 @@ type Cache struct {
 	lineWords int64
 	numLines  int64
 	lines     []Line
+	// vals/gens are the single backing arrays every line's Vals/Gens slice
+	// into: three allocations per cache instead of two per line, which was
+	// the engine's dominant per-run allocation source (256 lines × 2 × one
+	// cache per PE).
+	vals []float64
+	gens []uint32
 
 	// Counters.
 	Hits, Misses, Evictions, Installs, InvalidatedLines int64
@@ -29,11 +35,26 @@ type Cache struct {
 // New builds a cache with the given total capacity and line size in words.
 func New(capacityWords, lineWords int64) *Cache {
 	n := capacityWords / lineWords
-	c := &Cache{lineWords: lineWords, numLines: n, lines: make([]Line, n)}
+	c := &Cache{
+		lineWords: lineWords, numLines: n, lines: make([]Line, n),
+		vals: make([]float64, n*lineWords), gens: make([]uint32, n*lineWords),
+	}
 	for i := range c.lines {
-		c.lines[i] = Line{Tag: -1, Vals: make([]float64, lineWords), Gens: make([]uint32, lineWords)}
+		lo, hi := int64(i)*lineWords, int64(i+1)*lineWords
+		c.lines[i] = Line{Tag: -1, Vals: c.vals[lo:hi:hi], Gens: c.gens[lo:hi:hi]}
 	}
 	return c
+}
+
+// Reset invalidates every line and zeroes the counters, returning the
+// cache to its just-built state without reallocating line storage (engine
+// reuse across runs). Stale values behind invalid tags are never read.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i].Tag = -1
+		c.lines[i].ReadyAt = 0
+	}
+	c.Hits, c.Misses, c.Evictions, c.Installs, c.InvalidatedLines = 0, 0, 0, 0, 0
 }
 
 // LineWords returns the line size in words.

@@ -51,7 +51,43 @@ func BenchmarkEngineHotPathSWIMBase(b *testing.B) {
 	benchEngine(b, workloads.SWIM(65, 2), core.ModeBase, 8)
 }
 
+func benchEngineTorus(b *testing.B, spec *workloads.Spec, mode core.Mode, pes int) {
+	b.Helper()
+	mp := machine.T3D(pes)
+	topo, err := noc.Parse("torus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp.Topology = topo
+	c, err := core.Compile(spec.Prog, mode, mp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := exec.Run(c, exec.Options{FailOnStale: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
 func BenchmarkEngineHotPathVPENTATorus(b *testing.B) {
+	benchEngineTorus(b, workloads.VPENTA(64, 2), core.ModeCCDP, 8)
+}
+
+func BenchmarkEngineHotPathSWIMTorus64(b *testing.B) {
+	benchEngineTorus(b, workloads.SWIM(65, 2), core.ModeCCDP, 64)
+}
+
+// BenchmarkEngineHotPathVPENTATorusReuse measures the steady state the
+// Engine split exists for: one Engine built once, Run per iteration. The
+// allocs/op of this benchmark is the engine's per-run allocation floor.
+func BenchmarkEngineHotPathVPENTATorusReuse(b *testing.B) {
 	spec := workloads.VPENTA(64, 2)
 	mp := machine.T3D(8)
 	topo, err := noc.Parse("torus")
@@ -63,11 +99,19 @@ func BenchmarkEngineHotPathVPENTATorus(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng, err := exec.New(c)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var cycles int64
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.Run(c, exec.Options{FailOnStale: true}); err != nil {
+		r, err := eng.Run(exec.Options{FailOnStale: true})
+		if err != nil {
 			b.Fatal(err)
 		}
+		cycles = r.Cycles
 	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
 }

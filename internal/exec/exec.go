@@ -9,6 +9,12 @@
 // every epoch boundary is a barrier, and write-through caches keep home
 // memory current so the boundary memory-update is implicit.
 //
+// Torus-modeled runs also execute their parallel epochs concurrently: link
+// bookings go through a windowed conservative-PDES session (noc.Session)
+// that commits reservations in an order provably equivalent to the
+// canonical sequential PE-major order, so cycle counts stay bit-identical
+// at any GOMAXPROCS and any goroutine interleaving.
+//
 // Coherence is CHECKED, not assumed: every cached word carries the memory
 // generation it was filled with, and a hit on an out-of-date word is
 // counted as a stale-value read (and poisons the computed results, which
@@ -25,7 +31,10 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/cache"
@@ -34,6 +43,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/parallel"
 	"repro/internal/pfq"
 	"repro/internal/shmem"
 	"repro/internal/stats"
@@ -45,7 +55,10 @@ type Options struct {
 	// DetectRaces records per-epoch read/write address sets of shared
 	// arrays and reports cross-PE conflicts inside one epoch (violations
 	// of the "no data dependences between tasks of a parallel epoch"
-	// model). Expensive; for tests.
+	// model). It forces parallel epochs to run their PEs sequentially: a
+	// program that violates the model must be caught by this checker
+	// deterministically, not by the Go race detector. Expensive; for
+	// tests.
 	DetectRaces bool
 	// FailOnStale makes Run return an error on the first stale-value read
 	// instead of only counting it.
@@ -53,6 +66,11 @@ type Options struct {
 	// TrackStaleRefs records which reference sites observed stale values
 	// (used by the analysis-soundness property tests).
 	TrackStaleRefs bool
+	// SerialTorus forces torus-modeled parallel epochs onto the canonical
+	// sequential-PE booking order instead of the windowed conservative
+	// PDES scheme. Results are identical either way — the equivalence
+	// tests use this as their reference path.
+	SerialTorus bool
 	// Trace, when non-nil, collects the full memory reference stream
 	// (build with trace.New(numPE)). Expensive; for analysis tooling.
 	Trace *trace.Trace
@@ -82,17 +100,87 @@ type Result struct {
 // maxRecordedViolations bounds Result.Violations; counters keep the total.
 const maxRecordedViolations = 32
 
-// Run executes a compiled program.
-func Run(c *core.Compiled, opts Options) (res *Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("exec: %v", r)
-		}
-	}()
+// Run executes a compiled program: a one-shot New + Engine.Run. Callers
+// running the same compiled program repeatedly should build one Engine and
+// Run it many times — repeated runs reuse every arena the Engine owns.
+func Run(c *core.Compiled, opts Options) (*Result, error) {
+	e, err := New(c)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}
 
+// ctxBind is one precomputed context-variable binding of a dynamic epoch.
+type ctxBind struct {
+	slot int
+	val  int64
+}
+
+// epochInst is one dynamic epoch instance with its context bindings
+// resolved to slots: the whole epoch schedule is precomputed once per
+// Engine, so the run loop allocates no per-instance environments.
+type epochInst struct {
+	node  *ir.EpochNode
+	binds []ctxBind
+}
+
+// invRange is one precomputed invalidation address range [lo, hi].
+type invRange struct{ lo, hi int64 }
+
+// invPlan is one (epoch node, PE)'s compiler-directed invalidation work,
+// with the analysis sections resolved to word-address ranges once per
+// Engine. has distinguishes "no entries" (no invalidation cost at all)
+// from "entries whose sections are empty" (the fixed cost still applies),
+// mirroring the map the analysis produces.
+type invPlan struct {
+	has    bool
+	ranges []invRange
+}
+
+// Engine executes one compiled program. New builds the compiled mirror
+// tree, the dynamic epoch schedule, the interconnect and all per-PE state
+// once; Run resets that state and executes, so repeated runs are
+// allocation-flat in steady state. An Engine is not safe for concurrent
+// Runs, and Result.Mem aliases Engine-owned memory that the next Run
+// resets.
+type Engine struct {
+	c     *core.Compiled
+	cp    *cProgram
+	mem   *mem.Memory
+	graph *ir.EpochGraph
+	pes   []*peState
+	// net is the torus interconnect; nil under the flat topology (the
+	// constant-latency model). sess is its windowed-PDES front end.
+	net  *noc.Network
+	sess *noc.Session
+	// tr is the transport the PEs charge remote traffic through this
+	// epoch: nil (flat), net (canonical sequential booking: serial epochs,
+	// race detection, SerialTorus) or sess (concurrent parallel epochs).
+	tr noc.Transport
+
+	// Precomputed schedules (New-time, immutable across runs).
+	insts []epochInst
+	inv   [][]invPlan // [node][pe]; nil outside CCDP
+
+	// Reusable scratch.
+	errs   []error
+	starts []int64
+
+	// Per-run state.
+	opts       Options
+	stats      stats.Stats
+	inj        *fault.Injector
+	pdes       bool
+	staleErr   error
+	violations []fault.Violation
+	staleMu    sync.Mutex
+}
+
+// New builds a reusable engine for a compiled program.
+func New(c *core.Compiled) (*Engine, error) {
 	prog := c.Prog
 	mp := c.Machine
-	m := mem.New(prog, mp.NumPE, c.TotalWords)
 	graph, err := ir.BuildEpochGraph(prog)
 	if err != nil {
 		return nil, err
@@ -105,10 +193,6 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-
-	if err := opts.Fault.Validate(); err != nil {
-		return nil, err
-	}
 	var net *noc.Network
 	if mp.NumPE > 1 {
 		// noc.New returns nil for the flat topology: every remote path
@@ -117,12 +201,59 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 			return nil, err
 		}
 	}
-	// The engine starts single-threaded (epoch setup, serial epochs); the
-	// parallel fan-out flips the memory to atomic mode only while PE
-	// goroutines actually run concurrently.
-	m.SetSerial(true)
-	eng := &engine{c: c, cp: cp, mem: m, graph: graph, opts: opts, net: net,
-		inj: fault.NewInjector(opts.Fault, mp.NumPE)}
+	e := &Engine{c: c, cp: cp, graph: graph, net: net,
+		mem:    mem.New(prog, mp.NumPE, c.TotalWords),
+		errs:   make([]error, mp.NumPE),
+		starts: make([]int64, mp.NumPE),
+	}
+	if net != nil {
+		e.sess = noc.NewSession(net)
+	}
+
+	// Precompute the dynamic epoch schedule with context bindings resolved
+	// to variable slots (one flat slice instead of a map per instance).
+	err = graph.ForEachEpochInstance(func(inst ir.EpochInstance) error {
+		ei := epochInst{node: inst.Node}
+		for _, l := range inst.Node.Context {
+			if s := cp.syms.VarIndex(l.Var); s >= 0 {
+				ei.binds = append(ei.binds, ctxBind{slot: s, val: inst.Env[l.Var]})
+			}
+		}
+		e.insts = append(e.insts, ei)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Precompute CCDP invalidation regions as word-address ranges, in
+	// sorted array-name order. Arrays occupy disjoint address ranges, so
+	// the dropped-line count and the resulting cache state are identical
+	// to walking the analysis map in any order.
+	if c.Mode == core.ModeCCDP && c.Stale != nil {
+		e.inv = make([][]invPlan, len(graph.Nodes))
+		for ni := range graph.Nodes {
+			e.inv[ni] = make([]invPlan, mp.NumPE)
+			for p := 0; p < mp.NumPE; p++ {
+				sections := c.Stale.Invalidate[ni][p]
+				plan := invPlan{has: len(sections) > 0}
+				names := make([]string, 0, len(sections))
+				for name := range sections {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					arr := prog.ArrayByName(name)
+					for _, r := range sections[name].Rects() {
+						plan.ranges = append(plan.ranges,
+							invRange{mem.AddrOf(arr, r.Lo), mem.AddrOf(arr, r.Hi)})
+					}
+				}
+				e.inv[ni][p] = plan
+			}
+		}
+	}
+
 	maxRank := 1
 	for _, a := range prog.Arrays {
 		if r := a.Rank(); r > maxRank {
@@ -130,11 +261,11 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 		}
 	}
 	lines := c.TotalWords/mp.LineWords + 1
-	eng.pes = make([]*peState, mp.NumPE)
+	e.pes = make([]*peState, mp.NumPE)
 	for p := 0; p < mp.NumPE; p++ {
-		pe := &peState{
+		e.pes[p] = &peState{
 			id:            p,
-			eng:           eng,
+			eng:           e,
 			cache:         cache.New(mp.CacheWords, mp.LineWords),
 			pq:            pfq.New(mp.PrefetchQueueWords),
 			scalars:       make([]float64, cp.nScalars),
@@ -143,48 +274,74 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 			bound:         make([]bool, cp.nVars),
 			buffered:      bitset.NewSparse(lines),
 			idxScratch:    make([]int64, maxRank),
-			shScratch:     shmem.NewScratch(m, mp),
-		}
-		eng.pes[p] = pe
-		if eng.inj != nil {
-			pe.fault = eng.inj.PE(p)
-			pe.shFaults = &shmem.Faults{DropLine: pe.fault.DropPrefetch, LateDelay: pe.fault.LateDelay}
-		}
-		if opts.Trace != nil {
-			if len(opts.Trace.PerPE) != mp.NumPE {
-				return nil, fmt.Errorf("exec: trace has %d PEs, machine has %d", len(opts.Trace.PerPE), mp.NumPE)
-			}
-			pe.trace = opts.Trace.PerPE[p]
-		}
-		for k, v := range prog.Params {
-			if s := cp.syms.VarIndex(k); s >= 0 {
-				pe.env[s] = v
-				pe.bound[s] = true
-			}
+			shScratch:     shmem.NewScratch(e.mem, mp),
 		}
 	}
+	return e, nil
+}
 
-	if err := eng.run(); err != nil {
+// Run executes the program, resetting all Engine-owned state first.
+func (e *Engine) Run(opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: %v", r)
+		}
+	}()
+
+	mp := e.c.Machine
+	if err := opts.Fault.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Trace != nil && len(opts.Trace.PerPE) != mp.NumPE {
+		return nil, fmt.Errorf("exec: trace has %d PEs, machine has %d", len(opts.Trace.PerPE), mp.NumPE)
+	}
+
+	e.opts = opts
+	e.stats = stats.Stats{}
+	e.staleErr = nil
+	e.violations = nil
+	e.inj = fault.NewInjector(opts.Fault, mp.NumPE)
+	e.mem.Reset()
+	// The engine starts single-threaded (epoch setup, serial epochs); the
+	// parallel fan-out flips the memory to atomic mode only while PE
+	// goroutines actually run concurrently.
+	e.mem.SetSerial(true)
+	if e.net != nil {
+		e.net.Reset()
+		e.tr = e.net
+	} else {
+		e.tr = nil
+	}
+	// The PDES path needs more than one scheduler thread to win anything;
+	// on a single thread the canonical sequential order is the same
+	// simulation without the cross-goroutine choreography.
+	e.pdes = e.net != nil && mp.NumPE > 1 && !opts.DetectRaces && !opts.SerialTorus &&
+		runtime.GOMAXPROCS(0) > 1
+	for _, pe := range e.pes {
+		pe.reset()
+	}
+
+	if err := e.runAll(); err != nil {
 		return nil, err
 	}
 
-	res = &Result{Stats: eng.stats, Mem: m, PECycles: make([]int64, mp.NumPE),
-		Violations: eng.violations}
+	res = &Result{Stats: e.stats, Mem: e.mem, PECycles: make([]int64, mp.NumPE),
+		Violations: e.violations}
 	if opts.TrackStaleRefs {
 		res.StaleByRef = map[ir.RefID]int64{}
-		for _, pe := range eng.pes {
+		for _, pe := range e.pes {
 			for id, n := range pe.staleByRef {
 				res.StaleByRef[id] += n
 			}
 		}
 	}
-	for p, pe := range eng.pes {
+	for p, pe := range e.pes {
 		res.PECycles[p] = pe.now
 	}
 	res.Cycles = res.PECycles[0]
 	res.Stats.Cycles = res.Cycles
-	if eng.net != nil {
-		res.Net = eng.net.Summary(res.Cycles)
+	if e.net != nil {
+		res.Net = e.net.Summary(res.Cycles)
 		res.Stats.NetMessages = res.Net.Messages
 		res.Stats.NetWaitCycles = res.Net.WaitCycles
 		res.Stats.NetContended = res.Net.Contended
@@ -192,30 +349,54 @@ func Run(c *core.Compiled, opts Options) (res *Result, err error) {
 	return res, nil
 }
 
-type engine struct {
-	c     *core.Compiled
-	cp    *cProgram
-	mem   *mem.Memory
-	graph *ir.EpochGraph
-	opts  Options
-	pes   []*peState
-	stats stats.Stats
-	inj   *fault.Injector
-	// net is the torus interconnect; nil under the flat topology (the
-	// constant-latency model).
-	net *noc.Network
-
-	staleErr   error
-	violations []fault.Violation
-	staleMu    sync.Mutex
+// reset returns one PE to its just-built state for the next run.
+func (pe *peState) reset() {
+	e := pe.eng
+	pe.now = 0
+	pe.stats = stats.Stats{}
+	pe.cache.Reset()
+	pe.pq.Reset()
+	for i := range pe.scalars {
+		pe.scalars[i] = 0
+		pe.scalarWritten[i] = false
+	}
+	for i := range pe.env {
+		pe.env[i] = 0
+		pe.bound[i] = false
+	}
+	pe.clearRegs()
+	pe.buffered.Reset()
+	pe.reads, pe.writes = nil, nil
+	if pe.raceRd != nil {
+		pe.raceRd.Reset()
+		pe.raceWr.Reset()
+	}
+	pe.vpAddrs = pe.vpAddrs[:0]
+	pe.staleByRef = nil
+	pe.demoted = 0
+	pe.sess = nil
+	pe.fault, pe.shFaults = nil, nil
+	if e.inj != nil {
+		pe.fault = e.inj.PE(pe.id)
+		pe.shFaults = &shmem.Faults{DropLine: pe.fault.DropPrefetch, LateDelay: pe.fault.LateDelay}
+	}
+	pe.trace = nil
+	if e.opts.Trace != nil {
+		pe.trace = e.opts.Trace.PerPE[pe.id]
+	}
+	for k, v := range e.c.Prog.Params {
+		if s := e.cp.syms.VarIndex(k); s >= 0 {
+			pe.env[s] = v
+			pe.bound[s] = true
+		}
+	}
 }
 
-func (e *engine) run() error {
-	err := e.graph.ForEachEpochInstance(func(inst ir.EpochInstance) error {
-		return e.epoch(inst)
-	})
-	if err != nil {
-		return err
+func (e *Engine) runAll() error {
+	for i := range e.insts {
+		if err := e.epoch(&e.insts[i]); err != nil {
+			return err
+		}
 	}
 	// Final accounting: flush queues, merge PE stats.
 	for _, pe := range e.pes {
@@ -235,26 +416,21 @@ func (e *engine) run() error {
 
 // epoch executes one dynamic epoch instance, including the boundary
 // actions (invalidation before, barrier and queue flush after).
-func (e *engine) epoch(inst ir.EpochInstance) error {
+func (e *Engine) epoch(inst *epochInst) error {
 	mp := e.c.Machine
-	node := inst.Node
+	node := inst.node
 	e.stats.Epochs++
 
 	// Compiler-directed invalidation (CCDP): each PE drops the cached
 	// regions the analysis says may be dirty for it.
-	if e.c.Mode == core.ModeCCDP && e.c.Stale != nil {
+	if e.inv != nil {
 		for p, pe := range e.pes {
-			inv := e.c.Stale.Invalidate[node.Index][p]
+			plan := &e.inv[node.Index][p]
 			var dropped int64
-			for name, set := range inv {
-				arr := e.c.Prog.ArrayByName(name)
-				for _, r := range set.Rects() {
-					lo := mem.AddrOf(arr, r.Lo)
-					hi := mem.AddrOf(arr, r.Hi)
-					dropped += pe.cache.InvalidateRange(lo, hi)
-				}
+			for _, r := range plan.ranges {
+				dropped += pe.cache.InvalidateRange(r.lo, r.hi)
 			}
-			if len(inv) > 0 {
+			if plan.has {
 				pe.now += 10 + dropped*mp.InvalidateLineCost
 			}
 			pe.stats.InvalidatedLines += dropped
@@ -268,11 +444,9 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 		if pe.fault != nil {
 			pe.now += pe.fault.ClockSkew()
 		}
-		for k, v := range inst.Env {
-			if s := e.cp.syms.VarIndex(k); s >= 0 {
-				pe.env[s] = v
-				pe.bound[s] = true
-			}
+		for _, b := range inst.binds {
+			pe.env[b.slot] = b.val
+			pe.bound[b.slot] = true
 		}
 	}
 
@@ -313,10 +487,8 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 		pe.now = maxNow
 		e.stats.PrefetchUnused += pe.pq.Flush()
 		pe.buffered.Reset()
-		for k := range inst.Env {
-			if s := e.cp.syms.VarIndex(k); s >= 0 {
-				pe.bound[s] = false
-			}
+		for _, b := range inst.binds {
+			pe.bound[b.slot] = false
 		}
 	}
 	if e.net != nil {
@@ -340,22 +512,29 @@ func (e *engine) epoch(inst ir.EpochInstance) error {
 	return nil
 }
 
-// parallelEpoch runs the DOALL on all PEs concurrently — one goroutine per
-// PE, safe because tasks of one epoch touch disjoint data. Under
-// DetectRaces the PEs run sequentially instead: a program that VIOLATES the
-// model must be caught by the engine's own checker deterministically, not
-// by the Go race detector. A torus interconnect also forces the sequential
-// order: link reservations are booking-order-dependent, and the simulator's
-// design center is bit-identical results regardless of goroutine
-// interleaving — PE clocks are independent, so booking PE p's epoch in full
-// before PE p+1's does not change any PE's own timeline, only resolves
-// contention ties deterministically. A 1-PE run also stays on the calling
-// goroutine (and keeps the memory in plain, non-atomic mode): spawning a
-// single worker buys nothing.
-func (e *engine) parallelEpoch(node *ir.EpochNode) error {
+// parallelEpoch runs the DOALL on all PEs concurrently, safe because tasks
+// of one epoch touch disjoint data. Three cases:
+//
+//   - DetectRaces or 1 PE or Options.SerialTorus (with a torus) or a
+//     single-threaded scheduler: the PEs run sequentially on the calling
+//     goroutine. This is the canonical order torus link booking is defined
+//     against: PE p's whole epoch books before PE p+1's.
+//   - Torus: all PEs run concurrently; link reservations commit through
+//     the windowed conservative-PDES session, which reproduces the
+//     canonical order's placements exactly (see noc/pdes.go), so results
+//     stay bit-identical at any GOMAXPROCS and interleaving.
+//   - Flat: no link state exists, PE clocks are fully independent, and
+//     memory is in atomic mode — the PEs fan out over the shared worker
+//     budget (degrading to inline when the machine is busy), work-stealing
+//     by atomic index; the assignment of PEs to workers cannot affect
+//     results.
+func (e *Engine) parallelEpoch(node *ir.EpochNode) error {
 	mp := e.c.Machine
 	l := e.cp.nodes[node.Index].loop
-	errs := make([]error, len(e.pes))
+	errs := e.errs
+	for i := range errs {
+		errs[i] = nil
+	}
 	runPE := func(p int) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -379,23 +558,73 @@ func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 		}
 		errs[p] = pe.runDoall(l)
 	}
-	if e.opts.DetectRaces || e.net != nil || len(e.pes) == 1 {
+
+	switch {
+	case e.opts.DetectRaces || len(e.pes) == 1 || (e.net != nil && !e.pdes):
 		for p := range e.pes {
 			runPE(p)
 		}
-	} else {
+
+	case e.net != nil:
+		// Windowed conservative PDES: one goroutine per PE (they spend
+		// their commit waits blocked, so this does not draw from the
+		// worker budget), clocks seeded with the epoch-entry times.
+		for p, pe := range e.pes {
+			e.starts[p] = pe.now
+			pe.sess = e.sess
+		}
+		e.sess.Begin(e.starts)
+		e.tr = e.sess
 		e.mem.SetSerial(false)
 		var wg sync.WaitGroup
 		for p := range e.pes {
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
+				defer e.sess.Done(p)
 				runPE(p)
 			}(p)
 		}
 		wg.Wait()
 		e.mem.SetSerial(true)
+		e.tr = e.net
+		for _, pe := range e.pes {
+			pe.sess = nil
+		}
+
+	default:
+		extra := parallel.AcquireWorkers(len(e.pes) - 1)
+		if extra == 0 {
+			for p := range e.pes {
+				runPE(p)
+			}
+			break
+		}
+		e.mem.SetSerial(false)
+		var next atomic.Int64
+		work := func() {
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= len(e.pes) {
+					return
+				}
+				runPE(p)
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < extra; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+		parallel.ReleaseWorkers(extra)
+		e.mem.SetSerial(true)
 	}
+
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -407,7 +636,7 @@ func (e *engine) parallelEpoch(node *ir.EpochNode) error {
 // checkRaces verifies that no two PEs conflicted inside the epoch. The
 // Sparse sets iterate in insertion order, so the first conflict reported is
 // deterministic (a map-keyed set would pick an arbitrary one).
-func (e *engine) checkRaces(node *ir.EpochNode) error {
+func (e *Engine) checkRaces(node *ir.EpochNode) error {
 	for p, pa := range e.pes {
 		for q := p + 1; q < len(e.pes); q++ {
 			pb := e.pes[q]
@@ -429,7 +658,7 @@ func (e *engine) checkRaces(node *ir.EpochNode) error {
 	return nil
 }
 
-func (e *engine) mergePE(pe *peState) {
+func (e *Engine) mergePE(pe *peState) {
 	e.stats.Merge(&pe.stats)
 	e.stats.Hits += pe.cache.Hits
 	e.stats.Misses += pe.cache.Misses
@@ -440,7 +669,7 @@ func (e *engine) mergePE(pe *peState) {
 
 // reportStale records a coherence-oracle hit: PE pe consumed a word at
 // addr through ref r whose generation gen is out of date.
-func (e *engine) reportStale(pe *peState, r *ir.Ref, addr int64, gen uint32) {
+func (e *Engine) reportStale(pe *peState, r *ir.Ref, addr int64, gen uint32) {
 	pe.stats.StaleValueReads++
 	pe.stats.OracleViolations++
 	if e.opts.TrackStaleRefs {

@@ -217,7 +217,7 @@ func TestDemotionBudgetExhaustedFailsLoudly(t *testing.T) {
 
 // plantPE builds a single-PE engine by hand so tests can plant cache state
 // directly and drive readMem against it.
-func plantPE(t *testing.T, opts Options) (*engine, *peState) {
+func plantPE(t *testing.T, opts Options) (*Engine, *peState) {
 	t.Helper()
 	b := ir.NewBuilder("plant")
 	a := b.SharedArray("A", 64)
@@ -230,7 +230,7 @@ func plantPE(t *testing.T, opts Options) (*engine, *peState) {
 		t.Fatal(err)
 	}
 	m := mem.New(c.Prog, 1, c.TotalWords)
-	eng := &engine{c: c, mem: m, opts: opts, inj: fault.NewInjector(opts.Fault, 1)}
+	eng := &Engine{c: c, mem: m, opts: opts, inj: fault.NewInjector(opts.Fault, 1)}
 	pe := &peState{
 		id:            0,
 		eng:           eng,
@@ -253,7 +253,7 @@ func plantPE(t *testing.T, opts Options) (*engine, *peState) {
 
 // compileRef lowers a hand-built reference the way Run's program lowering
 // would, so tests can drive readMem directly.
-func compileRef(t *testing.T, eng *engine, r *ir.Ref) *cRef {
+func compileRef(t *testing.T, eng *Engine, r *ir.Ref) *cRef {
 	t.Helper()
 	cc := &compiler{prog: eng.c.Prog, syms: eng.c.Syms, routines: map[string]*[]cStmt{}}
 	cr, err := cc.ref(r)

@@ -1,0 +1,179 @@
+package exec_test
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/workloads"
+)
+
+// TestParallelTorusMatchesSequential is the engine-level PDES equivalence
+// property test: every workload runs over the torus twice — once with
+// Options.SerialTorus (the canonical sequential PE-major booking order the
+// golden CSVs pin) and once through the default concurrent windowed-PDES
+// path with goroutine yields injected at every session commit point — and
+// every observable must match exactly: total and per-PE cycles, the full
+// stats block, the complete per-link network summary, and the computed
+// array contents. GOMAXPROCS is forced above 1 so the PDES path actually
+// engages even on single-core CI runners; running under -race additionally
+// proves the concurrent path's synchronization sound.
+func TestParallelTorusMatchesSequential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	cases := []struct {
+		name string
+		spec *workloads.Spec
+		mode core.Mode
+		pes  int
+	}{
+		{"MXM-CCDP-8PE", workloads.MXM(64, 32, 16), core.ModeCCDP, 8},
+		{"MXM-CCDP-4PE", workloads.MXM(64, 32, 16), core.ModeCCDP, 4},
+		{"VPENTA-CCDP-8PE", workloads.VPENTA(64, 2), core.ModeCCDP, 8},
+		{"TOMCATV-CCDP-8PE", workloads.TOMCATV(65, 2), core.ModeCCDP, 8},
+		{"SWIM-BASE-8PE", workloads.SWIM(65, 2), core.ModeBase, 8},
+	}
+	topo, err := noc.Parse("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mp := machine.T3D(tc.pes)
+			mp.Topology = topo
+			c, err := core.Compile(tc.spec.Prog, tc.mode, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exec.Run(c, exec.Options{FailOnStale: true, SerialTorus: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantData := map[string][]float64{}
+			for _, name := range tc.spec.CheckArrays {
+				wantData[name] = want.Mem.ArrayData(want.Mem.ArrayNamed(name))
+			}
+
+			// A fresh Engine per run: want.Mem aliases its engine's memory.
+			eng, err := exec.New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var yields atomic.Int64
+			noc.TestCommitYield = func() {
+				if yields.Add(1)%5 == 0 {
+					runtime.Gosched()
+				}
+			}
+			defer func() { noc.TestCommitYield = nil }()
+			got, err := eng.Run(exec.Options{FailOnStale: true})
+			noc.TestCommitYield = nil
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.Cycles != want.Cycles {
+				t.Errorf("cycles: pdes %d != sequential %d", got.Cycles, want.Cycles)
+			}
+			if !reflect.DeepEqual(got.PECycles, want.PECycles) {
+				t.Errorf("per-PE cycles diverge:\npdes: %v\nseq:  %v", got.PECycles, want.PECycles)
+			}
+			if got.Stats != want.Stats {
+				t.Errorf("stats diverge:\npdes: %+v\nseq:  %+v", got.Stats, want.Stats)
+			}
+			if !reflect.DeepEqual(got.Net, want.Net) {
+				t.Errorf("network summaries diverge")
+				diffSummaries(t, got.Net, want.Net)
+			}
+			for _, name := range tc.spec.CheckArrays {
+				gotData := got.Mem.ArrayData(got.Mem.ArrayNamed(name))
+				if !reflect.DeepEqual(gotData, wantData[name]) {
+					t.Errorf("array %s contents diverge", name)
+				}
+			}
+		})
+	}
+}
+
+func diffSummaries(t *testing.T, got, want *noc.Summary) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Logf("pdes: %+v\nseq:  %+v", got, want)
+		return
+	}
+	if got.Messages != want.Messages || got.WaitCycles != want.WaitCycles ||
+		got.Contended != want.Contended || got.MaxWait != want.MaxWait {
+		t.Logf("totals: pdes {msgs %d wait %d cont %d max %d} seq {msgs %d wait %d cont %d max %d}",
+			got.Messages, got.WaitCycles, got.Contended, got.MaxWait,
+			want.Messages, want.WaitCycles, want.Contended, want.MaxWait)
+	}
+	if !reflect.DeepEqual(got.HopHist, want.HopHist) {
+		t.Logf("hop hist: pdes %v seq %v", got.HopHist, want.HopHist)
+	}
+	n := len(got.Links)
+	if len(want.Links) < n {
+		n = len(want.Links)
+	}
+	shown := 0
+	for i := 0; i < n && shown < 5; i++ {
+		if !reflect.DeepEqual(got.Links[i], want.Links[i]) {
+			t.Logf("link %d: pdes %+v seq %+v", i, got.Links[i], want.Links[i])
+			shown++
+		}
+	}
+}
+
+// TestEngineReuseIsDeterministic pins the arena behaviour the Engine split
+// exists for: one Engine Run repeatedly — including alternating serial and
+// PDES torus paths — must reproduce the identical result every time.
+func TestEngineReuseIsDeterministic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+
+	mp := machine.T3D(8)
+	topo, err := noc.Parse("torus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp.Topology = topo
+	spec := workloads.MXM(32, 16, 8)
+	c, err := core.Compile(spec.Prog, core.ModeCCDP, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := exec.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *exec.Result
+	var refData []float64
+	for i := 0; i < 4; i++ {
+		serial := i%2 == 1
+		r, err := eng.Run(exec.Options{FailOnStale: true, SerialTorus: serial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := r.Mem.ArrayData(r.Mem.ArrayNamed(spec.CheckArrays[0]))
+		if ref == nil {
+			ref, refData = r, data
+			continue
+		}
+		label := fmt.Sprintf("run %d (serial=%v)", i, serial)
+		if r.Cycles != ref.Cycles || r.Stats != ref.Stats {
+			t.Errorf("%s: stats diverge from run 0", label)
+		}
+		if !reflect.DeepEqual(r.Net, ref.Net) {
+			t.Errorf("%s: network summary diverges from run 0", label)
+		}
+		if !reflect.DeepEqual(data, refData) {
+			t.Errorf("%s: results diverge from run 0", label)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mem"
+	"repro/internal/noc"
 	"repro/internal/pfq"
 	"repro/internal/shmem"
 	"repro/internal/stats"
@@ -24,11 +25,16 @@ import (
 // (compile.go), so its hot path allocates nothing per simulated access.
 type peState struct {
 	id    int
-	eng   *engine
+	eng   *Engine
 	now   int64
 	cache *cache.Cache
 	pq    *pfq.Queue
 	stats stats.Stats
+
+	// sess is non-nil only while this PE runs inside a concurrent torus
+	// epoch: tick() publishes the PE's clock through it so lower-numbered
+	// PEs' progress unblocks higher-numbered PEs' link commits promptly.
+	sess *noc.Session
 
 	// scalars holds the PE-private scalar values, indexed by scalar slot;
 	// scalarWritten marks the slots this PE has ever stored to (the set the
@@ -129,6 +135,7 @@ func (pe *peState) runDoall(l *cLoop) error {
 			if int((it-lo)/step)%mp.NumPE != pe.id {
 				continue
 			}
+			pe.tick()
 			pe.now += mp.DynamicSchedCost + mp.LoopIterCost
 			pe.env[l.varSlot] = it
 			pe.bound[l.varSlot] = true
@@ -145,6 +152,7 @@ func (pe *peState) runDoall(l *cLoop) error {
 			break
 		}
 		for it := chunk.Lo; it <= chunk.Hi; it++ {
+			pe.tick()
 			pe.now += mp.LoopIterCost
 			pe.env[l.varSlot] = it
 			pe.bound[l.varSlot] = true
@@ -161,6 +169,15 @@ func (pe *peState) runDoall(l *cLoop) error {
 func (pe *peState) clearRegs() {
 	pe.regA = pe.regA[:0]
 	pe.regV = pe.regV[:0]
+}
+
+// tick publishes the PE's clock to the torus PDES session (no-op outside
+// concurrent torus epochs). Frequency affects only how soon other PEs'
+// commits unblock, never any simulated result.
+func (pe *peState) tick() {
+	if s := pe.sess; s != nil {
+		s.Publish(pe.id, pe.now)
+	}
 }
 
 func (pe *peState) runStmts(body []cStmt) error {
@@ -233,6 +250,7 @@ func (pe *peState) runSerialLoop(l *cLoop) error {
 	}
 
 	for it := lo; it <= hi; it += step {
+		pe.tick()
 		pe.now += mp.LoopIterCost
 		pe.env[l.varSlot] = it
 		pe.bound[l.varSlot] = true
@@ -528,8 +546,8 @@ func (pe *peState) readMem(r *cRef, addr int64) float64 {
 // unrelated traffic routed through that link.
 func (pe *peState) chargeRemoteRead(addr, words int64) {
 	mp := pe.eng.c.Machine
-	if net := pe.eng.net; net != nil {
-		arrive, _ := net.RoundTrip(pe.id, pe.eng.mem.OwnerOf(addr), words, pe.now, pe.remoteSpike())
+	if tr := pe.eng.tr; tr != nil {
+		arrive, _ := tr.RoundTrip(pe.id, pe.eng.mem.OwnerOf(addr), words, pe.now, pe.remoteSpike())
 		pe.now = arrive
 	} else {
 		pe.now += mp.RemoteReadCost + pe.remoteSpike()
@@ -541,8 +559,8 @@ func (pe *peState) chargeRemoteRead(addr, words int64) {
 // pays only the constant injection cost, but over a torus the store's
 // packet is still booked along the route so it contends with other traffic.
 func (pe *peState) chargeRemoteWrite(addr int64) {
-	if net := pe.eng.net; net != nil {
-		net.Send(pe.id, pe.eng.mem.OwnerOf(addr), 1, pe.now, 0)
+	if tr := pe.eng.tr; tr != nil {
+		tr.Send(pe.id, pe.eng.mem.OwnerOf(addr), 1, pe.now, 0)
 	}
 	pe.now += pe.eng.c.Machine.RemoteWriteCost
 	pe.stats.RemoteWrites++
@@ -676,9 +694,9 @@ func (pe *peState) issueAt(addr int64) {
 			lat += pe.fault.LateDelay()
 		}
 		readyAt = pe.now + lat
-	} else if net := pe.eng.net; net != nil {
-		arrive, wait := net.RoundTrip(pe.id, owner, 1, pe.now, 0)
-		if wait > net.DropWaitCycles() {
+	} else if tr := pe.eng.tr; tr != nil {
+		arrive, wait := tr.RoundTrip(pe.id, owner, 1, pe.now, 0)
+		if wait > tr.DropWaitCycles() {
 			// Congestion timeout: the network held the prefetch longer than
 			// the hardware keeps the request alive, so it never completes.
 			// The consuming read will demote to a bypass fetch (§3.2).
@@ -714,7 +732,7 @@ func (pe *peState) vectorPrefetch(vp *cVP, lo, hi, step int64) {
 		pe.vpAddrs = append(pe.vpAddrs, pe.addrOf(vp.target))
 	}
 	pe.env[vp.varSlot], pe.bound[vp.varSlot] = oldV, oldB
-	cost, droppedLines := shmem.GetOverNet(pe.eng.mem, pe.cache, pe.eng.c.Machine, pe.eng.net, pe.id, pe.vpAddrs, pe.now, pe.shFaults, pe.shScratch)
+	cost, droppedLines := shmem.GetOverNet(pe.eng.mem, pe.cache, pe.eng.c.Machine, pe.eng.tr, pe.id, pe.vpAddrs, pe.now, pe.shFaults, pe.shScratch)
 	pe.now += cost
 	lw := pe.eng.c.Machine.LineWords
 	for _, a := range pe.vpAddrs {

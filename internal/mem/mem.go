@@ -87,6 +87,18 @@ func New(p *ir.Program, numPE int, totalWords int64) *Memory {
 	return m
 }
 
+// Reset zeroes every word and generation, returning the memory to its
+// just-built state without reallocating (engine reuse across runs). Must
+// be called from a single-goroutine section, like SetSerial.
+func (m *Memory) Reset() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+	for i := range m.gen {
+		m.gen[i] = 0
+	}
+}
+
 // ArrayNamed returns this memory's own record of the named array — the
 // compiled clone's copy, whose Base matches this memory's layout. Callers
 // comparing results across runs must resolve arrays through each run's

@@ -13,12 +13,15 @@
 // the link's idle gaps). Per-link occupancy, queueing waits and hop
 // distances are recorded for the observability reports.
 //
-// Determinism: the Network is NOT safe for concurrent use — the execution
-// engine runs the PEs of a parallel epoch in a fixed order when a network
-// is attached, so link bookings happen in one well-defined global order
-// and cycle counts are bit-identical across runs. The zero-value Config
-// (KindFlat) means "no modeled network": callers keep the machine model's
-// constant remote latencies and never construct a Network at all.
+// Determinism: the Network itself is NOT safe for concurrent use. Callers
+// either book from a single goroutine in canonical PE order (serial epochs,
+// race-detection runs, the sequential reference path) or go through a
+// Session (pdes.go), the windowed conservative-PDES front end that lets all
+// PEs of a parallel epoch run concurrently while committing reservations in
+// an order provably equivalent to the canonical sequential one — cycle
+// counts are bit-identical either way. The zero-value Config (KindFlat)
+// means "no modeled network": callers keep the machine model's constant
+// remote latencies and never construct a Network at all.
 package noc
 
 import (
@@ -329,6 +332,21 @@ func (n *Network) Route(src, dst int) []int32 {
 	return route
 }
 
+// Transport is the engine-facing interface of the interconnect: the calls
+// a PE needs to charge its remote traffic. Implemented by *Network (the
+// canonical single-goroutine booking order) and by *Session (the windowed
+// conservative-PDES front end, callable from concurrent PE goroutines) —
+// both produce identical results by construction (pdes.go).
+type Transport interface {
+	// Send transmits one fire-and-forget message (see Network.Send).
+	Send(src, dst int, payload, depart, hotExtra int64) (arrive, wait int64)
+	// RoundTrip models a blocking remote-read transfer (see
+	// Network.RoundTrip).
+	RoundTrip(src, dst int, replyWords, depart, hot int64) (arrive, wait int64)
+	// DropWaitCycles is the congestion-timeout bound for prefetch messages.
+	DropWaitCycles() int64
+}
+
 // Send transmits one message of payload words from src to dst, departing
 // at cycle depart, booking every link on the route. hotExtra > 0 models a
 // fault-injected hotspot at the message's injection link: the link is held
@@ -382,6 +400,37 @@ func (n *Network) Send(src, dst int, payload, depart, hotExtra int64) (arrive, w
 	return arrive, wait
 }
 
+// planSend computes the result Send would return right now — the arrival
+// cycle and total queueing wait — against the current link schedules,
+// without reserving anything. A dimension-order route never crosses the
+// same link twice, so the hop-by-hop plan is exactly the placement Send
+// would commit: planSend followed by an un-interleaved Send returns
+// identical values. Because first-fit placements never start before their
+// requested time and the head moves one HopCost per hop, every interval
+// the message would occupy ends at or before the returned arrival — the
+// bound the PDES commit rule (pdes.go) is built on.
+func (n *Network) planSend(src, dst int, payload, depart, hotExtra int64) (arrive, wait int64) {
+	if src == dst {
+		return depart, 0
+	}
+	route := n.Route(src, dst)
+	occBase := n.cfg.HopCost + payload*n.cfg.WordCost
+	t := depart
+	for k, id := range route {
+		occ := occBase
+		if k == 0 {
+			occ += hotExtra
+		}
+		start, _ := n.links[id].probe(t, occ)
+		wait += start - t
+		t = start + n.cfg.HopCost
+		if k == 0 {
+			t += hotExtra
+		}
+	}
+	return t + payload*n.cfg.WordCost, wait
+}
+
 // RoundTrip models a remote read-style transfer: a one-word request from
 // src to dst, the home node's fixed RemoteBaseCost, and a replyWords reply
 // back. hot injects a hotspot at the home node's reply link (see Send).
@@ -395,6 +444,19 @@ func (n *Network) RoundTrip(src, dst int, replyWords, depart, hot int64) (arrive
 // DropWaitCycles is the congestion-timeout bound for prefetch messages.
 func (n *Network) DropWaitCycles() int64 { return n.cfg.DropWaitCycles }
 
+// Reset returns the network to its just-built state: every link schedule
+// and all cumulative statistics cleared, no storage released. Engines
+// reuse one Network across runs through this.
+func (n *Network) Reset() {
+	for i := range n.links {
+		n.links[i] = linkState{ivals: n.links[i].ivals[:0]}
+	}
+	n.msgs, n.words, n.hops, n.waitCycles, n.contended, n.maxWait = 0, 0, 0, 0, 0, 0
+	for i := range n.hopHist {
+		n.hopHist[i] = 0
+	}
+}
+
 // EndEpoch clears every link's reservation schedule: epoch boundaries are
 // barriers, and the network drains before the next epoch starts.
 // Cumulative statistics survive.
@@ -406,20 +468,32 @@ func (n *Network) EndEpoch() {
 	}
 }
 
-// book reserves occ cycles on the link, first-fit into the schedule's idle
-// gaps at or after cycle at, and returns the reserved start time.
-func (l *linkState) book(at, occ int64) int64 {
+// probe computes the first-fit placement of occ cycles at or after cycle
+// at without reserving it: the start time and the index at which the
+// interval would be inserted. The placement depends only on the UNION of
+// the booked busy intervals in the scanned range (the list keeps intervals
+// disjoint, merging only touching neighbors), which is what makes
+// placements independent of the order equivalent schedules were built in.
+func (l *linkState) probe(at, occ int64) (s int64, i int) {
 	ivs := l.ivals
 	// Skip intervals that end at or before the requested time, then slide
 	// the start past every overlapping busy interval.
-	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].hi > at })
-	s := at
+	i = sort.Search(len(ivs), func(i int) bool { return ivs[i].hi > at })
+	s = at
 	for i < len(ivs) && ivs[i].lo < s+occ {
 		if ivs[i].hi > s {
 			s = ivs[i].hi
 		}
 		i++
 	}
+	return s, i
+}
+
+// book reserves occ cycles on the link, first-fit into the schedule's idle
+// gaps at or after cycle at, and returns the reserved start time.
+func (l *linkState) book(at, occ int64) int64 {
+	s, i := l.probe(at, occ)
+	ivs := l.ivals
 	lo, hi := s, s+occ
 	// Merge with touching neighbors to keep the schedule compact.
 	mergeL := i > 0 && ivs[i-1].hi == lo

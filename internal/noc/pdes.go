@@ -1,0 +1,264 @@
+// Windowed conservative parallel discrete-event simulation of the torus.
+//
+// The simulator's design center is bit-identical results: the canonical
+// link-booking order is PE-major — PE p's whole epoch is booked before PE
+// p+1's — because that is what the engine's original sequential torus loop
+// did, and the golden CSVs pin it. A Session lets all PEs of a parallel
+// epoch run CONCURRENTLY while still committing every reservation with the
+// exact placement the canonical order would have produced.
+//
+// The scheme is conservative PDES with the link traversal time as
+// lookahead, organized in time windows of that width. Each PE publishes a
+// monotone clock (its simulated time) as it executes; a transaction of PE p
+// whose planned reservation ends at cycle `end` may commit only once every
+// PE q < p has published a clock past the first window boundary after
+// `end`. Two facts make that sufficient for exact PE-major equivalence:
+//
+//  1. Placements are union-determined: linkState.probe's first-fit scan
+//     depends only on the union of busy intervals intersecting the scanned
+//     range, never on the order they were inserted or how they merged.
+//  2. Invisibility of out-of-order work: if B (on a lower PE) commits after
+//     A (on a higher PE), B's commit rule makes B depart after A's horizon,
+//     so B's intervals all start after every cycle A scanned, and A's
+//     intervals all end before every cycle B scans. Reordering the two
+//     commits therefore changes neither placement — which is exactly the
+//     difference between the concurrent commit order and the canonical
+//     PE-major order, applied transaction pair by transaction pair.
+//
+// Clocks only move forward (per-PE simulated time is monotone, and fault
+// skew is non-negative), a blocked PE has already published its depart time
+// before waiting, and finished PEs publish +infinity — so the lowest
+// still-running PE can always commit and the scheme cannot deadlock.
+// Per-transaction results being identical, every derived statistic
+// (per-link counters, hop histogram, wait totals and maxima, drop
+// decisions) is identical too: they are sums and maxima of identical
+// per-transaction values.
+package noc
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// TestCommitYield, when non-nil, is called at Session entry points to let
+// tests perturb goroutine scheduling (e.g. with runtime.Gosched) and prove
+// the committed schedules are interleaving-independent. Set it only while
+// no Session is in use.
+var TestCommitYield func()
+
+// Session is the windowed conservative-PDES front end to one Network for
+// one parallel epoch: PE goroutines call Send/RoundTrip concurrently, and
+// the Session serializes the bookings in an order provably equivalent to
+// booking PE 0's whole epoch, then PE 1's, and so on (the canonical order
+// of the sequential engine loop). A Session is reused across epochs via
+// Begin; the zero number of in-flight users between Begin calls is the
+// caller's responsibility (the engine's epoch barrier provides it).
+type Session struct {
+	net *Network
+	// window is the lookahead: the minimum time a message occupies a link
+	// (one hop of a one-word payload). Commit thresholds are quantized up
+	// to the next window boundary, which keeps them strictly above the
+	// reservation they guard.
+	window int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// clocks[p] is PE p's last published simulated time (MaxInt64 once the
+	// PE is done). Written only by PE p, read by committing PEs.
+	clocks []atomic.Int64
+	// waiting[p] is the clock threshold PE p's pending commit needs every
+	// lower PE to reach (MaxInt64 when p is not waiting). Guarded by mu.
+	waiting []int64
+	// waitLine caches min(waiting): publishers skip the mutex and the
+	// broadcast entirely while no waiter needs their new clock value. The
+	// store-waitLine-then-load-clocks (waiter) versus
+	// store-clock-then-load-waitLine (publisher) pattern is sequentially
+	// consistent under Go's atomics, so a publisher crossing a waiter's
+	// threshold cannot be missed by both sides.
+	waitLine atomic.Int64
+
+	// stalls counts commit waits (observability; guarded by mu).
+	stalls int64
+}
+
+// NewSession builds the PDES front end for net (which must be non-nil).
+func NewSession(net *Network) *Session {
+	s := &Session{
+		net:     net,
+		window:  net.cfg.HopCost + net.cfg.WordCost,
+		clocks:  make([]atomic.Int64, net.numPE),
+		waiting: make([]int64, net.numPE),
+	}
+	if s.window < 1 {
+		s.window = 1
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Window returns the lookahead width in cycles.
+func (s *Session) Window() int64 { return s.window }
+
+// Stalls returns the cumulative number of commit waits across epochs.
+func (s *Session) Stalls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalls
+}
+
+// Begin starts a parallel epoch: start[p] is PE p's clock at epoch entry
+// (missing entries default to 0, which is merely more conservative). Must
+// be called before the PE goroutines start, from a single goroutine.
+func (s *Session) Begin(start []int64) {
+	for p := range s.clocks {
+		v := int64(0)
+		if p < len(start) {
+			v = start[p]
+		}
+		s.clocks[p].Store(v)
+		s.waiting[p] = math.MaxInt64
+	}
+	s.waitLine.Store(math.MaxInt64)
+}
+
+// Publish records PE p's simulated time. Callable only from PE p's
+// goroutine; values below the last published one are ignored (clocks are
+// monotone). The engine publishes at every loop iteration and every
+// transaction entry, which is what keeps higher PEs' commits moving.
+func (s *Session) Publish(p int, now int64) {
+	if h := TestCommitYield; h != nil {
+		h()
+	}
+	c := &s.clocks[p]
+	if c.Load() >= now {
+		return
+	}
+	c.Store(now)
+	if now >= s.waitLine.Load() {
+		// Someone may be waiting for this clock value: take the lock so
+		// the broadcast cannot slip between a waiter's re-check and its
+		// cond.Wait, then wake everyone to re-check.
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// Done marks PE p finished for this epoch: its clock becomes +infinity so
+// no other PE ever waits on it again. Deferred by the engine so a
+// panicking PE cannot strand the others.
+func (s *Session) Done(p int) {
+	s.Publish(p, math.MaxInt64)
+}
+
+// Send implements Transport.Send with the canonical-order commit rule.
+func (s *Session) Send(src, dst int, payload, depart, hot int64) (arrive, wait int64) {
+	// Publishing the depart time FIRST keeps the blocked chain live: if
+	// this commit has to wait, higher PEs still see our current time. Only
+	// a TOP-LEVEL depart may be published: it equals the PE's current
+	// simulated time, which lower-bounds every future depart (asynchronous
+	// transactions — prefetches, multi-home gathers — issue later traffic
+	// at this same time, never earlier).
+	s.Publish(src, depart)
+	return s.sendAs(src, src, dst, payload, depart, hot)
+}
+
+// sendAs books one message from->to as a transaction of PE owner (the PE
+// whose position in the canonical PE-major order governs the commit —
+// always the ISSUING PE, even for a reply leg whose route runs home->src).
+// It publishes nothing: a reply leg's depart exceeds the PE's own clock
+// and would wrongly license earlier-departing future transactions.
+func (s *Session) sendAs(owner, from, to int, payload, depart, hot int64) (arrive, wait int64) {
+	if from == to {
+		return depart, 0 // no links involved; same as Network.Send
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		arrive, wait = s.net.planSend(from, to, payload, depart, hot)
+		if s.safeLocked(owner, arrive) {
+			// Plan and apply run under one lock hold, so the placement the
+			// plan saw is the placement Send commits.
+			return s.net.Send(from, to, payload, depart, hot)
+		}
+		s.await(owner, s.horizon(arrive))
+	}
+}
+
+// RoundTrip implements Transport.RoundTrip: the two legs commit as two
+// consecutive transactions of the issuing PE (src owns both — in the
+// canonical order Network.RoundTrip books both legs during src's turn),
+// mirroring Network.RoundTrip's two Sends. Committing them separately is
+// safe for the same pairwise-invisibility reason as any two transactions:
+// anything another PE books between the legs is invisible to leg 2's scan
+// range and vice versa.
+func (s *Session) RoundTrip(src, dst int, replyWords, depart, hot int64) (arrive, wait int64) {
+	s.Publish(src, depart)
+	t1, w1 := s.sendAs(src, src, dst, 1, depart, 0)
+	t2, w2 := s.sendAs(src, dst, src, replyWords, t1+s.net.cfg.RemoteBaseCost, hot)
+	return t2, w1 + w2
+}
+
+// DropWaitCycles implements Transport.
+func (s *Session) DropWaitCycles() int64 { return s.net.cfg.DropWaitCycles }
+
+// horizon quantizes a reservation end up to the next window boundary: the
+// clock threshold lower PEs must pass before a reservation ending at `end`
+// may commit. Always strictly greater than end, so a lower PE at the
+// threshold can only issue traffic departing after the guarded
+// reservation — traffic whose placements the reservation's scan never saw
+// and whose scans never see the reservation.
+func (s *Session) horizon(end int64) int64 {
+	return (end/s.window + 1) * s.window
+}
+
+// safeLocked reports whether every PE below src has published a clock past
+// the horizon of a reservation ending at `end`. Finished PEs are at
+// +infinity; PE 0 is vacuously always safe.
+func (s *Session) safeLocked(src int, end int64) bool {
+	threshold := s.horizon(end)
+	for q := 0; q < src; q++ {
+		if s.clocks[q].Load() < threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// await blocks (mu held) until every PE below src reaches threshold. It
+// registers the threshold before re-checking the clocks, pairing with
+// Publish's store-clock-then-load-waitLine order.
+func (s *Session) await(src int, threshold int64) {
+	s.waiting[src] = threshold
+	s.refreshWaitLine()
+	s.stalls++
+	for {
+		reached := true
+		for q := 0; q < src; q++ {
+			if s.clocks[q].Load() < threshold {
+				reached = false
+				break
+			}
+		}
+		if reached {
+			break
+		}
+		s.cond.Wait()
+	}
+	s.waiting[src] = math.MaxInt64
+	s.refreshWaitLine()
+}
+
+// refreshWaitLine recomputes the published minimum waiting threshold.
+// Callers hold mu.
+func (s *Session) refreshWaitLine() {
+	line := int64(math.MaxInt64)
+	for _, w := range s.waiting {
+		if w < line {
+			line = w
+		}
+	}
+	s.waitLine.Store(line)
+}

@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// The process-wide worker budget. Every component that fans work out over
+// goroutines — the sweep drivers' ForEach and the engine's flat parallel
+// epochs — draws extra-worker tokens from one shared pool sized by
+// GOMAXPROCS, so nested parallelism (an engine's per-PE fan-out inside a
+// `-jobs N` sweep worker) degrades to fewer workers instead of
+// oversubscribing the machine. The caller's own goroutine is never
+// counted: a grant of zero extra workers means "run inline", which is
+// always correct because every budgeted fan-out is output-equivalent at
+// any worker count. The torus PDES path does not draw tokens — its per-PE
+// goroutines spend most of their time blocked on commit ordering and the
+// Go scheduler multiplexes them onto whatever threads are free.
+var inUse atomic.Int64
+
+// AcquireWorkers grants up to n extra-worker tokens without blocking; the
+// grant may be 0. Tokens must be returned with ReleaseWorkers.
+func AcquireWorkers(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	limit := int64(runtime.GOMAXPROCS(0) - 1)
+	for {
+		cur := inUse.Load()
+		avail := limit - cur
+		if avail <= 0 {
+			return 0
+		}
+		grant := int64(n)
+		if grant > avail {
+			grant = avail
+		}
+		if inUse.CompareAndSwap(cur, cur+grant) {
+			return int(grant)
+		}
+	}
+}
+
+// ReleaseWorkers returns tokens granted by AcquireWorkers.
+func ReleaseWorkers(n int) {
+	if n > 0 {
+		inUse.Add(-int64(n))
+	}
+}

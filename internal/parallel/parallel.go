@@ -16,6 +16,11 @@ import (
 // means runtime.GOMAXPROCS(0). With one job everything runs inline on the
 // caller's goroutine — the two paths are output-equivalent by
 // construction. ForEach returns once every item is done and emitted.
+//
+// Workers beyond the first are drawn from the shared process-wide budget
+// (budget.go): when engines or other sweeps already occupy the machine,
+// ForEach runs with fewer workers — down to fully inline — with
+// byte-identical output either way.
 func ForEach(n, jobs int, f func(i int), emit func(i int)) {
 	if n <= 0 {
 		return
@@ -26,15 +31,28 @@ func ForEach(n, jobs int, f func(i int), emit func(i int)) {
 	if jobs > n {
 		jobs = n
 	}
-	if jobs == 1 {
+	inline := func() {
 		for i := 0; i < n; i++ {
 			f(i)
 			if emit != nil {
 				emit(i)
 			}
 		}
+	}
+	if jobs == 1 {
+		inline()
 		return
 	}
+	granted := AcquireWorkers(jobs)
+	if granted <= 1 {
+		// One worker plus the emitter is no better than inline; give the
+		// token back and stay on the caller's goroutine.
+		ReleaseWorkers(granted)
+		inline()
+		return
+	}
+	defer ReleaseWorkers(granted)
+	jobs = granted
 
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)

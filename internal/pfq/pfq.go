@@ -38,6 +38,13 @@ func New(capacity int) *Queue {
 	return &Queue{cap: capacity, entries: make([]Entry, 0, capacity)}
 }
 
+// Reset empties the queue and zeroes the counters, returning it to its
+// just-built state without reallocating (engine reuse across runs).
+func (q *Queue) Reset() {
+	q.entries = q.entries[:0]
+	q.Issued, q.Dropped, q.Consumed, q.Flushed = 0, 0, 0, 0
+}
+
 // Cap returns the queue capacity.
 func (q *Queue) Cap() int { return q.cap }
 
