@@ -1,0 +1,51 @@
+package expr
+
+import "testing"
+
+// fuzzAffine builds two affine forms over the variables {i, j} from raw
+// fuzzer integers. Coefficients are used as given — identities below are
+// stated modulo int64 wraparound, which Add/Sub/Scale share with Eval.
+func fuzzAffine(k, ci, cj int64) Affine {
+	return New(k, Term{Var: "i", Coef: ci}, Term{Var: "j", Coef: cj})
+}
+
+// FuzzAffine checks algebraic identities the compiler's dependence and
+// section analyses lean on, for arbitrary coefficient values.
+func FuzzAffine(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(-1), int64(7), int64(0), int64(3), int64(4), int64(-2))
+	f.Add(int64(1)<<62, int64(-1)<<62, int64(5), int64(5), int64(5), int64(5), int64(9), int64(9))
+	f.Fuzz(func(t *testing.T, ka, ia, ja, kb, ib, jb, vi, vj int64) {
+		a := fuzzAffine(ka, ia, ja)
+		b := fuzzAffine(kb, ib, jb)
+
+		if !a.Sub(a).IsZero() {
+			t.Fatalf("a - a != 0 for %s", a)
+		}
+		if !a.Add(b).Equal(b.Add(a)) {
+			t.Fatalf("addition not commutative: %s vs %s", a.Add(b), b.Add(a))
+		}
+		if !a.Neg().Neg().Equal(a) {
+			t.Fatalf("double negation changed %s to %s", a, a.Neg().Neg())
+		}
+		if !a.Add(b).Sub(b).Equal(a) {
+			t.Fatalf("(a+b)-b != a: %s", a.Add(b).Sub(b))
+		}
+
+		env := map[string]int64{"i": vi, "j": vj}
+		ea := a.MustEval(env)
+		eb := b.MustEval(env)
+		if got := a.Add(b).MustEval(env); got != ea+eb {
+			t.Fatalf("Eval not additive: %d != %d + %d", got, ea, eb)
+		}
+		if got := a.AddConst(kb).MustEval(env); got != ea+kb {
+			t.Fatalf("AddConst broke Eval: %d != %d + %d", got, ea, kb)
+		}
+
+		// Substituting j := b into a then evaluating equals evaluating a
+		// with j bound to b's value.
+		subst := a.Subst("j", b)
+		if got := subst.MustEval(env); got != a.MustEval(map[string]int64{"i": vi, "j": eb}) {
+			t.Fatalf("Subst/Eval disagree for %s [j := %s]", a, b)
+		}
+	})
+}

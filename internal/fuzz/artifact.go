@@ -1,0 +1,97 @@
+package fuzz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/parse"
+)
+
+// Artifacts are deterministic text files: a fixed-order header naming the
+// generator seed, exact run configuration, mutation, referee and replay
+// command, then the minimized program in ir.Format form (the printer is
+// byte-deterministic and parse.Program round-trips it, so the artifact IS
+// the repro — no generator state needed). Two identical findings always
+// serialize to identical bytes, which the determinism tests assert.
+
+const artifactHeader = "ccdpfuzz finding v1"
+const programMarker = "-- program --"
+
+// FormatFinding renders a finding as a replayable artifact.
+func FormatFinding(f *Finding) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", artifactHeader)
+	fmt.Fprintf(&b, "seed: %d\n", f.Seed)
+	fmt.Fprintf(&b, "config: %s\n", f.Config)
+	fmt.Fprintf(&b, "mutation: %s\n", f.Mutation)
+	fmt.Fprintf(&b, "referee: %s\n", f.Referee)
+	fmt.Fprintf(&b, "detail: %s\n", f.Detail)
+	fmt.Fprintf(&b, "shrink-steps: %d\n", f.ShrinkSteps)
+	fmt.Fprintf(&b, "replay: go run ./cmd/ccdpfuzz -replay <this file>\n")
+	fmt.Fprintf(&b, "%s\n", programMarker)
+	b.WriteString(ir.Format(f.Program))
+	return b.String()
+}
+
+// ArtifactName is the deterministic file name of a finding. It embeds the
+// run configuration so one seed flagged under several configurations never
+// collides on disk.
+func ArtifactName(f *Finding) string {
+	return fmt.Sprintf("s%06d-%s-p%d-%s-%s-%s.repro",
+		f.Seed, strings.ToLower(f.Config.Mode.String()), f.Config.PEs,
+		f.Config.Topology, f.Mutation, f.Referee)
+}
+
+// ParseFinding reads an artifact back into a Finding.
+func ParseFinding(data string) (*Finding, error) {
+	head, progText, found := strings.Cut(data, programMarker+"\n")
+	if !found {
+		return nil, fmt.Errorf("fuzz: artifact has no %q section", programMarker)
+	}
+	f := &Finding{}
+	lines := strings.Split(head, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != artifactHeader {
+		return nil, fmt.Errorf("fuzz: artifact does not start with %q", artifactHeader)
+	}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("fuzz: bad artifact line %q", line)
+		}
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			f.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "config":
+			f.Config, err = ParseRunConfig(val)
+		case "mutation":
+			f.Mutation, err = ParseMutation(val)
+		case "referee":
+			f.Referee, err = ParseReferee(val)
+		case "detail":
+			f.Detail = val
+		case "shrink-steps":
+			f.ShrinkSteps, err = strconv.Atoi(val)
+		case "replay":
+			// informational
+		default:
+			err = fmt.Errorf("fuzz: unknown artifact key %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	prog, err := parse.Program(progText)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: artifact program: %w", err)
+	}
+	f.Program = prog
+	return f, nil
+}

@@ -1,0 +1,114 @@
+package fuzz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/noc"
+)
+
+// RunConfig is one point of the differential matrix: a mode, a PE count, a
+// topology and a fault plan. Its String form round-trips through
+// ParseRunConfig, so repro artifacts can record the exact configuration.
+type RunConfig struct {
+	Mode     core.Mode
+	PEs      int
+	Topology noc.Config
+	Fault    fault.Plan
+}
+
+// String renders the config as space-separated key=value tokens.
+func (rc RunConfig) String() string {
+	s := fmt.Sprintf("mode=%s pes=%d topo=%s", rc.Mode, rc.PEs, rc.Topology)
+	if rc.Fault.Enabled() {
+		s += fmt.Sprintf(" frate=%g fkinds=%s fseed=%d",
+			rc.Fault.Rate, fault.FormatKinds(rc.Fault.Kinds), rc.Fault.Seed)
+	}
+	return s
+}
+
+// ParseMode reads a core.Mode in its String form.
+func ParseMode(s string) (core.Mode, error) {
+	for _, m := range []core.Mode{core.ModeSeq, core.ModeBase, core.ModeCCDP, core.ModeIncoherent} {
+		if strings.EqualFold(s, m.String()) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("fuzz: unknown mode %q", s)
+}
+
+// ParseRunConfig reads a RunConfig in String form.
+func ParseRunConfig(s string) (RunConfig, error) {
+	rc := RunConfig{}
+	for _, tok := range strings.Fields(s) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return rc, fmt.Errorf("fuzz: bad config token %q", tok)
+		}
+		var err error
+		switch key {
+		case "mode":
+			rc.Mode, err = ParseMode(val)
+		case "pes":
+			rc.PEs, err = strconv.Atoi(val)
+		case "topo":
+			rc.Topology, err = noc.Parse(val)
+		case "frate":
+			rc.Fault.Rate, err = strconv.ParseFloat(val, 64)
+		case "fkinds":
+			rc.Fault.Kinds, err = fault.ParseKinds(val)
+		case "fseed":
+			rc.Fault.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = fmt.Errorf("fuzz: unknown config key %q", key)
+		}
+		if err != nil {
+			return rc, err
+		}
+	}
+	if rc.PEs < 1 {
+		return rc, fmt.Errorf("fuzz: config %q needs pes >= 1", s)
+	}
+	return rc, nil
+}
+
+// DefaultMatrix is the full differential matrix a campaign runs each
+// program through: {BASE, CCDP} × {flat, torus} × {fault-free, faulted} at
+// an uneven (3) and an even (8) PE count. Fault-free runs are the oracle's
+// hunting ground — a stale cached word is consumed and flagged. Faulted
+// runs exercise the §3.2 degraded paths, where lost or late prefetches may
+// cost cycles but must never corrupt results, so any divergence from the
+// sequential golden arrays is a genuine finding.
+func DefaultMatrix(faultSeed int64) []RunConfig {
+	plans := []fault.Plan{
+		{},
+		{Seed: faultSeed, Rate: 0.02, Kinds: fault.AllKinds()},
+	}
+	var out []RunConfig
+	for _, mode := range []core.Mode{core.ModeBase, core.ModeCCDP} {
+		for _, topo := range []noc.Config{{}, {Kind: noc.KindTorus}} {
+			for _, pes := range []int{3, 8} {
+				for _, plan := range plans {
+					out = append(out, RunConfig{Mode: mode, PEs: pes, Topology: topo, Fault: plan})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CoherenceMatrix is the fault-free CCDP slice of the default matrix — the
+// configurations where a coherence bug must surface as an oracle violation.
+// The mutation tests use it to bound their search.
+func CoherenceMatrix() []RunConfig {
+	var out []RunConfig
+	for _, topo := range []noc.Config{{}, {Kind: noc.KindTorus}} {
+		for _, pes := range []int{3, 8} {
+			out = append(out, RunConfig{Mode: core.ModeCCDP, PEs: pes, Topology: topo})
+		}
+	}
+	return out
+}

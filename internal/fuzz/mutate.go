@@ -1,0 +1,80 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stale"
+)
+
+// Mutation is a deliberate sabotage of a compiled program, applied after
+// compilation and before execution. Mutations exist to prove the campaign's
+// referees are not vacuous: with a safety mechanism knocked out, the
+// campaign must flag a finding within a bounded number of programs. A
+// mutated finding is an expected-positive test artifact, never a bug.
+type Mutation int
+
+const (
+	// MutNone runs the compiled program exactly as produced.
+	MutNone Mutation = iota
+	// MutNoInvalidate empties every epoch-boundary invalidation set of a
+	// CCDP compilation. Invalidation is the scheme's sole safety mechanism
+	// (prefetch and bypass marks are performance-only), so fault-free CCDP
+	// runs must then consume stale cached lines and trip the coherence
+	// oracle.
+	MutNoInvalidate
+	// MutNoSchedMarks clears the Stale/Bypass/Prefetched flags the
+	// scheduler set on every reference, without touching statements (RefIDs
+	// stay stable). The compiled-program invariant referee must then report
+	// the disagreement between the program's flags and the stale analysis.
+	MutNoSchedMarks
+)
+
+func (m Mutation) String() string {
+	switch m {
+	case MutNone:
+		return "none"
+	case MutNoInvalidate:
+		return "no-invalidate"
+	case MutNoSchedMarks:
+		return "no-sched-marks"
+	default:
+		return fmt.Sprintf("Mutation(%d)", int(m))
+	}
+}
+
+// ParseMutation reads a Mutation in String form.
+func ParseMutation(s string) (Mutation, error) {
+	for _, m := range []Mutation{MutNone, MutNoInvalidate, MutNoSchedMarks} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return MutNone, fmt.Errorf("fuzz: unknown mutation %q (want none, no-invalidate or no-sched-marks)", s)
+}
+
+// Sabotage applies m to a compiled program in place. It is a no-op for
+// MutNone and for compilations the mutation does not apply to (mutations
+// target the CCDP analysis artifacts, absent in other modes).
+func Sabotage(c *core.Compiled, m Mutation) {
+	switch m {
+	case MutNoInvalidate:
+		if c.Stale == nil {
+			return
+		}
+		for n := range c.Stale.Invalidate {
+			for p := range c.Stale.Invalidate[n] {
+				c.Stale.Invalidate[n][p] = stale.ArraySections{}
+			}
+		}
+	case MutNoSchedMarks:
+		if c.Sched == nil {
+			return
+		}
+		for _, r := range c.Prog.Refs() {
+			r.Stale = false
+			r.Bypass = false
+			r.Prefetched = false
+		}
+	}
+}

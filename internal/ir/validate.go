@@ -27,6 +27,11 @@ func Validate(p *Program) error {
 		if a.Shared && a.Dist == DistBlock && a.Rank() == 0 {
 			return fmt.Errorf("array %s: distributed array needs at least one dimension", a.Name)
 		}
+		for d, ext := range a.Dims {
+			if ext < 1 {
+				return fmt.Errorf("array %s: dimension %d has non-positive extent %d", a.Name, d, ext)
+			}
+		}
 	}
 	// Call-graph acyclicity.
 	state := map[string]int{} // 0 unvisited, 1 in-progress, 2 done

@@ -1,0 +1,41 @@
+package parse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progen"
+)
+
+// FuzzProgram asserts the parser's two contracts on arbitrary input:
+// it never panics (malformed source yields an error), and any source it
+// does accept round-trips — Format(parse(s)) reparses to the same bytes,
+// so artifacts and goldens are stable.
+func FuzzProgram(f *testing.F) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := progen.Generate(rand.New(rand.NewSource(seed)), progen.DefaultConfig())
+		f.Add(ir.Format(p))
+	}
+	f.Add("program x\nroutine main\nend\n")
+	f.Add("program x\n  real A(8)  ! shared, dist=block\nroutine main\n  A(0) = 1\nend\n")
+	f.Add("program x\nroutine main\n  do i = 1, 4\n  enddo\nend\n")
+	f.Add("program x\nroutine main\n  if (s < 1) then\n  endif\nend\n")
+	f.Add(strings.Repeat("(", 4096))
+	f.Add("real real real ! @attr")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Program(src)
+		if err != nil {
+			return
+		}
+		text := ir.Format(p)
+		p2, err := Program(text)
+		if err != nil {
+			t.Fatalf("accepted program does not reparse: %v\n%s", err, text)
+		}
+		if got := ir.Format(p2); got != text {
+			t.Fatalf("format not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, got)
+		}
+	})
+}

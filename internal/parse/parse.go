@@ -57,6 +57,21 @@ type parser struct {
 	errLine int
 	prog    *ir.Program
 	arrays  map[string]*ir.Array
+	depth   int
+}
+
+// maxNest bounds combined statement/expression nesting. Real programs stay
+// in the single digits; the bound exists so adversarial input (e.g. a
+// megabyte of "(") is rejected with an error instead of overflowing the
+// goroutine stack, which no recover can catch.
+const maxNest = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNest {
+		return fmt.Errorf("nesting deeper than %d", maxNest)
+	}
+	return nil
 }
 
 // tokenize splits the source into tokens, dropping "!"-comments except the
@@ -285,6 +300,10 @@ func (p *parser) stmts(stop map[string]bool) ([]ir.Stmt, error) {
 }
 
 func (p *parser) stmt() (ir.Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	switch t := p.peek(); t {
 	case "do", "doall[static]", "doall[dynamic]":
 		return p.loop()
@@ -467,6 +486,10 @@ func (p *parser) ref() (*ir.Ref, error) {
 // expression parses a value expression in the printer's fully-parenthesized
 // form.
 func (p *parser) expression() (ir.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { p.depth-- }()
 	switch t := p.peek(); {
 	case t == "(":
 		p.next()

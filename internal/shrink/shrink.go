@@ -1,0 +1,67 @@
+// Package shrink is a delta-debugging minimizer over ir.Program: given a
+// program that exhibits a failure (as judged by a caller-supplied
+// predicate), it searches for a smaller program that still exhibits it.
+//
+// The search is greedy descent to a fixpoint: Reductions enumerates every
+// single-step simplification of the current program in a deterministic
+// order, the first candidate that is still structurally valid (ir.Validate)
+// and still fails (predicate) becomes the new current program, and
+// minimization stops when no candidate survives. The result is 1-minimal by
+// construction — no single reduction of the output both validates and
+// fails — which is exactly what the shrinker tests assert.
+//
+// Candidates are always fresh deep clones; the input program is never
+// mutated, so predicates are free to compile and execute candidates.
+package shrink
+
+import (
+	"repro/internal/ir"
+)
+
+// Predicate reports whether a candidate program still exhibits the failure
+// being minimized. It must be deterministic: minimization re-evaluates it
+// once per accepted or rejected candidate.
+type Predicate func(p *ir.Program) bool
+
+// Result is the outcome of one minimization.
+type Result struct {
+	// Program is the minimized program (finalized). When no reduction was
+	// accepted it is a clone of the input.
+	Program *ir.Program
+	// Steps counts accepted reductions.
+	Steps int
+	// Tried counts candidate programs evaluated (valid ones only).
+	Tried int
+}
+
+// maxSteps bounds accepted reductions; generated programs are small, so
+// this is a runaway guard, not a practical limit.
+const maxSteps = 10000
+
+// Minimize shrinks p while keep holds. The input must itself satisfy keep;
+// Minimize does not re-check it.
+func Minimize(p *ir.Program, keep Predicate) *Result {
+	cur := ir.CloneProgram(p)
+	cur.Finalize()
+	res := &Result{}
+	for res.Steps < maxSteps {
+		accepted := false
+		for _, cand := range Reductions(cur) {
+			if ir.Validate(cand) != nil {
+				continue
+			}
+			res.Tried++
+			if keep(cand) {
+				cur = cand
+				res.Steps++
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	res.Program = cur
+	return res
+}

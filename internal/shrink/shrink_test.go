@@ -1,0 +1,137 @@
+package shrink
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progen"
+)
+
+// hasDynamicDoall is a cheap structural predicate for exercising the
+// minimizer without executing programs.
+func hasDynamicDoall(p *ir.Program) bool {
+	found := false
+	for _, rt := range p.Routines {
+		ir.WalkStmts(rt.Body, func(s ir.Stmt) bool {
+			if l, ok := s.(*ir.Loop); ok && l.Parallel && l.Sched == ir.SchedDynamic {
+				found = true
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// writesTwoArrays holds when at least two distinct arrays are written.
+func writesTwoArrays(p *ir.Program) bool {
+	written := map[string]bool{}
+	for _, rt := range p.Routines {
+		ir.WalkRefs(rt.Body, func(r *ir.Ref, isWrite bool) {
+			if isWrite && r.Array != nil {
+				written[r.Array.Name] = true
+			}
+		})
+	}
+	return len(written) >= 2
+}
+
+func seedPrograms(t *testing.T, pred Predicate) []*ir.Program {
+	t.Helper()
+	var out []*ir.Program
+	for seed := int64(0); seed < 40 && len(out) < 6; seed++ {
+		p := progen.Generate(rand.New(rand.NewSource(seed)), progen.DefaultConfig())
+		if pred(p) {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no generated program satisfies the predicate")
+	}
+	return out
+}
+
+// Minimized programs are 1-minimal: no single further reduction is both
+// structurally valid and still failing — and they always pass ir.Validate.
+func TestMinimizeMinimalAndValid(t *testing.T) {
+	for _, pred := range []Predicate{hasDynamicDoall, writesTwoArrays} {
+		for _, p := range seedPrograms(t, pred) {
+			res := Minimize(p, pred)
+			m := res.Program
+			if err := ir.Validate(m); err != nil {
+				t.Fatalf("minimized program invalid: %v\n%s", err, ir.Format(m))
+			}
+			if !pred(m) {
+				t.Fatalf("minimized program no longer fails the predicate\n%s", ir.Format(m))
+			}
+			for i, cand := range Reductions(m) {
+				if ir.Validate(cand) == nil && pred(cand) {
+					t.Fatalf("reduction %d of the minimized program still fails the predicate:\nminimized:\n%s\nreduction:\n%s",
+						i, ir.Format(m), ir.Format(cand))
+				}
+			}
+		}
+	}
+}
+
+// The minimizer never mutates its input program.
+func TestMinimizeLeavesInputIntact(t *testing.T) {
+	p := progen.Generate(rand.New(rand.NewSource(3)), progen.DefaultConfig())
+	before := ir.Format(p)
+	Minimize(p, writesTwoArrays)
+	if got := ir.Format(p); got != before {
+		t.Fatalf("input program changed during minimization:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+}
+
+// Same input and predicate produce byte-identical minimized programs.
+func TestMinimizeDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := progen.Generate(rand.New(rand.NewSource(seed)), progen.DefaultConfig())
+		pred := writesTwoArrays
+		if !pred(p) {
+			continue
+		}
+		a := Minimize(p, pred)
+		b := Minimize(p, pred)
+		if ir.Format(a.Program) != ir.Format(b.Program) || a.Steps != b.Steps {
+			t.Fatalf("seed %d: minimization not deterministic (%d vs %d steps)", seed, a.Steps, b.Steps)
+		}
+	}
+}
+
+// Inlining single-iteration loops substitutes the loop variable, so bodies
+// that use the variable still reduce.
+func TestSingleIterationLoopInlines(t *testing.T) {
+	b := ir.NewBuilder("inline-test")
+	a := b.SharedArray("A", 16)
+	c := b.SharedArray("B", 16)
+	b.Routine("main",
+		ir.DoSerial("v", ir.K(2), ir.K(2),
+			ir.Set(ir.At(a, ir.I("v")), ir.L(ir.At(c, ir.I("v").AddConst(-1))))))
+	p := b.Build()
+
+	// Predicate: some reference reads B (keeps the assignment alive).
+	pred := func(q *ir.Program) bool {
+		reads := false
+		for _, rt := range q.Routines {
+			ir.WalkRefs(rt.Body, func(r *ir.Ref, isWrite bool) {
+				if !isWrite && r.Array != nil && r.Array.Name == "B" {
+					reads = true
+				}
+			})
+		}
+		return reads
+	}
+	res := Minimize(p, pred)
+	loops := 0
+	ir.WalkStmts(res.Program.MainRoutine().Body, func(s ir.Stmt) bool {
+		if _, ok := s.(*ir.Loop); ok {
+			loops++
+		}
+		return true
+	})
+	if loops != 0 {
+		t.Fatalf("single-iteration loop not inlined:\n%s", ir.Format(res.Program))
+	}
+}
