@@ -12,6 +12,7 @@
 //
 //	ccdpbench [-table 1|2|all] [-apps MXM,VPENTA,TOMCATV,SWIM] [-pes 1,2,4,...]
 //	          [-scale small|paper] [-topology flat|torus|XxYxZ] [-jobs N]
+//	          [-arena] [-arena-pes 8] [-hw-prefetch next-line|stride]
 //	          [-ablation vpg|mbp|nonstale] [-details]
 //	          [-fault-rate 0.01] [-fault-kinds all] [-fault-seed 1]
 //	          [-faultsweep] [-fault-rates 0.001,0.01,0.05] [-fault-trials 3]
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/workloads"
@@ -40,6 +42,8 @@ func main() {
 	scale := flag.String("scale", "paper", "problem scale: small or paper")
 	details := flag.Bool("details", false, "print per-configuration details")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	arena := flag.Bool("arena", false, "run the coherence arena instead: every mode (software and hardware directory) on one machine size")
+	arenaPEs := flag.Int("arena-pes", 8, "machine size for -arena")
 	ablation := flag.String("ablation", "", "run an ablation instead: vpg, mbp or nonstale")
 	sweep := flag.String("sweep", "", "run an architectural parameter sweep instead: remote, cache, queue or line")
 	jobs := flag.Int("jobs", 0, "concurrent sweep points (0 = GOMAXPROCS); output is identical at any setting")
@@ -47,6 +51,7 @@ func main() {
 	faultRates := flag.String("fault-rates", "0.001,0.01,0.05", "fault rates for -faultsweep")
 	faultTrials := flag.Int("fault-trials", 3, "trials (distinct seeds) per rate for -faultsweep")
 	tf := driver.RegisterTopology(flag.CommandLine)
+	hf := driver.RegisterHW(flag.CommandLine)
 	ff := driver.RegisterFault(flag.CommandLine)
 	pf := driver.RegisterProf(flag.CommandLine)
 	flag.Parse()
@@ -76,6 +81,24 @@ func main() {
 			driver.Fatal(tool, err)
 		}
 		if err := runFaultSweep(os.Stdout, specs, peCounts, topo, *ff.Kinds, *faultRates, *faultTrials, *ff.Seed, *jobs); err != nil {
+			driver.Fatal(tool, err)
+		}
+		return
+	}
+	if *arena {
+		specs, err := driver.Apps(*apps, *scale)
+		if err != nil {
+			driver.Fatal(tool, err)
+		}
+		acfg := harness.ArenaConfig{PEs: *arenaPEs, Topology: topo, HWPrefetcher: *hf.Prefetcher,
+			Tune: func(mp *machine.Params) {
+				// Directory shape only; the prefetcher is already routed to
+				// the HW modes by ArenaConfig.HWPrefetcher.
+				mp.DirPointers = *hf.Pointers
+				mp.DirSparseLines = *hf.SparseLines
+				mp.DirSparseWays = *hf.SparseWays
+			}}
+		if err := runArenas(os.Stdout, specs, acfg, *jobs, *csv); err != nil {
 			driver.Fatal(tool, err)
 		}
 		return
@@ -115,6 +138,33 @@ func main() {
 		fmt.Println(report.Table1(results))
 		fmt.Println(report.Table2(results))
 	}
+}
+
+// runArenas runs the coherence arena for every application on the worker
+// pool, emitting tables (or CSV) in application order.
+func runArenas(w io.Writer, specs []*workloads.Spec, cfg harness.ArenaConfig, jobs int, csv bool) error {
+	results := make([]*harness.ArenaResult, len(specs))
+	errs := make([]error, len(specs))
+	parallel.ForEach(len(specs), jobs,
+		func(i int) {
+			s := specs[i]
+			fmt.Fprintf(os.Stderr, "arena %s (%s)...\n", s.Name, s.Description)
+			results[i], errs[i] = harness.RunArena(s, cfg)
+		},
+		func(i int) {
+			if !csv && errs[i] == nil {
+				fmt.Fprintln(w, report.Arena(results[i]))
+			}
+		})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if csv {
+		fmt.Fprint(w, report.ArenaCSV(results))
+	}
+	return nil
 }
 
 // runApps sweeps every application on the worker pool. Per-app detail

@@ -1,15 +1,16 @@
 // Command ccdpfuzz runs differential fuzzing campaigns over randomly
 // generated epoch programs: every program is executed across the
-// BASE/CCDP × flat/torus × fault-plan matrix and refereed by the coherence
-// oracle, the compiled-program invariant checker, and divergence from the
-// sequential golden arrays. Findings are auto-minimized (internal/shrink)
+// BASE/CCDP × flat/torus × fault-plan matrix — plus the three hardware
+// directory modes fault-free — and refereed by the coherence oracle, the
+// compiled-program invariant checker, and divergence from the sequential
+// golden arrays. Findings are auto-minimized (internal/shrink)
 // and written as deterministic, replayable .repro artifacts.
 //
 // Usage:
 //
 //	ccdpfuzz [-seed 0] [-n 0] [-budget 30s] [-jobs 0] [-out DIR]
-//	         [-mutate none|no-invalidate|no-sched-marks] [-shrink]
-//	         [-max-findings 0]
+//	         [-mutate none|no-invalidate|no-sched-marks|no-dir-invalidate]
+//	         [-shrink] [-max-findings 0]
 //	         [-arrays 5] [-epochs 5] [-offset 3] [-timesteps 3]
 //	ccdpfuzz -replay FILE...
 //
@@ -47,7 +48,7 @@ func main() {
 	budget := flag.Duration("budget", 0, "wall-clock budget (0 = bounded by -n)")
 	jobs := flag.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "directory to write finding artifacts into")
-	mutate := flag.String("mutate", "none", "sabotage compiled programs: none, no-invalidate or no-sched-marks")
+	mutate := flag.String("mutate", "none", "sabotage compiled programs: none, no-invalidate, no-sched-marks or no-dir-invalidate")
 	matrix := flag.String("matrix", "", "run configurations, ';'-separated (e.g. \"mode=CCDP pes=8 topo=torus\"); empty = full default matrix")
 	shrinkFlag := flag.Bool("shrink", true, "minimize findings before recording them")
 	maxFindings := flag.Int("max-findings", 0, "stop after this many findings (0 = no cap)")

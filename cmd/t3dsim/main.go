@@ -5,8 +5,14 @@
 //
 //	t3dsim -app TOMCATV -mode ccdp -pes 16 [-scale small|paper] [-races] [-verify]
 //	       [-topology flat|torus|XxYxZ]
+//	       [-hw-prefetch next-line|stride] [-dir-pointers i]
+//	       [-dir-sparse-lines n] [-dir-sparse-ways w]
 //	       [-fault-rate 0.01] [-fault-kinds drop,late,spike,evict,skew] [-fault-seed 1]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// The mode list (including the hardware directory modes hwdir, hwdir-lp
+// and hwdir-sparse) comes from the core mode registry; the -hw-* flags
+// only matter under a hwdir mode.
 package main
 
 import (
@@ -24,11 +30,12 @@ const tool = "t3dsim"
 
 func main() {
 	app := flag.String("app", "MXM", "workload: MXM, VPENTA, TOMCATV or SWIM")
-	mode := flag.String("mode", "ccdp", "execution mode: seq, base, ccdp or incoherent")
+	mode := flag.String("mode", "ccdp", driver.ModeUsage())
 	scale := flag.String("scale", "small", "problem scale: small or paper")
 	races := flag.Bool("races", false, "enable the epoch-model race detector (slow)")
 	verify := flag.Bool("verify", false, "also run sequentially and compare results")
 	mf := driver.RegisterMachine(flag.CommandLine, 8)
+	hf := driver.RegisterHW(flag.CommandLine)
 	ff := driver.RegisterFault(flag.CommandLine)
 	pf := driver.RegisterProf(flag.CommandLine)
 	flag.Parse()
@@ -55,6 +62,7 @@ func main() {
 	if err != nil {
 		driver.Fatal(tool, err)
 	}
+	hf.Apply(&mp)
 
 	c, err := core.Compile(spec.Prog, m, mp)
 	if err != nil {

@@ -14,6 +14,11 @@ type Line struct {
 	Vals    []float64
 	Gens    []uint32
 	ReadyAt int64 // cycle at which the fill completes (0 = ready)
+	// State is the line's coherence-protocol state byte, owned by the
+	// protocol engine (internal/coherence's MESI states in the HW modes;
+	// always 0 elsewhere — the cache itself never interprets it beyond
+	// zeroing on install).
+	State uint8
 }
 
 // Cache is a direct-mapped write-through cache.
@@ -53,6 +58,7 @@ func (c *Cache) Reset() {
 	for i := range c.lines {
 		c.lines[i].Tag = -1
 		c.lines[i].ReadyAt = 0
+		c.lines[i].State = 0
 	}
 	c.Hits, c.Misses, c.Evictions, c.Installs, c.InvalidatedLines = 0, 0, 0, 0, 0
 }
@@ -103,8 +109,57 @@ func (c *Cache) Install(addr int64, vals []float64, gens []uint32, readyAt int64
 	copy(l.Vals, vals)
 	copy(l.Gens, gens)
 	l.ReadyAt = readyAt
+	l.State = 0
 	c.Installs++
 	return evicted
+}
+
+// State returns the coherence state byte of the line containing addr, or
+// 0 when the line is not present.
+func (c *Cache) State(addr int64) uint8 {
+	la := c.lineAddr(addr)
+	l := &c.lines[c.slot(la)]
+	if l.Tag != la {
+		return 0
+	}
+	return l.State
+}
+
+// SetState sets the coherence state byte of the line containing addr,
+// reporting whether the line was present.
+func (c *Cache) SetState(addr int64, st uint8) bool {
+	la := c.lineAddr(addr)
+	l := &c.lines[c.slot(la)]
+	if l.Tag != la {
+		return false
+	}
+	l.State = st
+	return true
+}
+
+// Victim returns the valid line that installing addr's line would evict
+// (its tag and state byte), if any — the protocol engine checks it for a
+// dirty state needing writeback before the Install overwrites it.
+func (c *Cache) Victim(addr int64) (tag int64, state uint8, ok bool) {
+	la := c.lineAddr(addr)
+	l := &c.lines[c.slot(la)]
+	if l.Tag < 0 || l.Tag == la {
+		return 0, 0, false
+	}
+	return l.Tag, l.State, true
+}
+
+// InvalidateLine drops exactly the line with line-start address la if
+// present, returning whether it did — the O(1) targeted drop the
+// directory's invalidations use (InvalidateRange scans the whole cache).
+func (c *Cache) InvalidateLine(la int64) bool {
+	l := &c.lines[c.slot(la)]
+	if l.Tag != la {
+		return false
+	}
+	l.Tag = -1
+	c.InvalidatedLines++
+	return true
 }
 
 // UpdateWord updates a cached word in place (write-through keeps the cached

@@ -1,0 +1,195 @@
+// Package coherence implements the directory-based hardware cache
+// coherence engine the CCDP scheme is evaluated against. The paper's
+// argument is comparative: compiler-directed coherence needs no directory
+// storage and sends no coherence messages, where a hardware scheme pays
+// both. This package supplies the hardware side of that comparison — a
+// MESI line-state machine and a home-node directory in the three classic
+// organizations the literature prices out:
+//
+//   - full-map: one presence bit per PE per line (Censier & Feautrier).
+//     Precise, storage grows as N per line.
+//   - limited-pointer Dir_i_B: i PE pointers per line; when an (i+1)-th
+//     sharer arrives the entry overflows and sets its broadcast bit, so a
+//     later write must invalidate every PE.
+//   - sparse: a small set-associative directory cache per home node.
+//     Storage is bounded, but allocating an entry may evict another
+//     line's entry, which forces invalidation of that line's sharers
+//     (eviction-induced invalidation).
+//
+// The execution engine (internal/exec) consults the directory on every
+// fill, upgrade and write miss, books the resulting protocol messages on
+// the interconnect, and applies the returned invalidations to the victim
+// caches. This package itself is purely the bookkeeping: deterministic,
+// allocation-free in steady state, and single-threaded by design (HW-mode
+// epochs execute PEs sequentially, since a store on one PE may mutate
+// another PE's cache).
+package coherence
+
+import "fmt"
+
+// Org selects the directory organization.
+type Org int
+
+const (
+	OrgFullMap Org = iota
+	OrgLimited
+	OrgSparse
+)
+
+func (o Org) String() string {
+	switch o {
+	case OrgFullMap:
+		return "full-map"
+	case OrgLimited:
+		return "limited-pointer"
+	case OrgSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Org(%d)", int(o))
+	}
+}
+
+// LineState is the MESI state of one cached line. Invalid is the zero
+// value, so a just-built cache line (state byte 0) is Invalid.
+type LineState uint8
+
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", int(s))
+	}
+}
+
+// Event is one protocol stimulus applied to a cached line.
+type Event uint8
+
+const (
+	// EvFillShared installs the line after a read miss when other sharers
+	// exist (directory grants S).
+	EvFillShared Event = iota
+	// EvFillExclusive installs the line after a read miss when the
+	// requester is the only holder (directory grants E).
+	EvFillExclusive
+	// EvLoad is a processor load that hits the line.
+	EvLoad
+	// EvStore is a processor store that hits the line: S upgrades through
+	// the directory, E upgrades silently, M stays M.
+	EvStore
+	// EvInv is a directory invalidation (another PE wrote the line, or the
+	// line's sparse-directory entry was evicted).
+	EvInv
+	// EvDowngrade is a directory recall: another PE read-missed a line this
+	// PE holds exclusively, so M/E demote to S (M writes back first).
+	EvDowngrade
+	// EvEvict is a conflict eviction by the PE's own cache.
+	EvEvict
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvFillShared:
+		return "fill-S"
+	case EvFillExclusive:
+		return "fill-E"
+	case EvLoad:
+		return "load"
+	case EvStore:
+		return "store"
+	case EvInv:
+		return "inv"
+	case EvDowngrade:
+		return "downgrade"
+	case EvEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// Next returns the successor state of a cached line under an event. An
+// illegal pair — filling a line that is already valid, loading or storing
+// through an Invalid line, downgrading a line not held exclusively — is a
+// protocol engine bug and panics. EvInv on an Invalid line is legal and a
+// no-op: caches drop S/E lines silently on conflict evictions, so the
+// directory's sharer sets are supersets and its invalidations may find
+// nothing.
+func Next(s LineState, e Event) LineState {
+	switch e {
+	case EvFillShared:
+		if s == Invalid {
+			return Shared
+		}
+	case EvFillExclusive:
+		if s == Invalid {
+			return Exclusive
+		}
+	case EvLoad:
+		if s != Invalid {
+			return s
+		}
+	case EvStore:
+		switch s {
+		case Shared, Exclusive, Modified:
+			return Modified
+		}
+	case EvInv:
+		return Invalid
+	case EvDowngrade:
+		switch s {
+		case Exclusive, Modified:
+			return Shared
+		}
+	case EvEvict:
+		if s != Invalid {
+			return Invalid
+		}
+	}
+	panic(fmt.Sprintf("coherence: illegal transition %v on %v", e, s))
+}
+
+// Config sizes a Directory. The zero value takes the defaults below,
+// mirroring noc.Config's pattern: engines pass machine tunables through
+// without validating them first.
+type Config struct {
+	Org Org
+	// Pointers is the limited-pointer entry width i of Dir_i_B. The
+	// default 1 makes the overflow→broadcast path live on any line with
+	// two sharers (boundary lines of block-distributed stencils).
+	Pointers int
+	// SparseLines is the number of directory-cache entries per home node.
+	SparseLines int64
+	// SparseWays is the sparse directory's set associativity.
+	SparseWays int
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Pointers <= 0 {
+		c.Pointers = 1
+	}
+	if c.SparseLines <= 0 {
+		c.SparseLines = 128
+	}
+	if c.SparseWays <= 0 {
+		c.SparseWays = 4
+	}
+	if c.SparseWays > int(c.SparseLines) {
+		c.SparseWays = int(c.SparseLines)
+	}
+	return c
+}

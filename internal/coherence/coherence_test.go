@@ -1,0 +1,91 @@
+package coherence
+
+import "testing"
+
+// TestNextTransitionTable drives every state × event pair through Next and
+// checks the full MESI transition table: legal pairs produce exactly the
+// expected successor, illegal pairs panic.
+func TestNextTransitionTable(t *testing.T) {
+	const illegal = LineState(0xff)
+	table := map[LineState]map[Event]LineState{
+		Invalid: {
+			EvFillShared:    Shared,
+			EvFillExclusive: Exclusive,
+			EvLoad:          illegal,
+			EvStore:         illegal,
+			EvInv:           Invalid, // superset invalidation finds nothing: no-op
+			EvDowngrade:     illegal,
+			EvEvict:         illegal,
+		},
+		Shared: {
+			EvFillShared:    illegal,
+			EvFillExclusive: illegal,
+			EvLoad:          Shared,
+			EvStore:         Modified, // upgrade through the directory
+			EvInv:           Invalid,
+			EvDowngrade:     illegal, // S holders are never recalled
+			EvEvict:         Invalid,
+		},
+		Exclusive: {
+			EvFillShared:    illegal,
+			EvFillExclusive: illegal,
+			EvLoad:          Exclusive,
+			EvStore:         Modified, // silent upgrade: E's whole point
+			EvInv:           Invalid,
+			EvDowngrade:     Shared,
+			EvEvict:         Invalid,
+		},
+		Modified: {
+			EvFillShared:    illegal,
+			EvFillExclusive: illegal,
+			EvLoad:          Modified,
+			EvStore:         Modified,
+			EvInv:           Invalid,
+			EvDowngrade:     Shared, // with writeback, which the engine books
+			EvEvict:         Invalid,
+		},
+	}
+	states := []LineState{Invalid, Shared, Exclusive, Modified}
+	events := []Event{EvFillShared, EvFillExclusive, EvLoad, EvStore, EvInv, EvDowngrade, EvEvict}
+	for _, s := range states {
+		for _, e := range events {
+			want, ok := table[s][e]
+			if !ok {
+				t.Fatalf("transition table missing %v × %v", s, e)
+			}
+			got, panicked := tryNext(s, e)
+			if want == illegal {
+				if !panicked {
+					t.Errorf("Next(%v, %v) = %v, want panic", s, e, got)
+				}
+				continue
+			}
+			if panicked {
+				t.Errorf("Next(%v, %v) panicked, want %v", s, e, want)
+			} else if got != want {
+				t.Errorf("Next(%v, %v) = %v, want %v", s, e, got, want)
+			}
+		}
+	}
+}
+
+func tryNext(s LineState, e Event) (out LineState, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return Next(s, e), false
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Pointers != 1 || c.SparseLines != 128 || c.SparseWays != 4 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	// Associativity can never exceed the entry count.
+	c = Config{SparseLines: 2, SparseWays: 8}.WithDefaults()
+	if c.SparseWays != 2 {
+		t.Fatalf("ways not clamped: %+v", c)
+	}
+}

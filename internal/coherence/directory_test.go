@@ -1,0 +1,280 @@
+package coherence
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func sharers(d *Directory, line int64, home int) []int {
+	return d.Sharers(line, home, nil)
+}
+
+// TestFullMapProtocolFlow walks one line through the canonical sequence:
+// exclusive fill, downgrade on a second reader, upgrade invalidation, and
+// a write miss clearing the set.
+func TestFullMapProtocolFlow(t *testing.T) {
+	d := NewDirectory(Config{Org: OrgFullMap}, 8, 64)
+
+	r := d.Read(5, 0, 2)
+	if !r.Excl || r.Recall != -1 {
+		t.Fatalf("first read: %+v, want exclusive grant, no recall", r)
+	}
+	r = d.Read(5, 0, 6)
+	if r.Excl {
+		t.Fatalf("second read got exclusive: %+v", r)
+	}
+	if r.Recall != 2 {
+		t.Fatalf("second read recall = %d, want 2", r.Recall)
+	}
+	if got := sharers(d, 5, 0); !reflect.DeepEqual(got, []int{2, 6}) {
+		t.Fatalf("sharers = %v, want [2 6]", got)
+	}
+
+	// PE 6 writes: PE 2 must be invalidated; writer holds its copy.
+	w := d.Write(5, 0, 6, true)
+	if !reflect.DeepEqual(w.Sharers, []int{2}) || w.Broadcast {
+		t.Fatalf("upgrade: %+v, want invalidate [2]", w)
+	}
+	if got := sharers(d, 5, 0); !reflect.DeepEqual(got, []int{6}) {
+		t.Fatalf("after upgrade sharers = %v, want [6]", got)
+	}
+
+	// A third PE reads: the Modified owner is recalled.
+	r = d.Read(5, 0, 0)
+	if r.Recall != 6 || r.Excl {
+		t.Fatalf("read after write: %+v, want recall of 6", r)
+	}
+
+	// Write miss (no-write-allocate): everyone is invalidated, line ends
+	// uncached, and the next reader gets an exclusive grant again.
+	w = d.Write(5, 0, 3, false)
+	if !reflect.DeepEqual(w.Sharers, []int{0, 6}) {
+		t.Fatalf("write miss: %+v, want invalidate [0 6]", w)
+	}
+	if got := sharers(d, 5, 0); len(got) != 0 {
+		t.Fatalf("after write miss sharers = %v, want none", got)
+	}
+	if r = d.Read(5, 0, 1); !r.Excl {
+		t.Fatalf("read of uncached line not exclusive: %+v", r)
+	}
+}
+
+// TestLimitedPointerOverflowBroadcast pins Dir_i_B's defining behavior:
+// while sharers fit the i pointers, invalidations are precise; the
+// (i+1)-th sharer overflows the entry, and the next write must broadcast
+// to every other PE.
+func TestLimitedPointerOverflowBroadcast(t *testing.T) {
+	const numPE = 8
+	d := NewDirectory(Config{Org: OrgLimited, Pointers: 2}, numPE, 16)
+
+	d.Read(3, 0, 1)
+	d.Read(3, 0, 4)
+	// Two sharers fit two pointers: a write invalidates precisely.
+	w := d.Write(3, 0, 1, true)
+	if w.Broadcast || !reflect.DeepEqual(w.Sharers, []int{4}) {
+		t.Fatalf("precise write: %+v, want [4], no broadcast", w)
+	}
+
+	// Refill to two sharers, then a third overflows the entry.
+	d.Read(3, 0, 4)
+	d.Read(3, 0, 7)
+	if got := sharers(d, 3, 0); !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("overflowed sharers = %v, want all PEs", got)
+	}
+	w = d.Write(3, 0, 4, true)
+	if !w.Broadcast {
+		t.Fatalf("post-overflow write did not broadcast: %+v", w)
+	}
+	want := []int{0, 1, 2, 3, 5, 6, 7} // everyone but the writer
+	if !reflect.DeepEqual(w.Sharers, want) {
+		t.Fatalf("broadcast targets = %v, want %v", w.Sharers, want)
+	}
+	// The write resets the entry: the writer is a precise pointer again.
+	w = d.Write(3, 0, 4, true)
+	if w.Broadcast || len(w.Sharers) != 0 {
+		t.Fatalf("entry not reset after broadcast: %+v", w)
+	}
+}
+
+// TestLimitedPointerSingleDefault checks that with the default single
+// pointer (Dir_1_B) the second sharer already triggers overflow — the
+// configuration the HW-dir-LP mode runs.
+func TestLimitedPointerSingleDefault(t *testing.T) {
+	d := NewDirectory(Config{Org: OrgLimited}, 4, 8)
+	d.Read(0, 0, 0)
+	w := d.Write(0, 0, 0, true)
+	if w.Broadcast || len(w.Sharers) != 0 {
+		t.Fatalf("sole sharer write: %+v", w)
+	}
+	d.Read(0, 0, 1)
+	w = d.Write(0, 0, 1, true)
+	if !w.Broadcast {
+		t.Fatalf("two sharers on one pointer should broadcast: %+v", w)
+	}
+}
+
+// TestSparseEvictionInvalidation fills one sparse set beyond its
+// associativity and checks the LRU entry is evicted with its sharers
+// reported for invalidation.
+func TestSparseEvictionInvalidation(t *testing.T) {
+	// 4 entries, 2 ways → 2 sets per home. Lines with the same (home,
+	// line % 2) collide.
+	d := NewDirectory(Config{Org: OrgSparse, SparseLines: 4, SparseWays: 2}, 4, 64)
+
+	d.Read(0, 0, 1) // set 0, way A
+	d.Read(2, 0, 2) // set 0, way B
+	d.Read(2, 0, 3)
+	r := d.Read(4, 0, 0) // set 0 full → evicts LRU entry (line 0)
+	if r.EvictedLine != 0 {
+		t.Fatalf("evicted line = %d, want 0", r.EvictedLine)
+	}
+	if !reflect.DeepEqual(r.EvictedSharers, []int{1}) {
+		t.Fatalf("evicted sharers = %v, want [1]", r.EvictedSharers)
+	}
+	if d.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", d.Evictions)
+	}
+	// Line 2's entry survived (it was more recently used).
+	if got := sharers(d, 2, 0); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("surviving entry sharers = %v, want [2 3]", got)
+	}
+	// The evicted line is gone: a write to it finds no sharers.
+	if w := d.Write(0, 0, 2, false); len(w.Sharers) != 0 {
+		t.Fatalf("write to evicted line found sharers: %+v", w)
+	}
+}
+
+// TestSparseWriteReleasesEntry: a write miss leaves the line uncached, so
+// its entry must be freed (capacity back for other lines).
+func TestSparseWriteReleasesEntry(t *testing.T) {
+	d := NewDirectory(Config{Org: OrgSparse, SparseLines: 2, SparseWays: 1}, 2, 8)
+	d.Read(0, 0, 1)
+	d.Write(0, 0, 0, false) // invalidates PE 1, frees the entry
+	r := d.Read(2, 0, 1)    // same set: must not evict anything
+	if r.EvictedLine != -1 || d.Evictions != 0 {
+		t.Fatalf("freed entry was not reused: %+v evictions=%d", r, d.Evictions)
+	}
+}
+
+// TestSparseDirectoryInvariant is the property test: under a random
+// protocol-respecting workload, any line a model cache still holds has a
+// live directory entry whose sharer set contains the holder (the directory
+// tracks supersets — silent clean drops never remove bits, and entry
+// evictions always invalidate). Run with -race in CI.
+func TestSparseDirectoryInvariant(t *testing.T) {
+	const (
+		numPE    = 6
+		numLines = 96
+		steps    = 4000
+	)
+	rng := rand.New(rand.NewSource(7))
+	d := NewDirectory(Config{Org: OrgSparse, SparseLines: 8, SparseWays: 2}, numPE, numLines)
+	home := func(line int64) int { return int(line) % numPE }
+
+	// holds[pe][line] mirrors what each model cache holds.
+	holds := make([][]bool, numPE)
+	for p := range holds {
+		holds[p] = make([]bool, numLines)
+	}
+	drop := func(line int64, pes []int) {
+		for _, p := range pes {
+			holds[p][line] = false
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		line := int64(rng.Intn(numLines))
+		pe := rng.Intn(numPE)
+		switch rng.Intn(3) {
+		case 0: // read
+			if !holds[pe][line] {
+				r := d.Read(line, home(line), pe)
+				if r.EvictedLine >= 0 {
+					drop(r.EvictedLine, r.EvictedSharers)
+				}
+				holds[pe][line] = true
+			}
+		case 1: // write
+			w := d.Write(line, home(line), pe, holds[pe][line])
+			drop(line, w.Sharers)
+		case 2: // silent clean drop by the cache
+			holds[pe][line] = false
+		}
+
+		// Invariant: every held line's sharer set contains the holder.
+		for p := 0; p < numPE; p++ {
+			for l := int64(0); l < numLines; l++ {
+				if !holds[p][l] {
+					continue
+				}
+				found := false
+				for _, q := range sharers(d, l, home(l)) {
+					if q == p {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("step %d: PE %d holds line %d but directory lost it", step, p, l)
+				}
+			}
+		}
+	}
+	if d.Evictions == 0 {
+		t.Fatal("property run never evicted a sparse entry — workload too small to mean anything")
+	}
+}
+
+// TestStorageBitsDistinct pins the storage-cost model on a realistic
+// shape (64 PEs, 4K lines): the three organizations must report distinct,
+// nonzero costs (the arena's acceptance criterion), the per-line
+// limited-pointer entry must undercut full-map's N presence bits, and the
+// exact formulas are checked so the reported bits stay auditable.
+func TestStorageBitsDistinct(t *testing.T) {
+	const numPE, numLines = 64, 4096
+	fm := NewDirectory(Config{Org: OrgFullMap}, numPE, numLines).StorageBits()
+	lp := NewDirectory(Config{Org: OrgLimited}, numPE, numLines).StorageBits()
+	sp := NewDirectory(Config{Org: OrgSparse}, numPE, numLines).StorageBits()
+	if fm == 0 || lp == 0 || sp == 0 {
+		t.Fatalf("zero storage cost: fm=%d lp=%d sp=%d", fm, lp, sp)
+	}
+	if fm == lp || lp == sp || fm == sp {
+		t.Fatalf("storage costs not distinct: fm=%d lp=%d sp=%d", fm, lp, sp)
+	}
+	if fm <= lp {
+		t.Fatalf("limited-pointer must undercut full-map: fm=%d lp=%d", fm, lp)
+	}
+	// Full-map: 4096 × (64 + 2).
+	if want := int64(numLines * (numPE + 2)); fm != want {
+		t.Fatalf("full-map bits = %d, want %d", fm, want)
+	}
+	// Dir_1_B: 4096 × (1×6 + 1 + 2).
+	if want := int64(numLines * (6 + 1 + 2)); lp != want {
+		t.Fatalf("limited bits = %d, want %d", lp, want)
+	}
+	// Sparse: 64 homes × 128 entries × (12-bit tag + 64 + 2).
+	if want := int64(numPE * 128 * (12 + numPE + 2)); sp != want {
+		t.Fatalf("sparse bits = %d, want %d", sp, want)
+	}
+}
+
+// TestDirectoryReset: a reset directory behaves like a fresh one.
+func TestDirectoryReset(t *testing.T) {
+	for _, org := range []Org{OrgFullMap, OrgLimited, OrgSparse} {
+		d := NewDirectory(Config{Org: org, SparseLines: 2, SparseWays: 1}, 4, 16)
+		d.Read(1, 1, 0)
+		d.Read(1, 1, 2)
+		d.Read(3, 3, 1)
+		d.Reset()
+		for line := int64(0); line < 16; line++ {
+			if got := sharers(d, line, home4(line)); len(got) != 0 {
+				t.Fatalf("%v: line %d has sharers %v after Reset", org, line, got)
+			}
+		}
+		if r := d.Read(1, 1, 3); !r.Excl {
+			t.Fatalf("%v: first read after Reset not exclusive: %+v", org, r)
+		}
+	}
+}
+
+func home4(line int64) int { return int(line) % 4 }

@@ -1,0 +1,181 @@
+// Package prefetch is the pluggable runtime-prefetcher registry of the
+// hardware coherence arena. Where CCDP's prefetches are compiler-placed,
+// a hardware directory machine typically pairs its caches with a runtime
+// prefetch engine that watches the demand stream; the arena's HW modes
+// can enable one (-hw-prefetch) so the comparison covers HW-dir and
+// HW-dir+prefetch points.
+//
+// Prefetchers implement one interface — observe a demand access, suggest
+// line-aligned addresses to fetch — and register themselves by name, so
+// new designs drop in without touching the engine. The two built-ins are
+// the classic pair every evaluation starts from:
+//
+//   - next-line: on a demand miss to line L, fetch L+1.
+//   - stride: a PC-indexed table tracks per-instruction strides and
+//     fetches ahead once a stride repeats (confidence ≥ 2). The compiled
+//     reference site's RefID is the PC analog.
+//
+// Prefetchers are per-PE (private state, like the hardware) and must be
+// deterministic: the engine calls them from the sequential HW-mode epoch
+// loop, and the same demand stream must produce the same suggestions.
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prefetcher watches one PE's demand-access stream and suggests prefetch
+// candidates.
+type Prefetcher interface {
+	// Name returns the registry name the prefetcher was built under.
+	Name() string
+	// Observe is called on every demand access: pc identifies the access
+	// site, addr is the word address, miss reports whether the access
+	// missed the cache. It appends suggested line-aligned addresses to out
+	// and returns it (the engine bounds how many it actually issues).
+	Observe(pc int64, addr int64, miss bool, out []int64) []int64
+	// Reset returns the prefetcher to its just-built state (engine reuse
+	// across runs).
+	Reset()
+}
+
+// Factory builds a prefetcher for a cache geometry.
+type Factory func(lineWords int64) Prefetcher
+
+var registry = map[string]Factory{}
+
+// Register installs a prefetcher factory under a name. Registering a
+// duplicate name panics — it is a wiring bug, not a runtime condition.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("prefetch: duplicate prefetcher %q", name))
+	}
+	registry[name] = f
+}
+
+// New builds the named prefetcher. Unknown names report the valid set,
+// like the driver's mode and app lookups.
+func New(name string, lineWords int64) (Prefetcher, error) {
+	f, ok := registry[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil, fmt.Errorf("prefetch: unknown prefetcher %q: valid prefetchers are %s",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(lineWords), nil
+}
+
+// Names returns the registered prefetcher names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("next-line", func(lineWords int64) Prefetcher {
+		return &nextLine{lineWords: lineWords}
+	})
+	Register("stride", func(lineWords int64) Prefetcher {
+		return &stride{lineWords: lineWords, table: make([]strideEntry, strideTableSize)}
+	})
+}
+
+// --- next-line ---------------------------------------------------------------
+
+// nextLine fetches the sequentially next cache line on every demand miss.
+type nextLine struct {
+	lineWords int64
+}
+
+func (p *nextLine) Name() string { return "next-line" }
+func (p *nextLine) Reset()       {}
+
+func (p *nextLine) Observe(pc int64, addr int64, miss bool, out []int64) []int64 {
+	if !miss {
+		return out
+	}
+	la := addr - addr%p.lineWords
+	return append(out, la+p.lineWords)
+}
+
+// --- stride ------------------------------------------------------------------
+
+// strideTableSize is the PC-indexed table's entry count (power of two).
+const strideTableSize = 256
+
+// strideConfidence is the repeat count a stride needs before prefetches
+// issue for it.
+const strideConfidence = 2
+
+// strideDegree is how many strides ahead one observation suggests.
+const strideDegree = 2
+
+type strideEntry struct {
+	pc     int64
+	last   int64 // last address this PC accessed
+	stride int64
+	conf   int8
+	live   bool
+}
+
+// stride is the classic PC-indexed stride prefetcher: per access site,
+// learn the address delta between consecutive accesses; once it repeats,
+// fetch the lines the next strides will touch.
+type stride struct {
+	lineWords int64
+	table     []strideEntry
+}
+
+func (p *stride) Name() string { return "stride" }
+
+func (p *stride) Reset() {
+	for i := range p.table {
+		p.table[i] = strideEntry{}
+	}
+}
+
+func (p *stride) Observe(pc int64, addr int64, miss bool, out []int64) []int64 {
+	e := &p.table[uint64(pc)%strideTableSize]
+	if !e.live || e.pc != pc {
+		// Cold or conflicting entry: (re)allocate. PC conflicts evict —
+		// the table is direct-mapped like the hardware it models.
+		*e = strideEntry{pc: pc, last: addr, live: true}
+		return out
+	}
+	d := addr - e.last
+	e.last = addr
+	if d == 0 {
+		return out
+	}
+	if d == e.stride {
+		if e.conf < strideConfidence {
+			e.conf++
+		}
+	} else {
+		e.stride = d
+		e.conf = 0
+		return out
+	}
+	if e.conf < strideConfidence {
+		return out
+	}
+	// Confident: suggest the lines the next strideDegree strides land in.
+	prev := addr - addr%p.lineWords
+	for k := int64(1); k <= strideDegree; k++ {
+		la := addr + k*e.stride
+		if la < 0 {
+			break
+		}
+		la -= la % p.lineWords
+		if la != prev {
+			out = append(out, la)
+			prev = la
+		}
+	}
+	return out
+}

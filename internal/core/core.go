@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/coherence"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/noc"
@@ -47,21 +48,91 @@ const (
 	ModeBase
 	ModeCCDP
 	ModeIncoherent
+	// The hardware coherence arena (internal/coherence): shared data is
+	// cached like INCOHERENT, but a home-node directory keeps every copy
+	// coherent, and the protocol's messages and storage are charged. The
+	// three modes differ only in directory organization.
+	ModeHWDir       // full-map bit-vector MESI directory
+	ModeHWDirLP     // limited-pointer Dir_i_B (broadcast on overflow)
+	ModeHWDirSparse // sparse set-associative directory cache
 )
 
-func (m Mode) String() string {
-	switch m {
-	case ModeSeq:
-		return "SEQ"
-	case ModeBase:
-		return "BASE"
-	case ModeCCDP:
-		return "CCDP"
-	case ModeIncoherent:
-		return "INCOHERENT"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
+// ModeSpec describes one execution mode for the drivers: the canonical
+// lowercase CLI name, a usage blurb, and whether the mode runs the
+// hardware directory. This registry is the single source of truth the
+// -mode flags, error messages and arena table rows derive from — adding a
+// mode here is all it takes for every CLI to list it.
+type ModeSpec struct {
+	Mode Mode
+	Name string
+	Desc string
+	HW   bool
+}
+
+var modeSpecs = []ModeSpec{
+	{ModeSeq, "seq", "sequential baseline (1 PE)", false},
+	{ModeBase, "base", "CRAFT shared data not cached", false},
+	{ModeCCDP, "ccdp", "compiler-directed coherence via prefetching", false},
+	{ModeIncoherent, "incoherent", "cached shared data, no coherence (broken)", false},
+	{ModeHWDir, "hwdir", "hardware full-map directory MESI", true},
+	{ModeHWDirLP, "hwdir-lp", "hardware limited-pointer directory (Dir_i_B)", true},
+	{ModeHWDirSparse, "hwdir-sparse", "hardware sparse directory cache", true},
+}
+
+// ModeSpecs returns the mode registry in Mode order. The slice is shared;
+// callers must not mutate it.
+func ModeSpecs() []ModeSpec { return modeSpecs }
+
+// ModeNames returns every mode's canonical CLI name, in Mode order.
+func ModeNames() []string {
+	names := make([]string, len(modeSpecs))
+	for i, s := range modeSpecs {
+		names[i] = s.Name
 	}
+	return names
+}
+
+// ParseMode resolves a mode name (case-insensitively, CLI or String form).
+// Unknown names report the valid set.
+func ParseMode(s string) (Mode, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	for _, spec := range modeSpecs {
+		if name == spec.Name {
+			return spec.Mode, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q: valid modes are %s", s, strings.Join(ModeNames(), ", "))
+}
+
+// Valid reports whether m is a registered mode.
+func (m Mode) Valid() bool {
+	return m >= ModeSeq && int(m) < len(modeSpecs)
+}
+
+// IsHW reports whether m runs the hardware coherence directory.
+func (m Mode) IsHW() bool {
+	return m.Valid() && modeSpecs[m].HW
+}
+
+// DirOrg returns the directory organization of a hardware mode.
+func (m Mode) DirOrg() coherence.Org {
+	switch m {
+	case ModeHWDir:
+		return coherence.OrgFullMap
+	case ModeHWDirLP:
+		return coherence.OrgLimited
+	case ModeHWDirSparse:
+		return coherence.OrgSparse
+	default:
+		panic(fmt.Sprintf("core: DirOrg on non-HW mode %v", m))
+	}
+}
+
+func (m Mode) String() string {
+	if m.Valid() {
+		return strings.ToUpper(modeSpecs[m].Name)
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
 // Compiled is a program lowered for one mode and machine configuration.
@@ -111,7 +182,7 @@ func Compile(src *ir.Program, mode Mode, mp machine.Params) (*Compiled, error) {
 
 // CompileOpt is Compile with pipeline instrumentation options.
 func CompileOpt(src *ir.Program, mode Mode, mp machine.Params, opts Options) (*Compiled, error) {
-	if mode < ModeSeq || mode > ModeIncoherent {
+	if !mode.Valid() {
 		return nil, fmt.Errorf("core: unknown mode %v", mode)
 	}
 	if mode == ModeSeq {

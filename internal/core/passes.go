@@ -33,8 +33,9 @@ const (
 //	CCDP:       + stale-analysis → select-candidates → target-analysis →
 //	              prefetch-sched → remap-ids → validate
 //
-// SEQ and INCOHERENT insert no transformation passes: plain cached
-// execution.
+// SEQ, INCOHERENT and the HWDIR modes insert no transformation passes:
+// plain cached execution (coherence, where it exists, is the hardware
+// directory's job at run time, not the compiler's).
 func pipeline(mode Mode) []pass.Pass {
 	ps := []pass.Pass{clonePass(), layoutPass()}
 	switch mode {

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/coherence/prefetch"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
@@ -78,21 +79,45 @@ func Apps(list, scale string) ([]*workloads.Spec, error) {
 	return out, nil
 }
 
-// ParseMode parses an execution-mode name. An unknown name is an error
-// that lists the valid modes.
+// ParseMode parses an execution-mode name against the core mode registry.
+// An unknown name is an error that lists the valid modes.
 func ParseMode(s string) (core.Mode, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "seq":
-		return core.ModeSeq, nil
-	case "base":
-		return core.ModeBase, nil
-	case "ccdp":
-		return core.ModeCCDP, nil
-	case "incoherent":
-		return core.ModeIncoherent, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q: valid modes are seq, base, ccdp, incoherent", s)
+	return core.ParseMode(s)
+}
+
+// ModeUsage renders the -mode flag's usage string from the mode registry,
+// so every tool's help text lists exactly the registered modes.
+func ModeUsage() string {
+	return "execution mode: " + strings.Join(core.ModeNames(), ", ")
+}
+
+// HWFlags is the hardware-coherence-arena flag group (-hw-prefetch,
+// -dir-pointers, -dir-sparse-lines, -dir-sparse-ways), orthogonal to
+// -mode: the values only matter when a HWDIR mode runs.
+type HWFlags struct {
+	Prefetcher  *string
+	Pointers    *int
+	SparseLines *int
+	SparseWays  *int
+}
+
+// RegisterHW installs the hardware-coherence flags on fs.
+func RegisterHW(fs *flag.FlagSet) *HWFlags {
+	return &HWFlags{
+		Prefetcher: fs.String("hw-prefetch", "",
+			"runtime prefetcher for the hwdir modes: "+strings.Join(prefetch.Names(), ", ")+" (empty = none)"),
+		Pointers:    fs.Int("dir-pointers", machine.DefaultParams.DirPointers, "limited-pointer directory width (Dir_i_B)"),
+		SparseLines: fs.Int("dir-sparse-lines", machine.DefaultParams.DirSparseLines, "sparse directory entries per home node"),
+		SparseWays:  fs.Int("dir-sparse-ways", machine.DefaultParams.DirSparseWays, "sparse directory set associativity"),
 	}
+}
+
+// Apply writes the flag values into a machine configuration.
+func (h *HWFlags) Apply(mp *machine.Params) {
+	mp.HWPrefetcher = *h.Prefetcher
+	mp.DirPointers = *h.Pointers
+	mp.DirSparseLines = *h.SparseLines
+	mp.DirSparseWays = *h.SparseWays
 }
 
 // ParsePEs parses a comma-separated list of PE counts.

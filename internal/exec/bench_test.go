@@ -115,3 +115,30 @@ func BenchmarkEngineHotPathVPENTATorusReuse(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles), "sim-cycles")
 }
+
+// The coherence-arena hot paths: the same SWIM sharing workload under
+// each hardware directory organization (flat full map; torus full map,
+// Dir_1_B and sparse at 8 PEs; full map at the 64-PE torus where the
+// SWIMTorus64 CCDP point already lives). HW epochs run their PEs
+// sequentially by construction, so these pin the directory protocol's
+// single-thread cost next to CCDP's.
+
+func BenchmarkEngineHotPathSWIMHWDir(b *testing.B) {
+	benchEngine(b, workloads.SWIM(65, 2), core.ModeHWDir, 8)
+}
+
+func BenchmarkEngineHotPathSWIMTorusHWDir(b *testing.B) {
+	benchEngineTorus(b, workloads.SWIM(65, 2), core.ModeHWDir, 8)
+}
+
+func BenchmarkEngineHotPathSWIMTorusHWDirLP(b *testing.B) {
+	benchEngineTorus(b, workloads.SWIM(65, 2), core.ModeHWDirLP, 8)
+}
+
+func BenchmarkEngineHotPathSWIMTorusHWDirSparse(b *testing.B) {
+	benchEngineTorus(b, workloads.SWIM(65, 2), core.ModeHWDirSparse, 8)
+}
+
+func BenchmarkEngineHotPathSWIMTorus64HWDir(b *testing.B) {
+	benchEngineTorus(b, workloads.SWIM(65, 2), core.ModeHWDir, 64)
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/cache"
+	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ir"
@@ -158,6 +159,10 @@ type Engine struct {
 	// epoch: nil (flat), net (canonical sequential booking: serial epochs,
 	// race detection, SerialTorus) or sess (concurrent parallel epochs).
 	tr noc.Transport
+	// hw is the hardware coherence layer (hw.go); nil outside the HWDIR
+	// modes. When non-nil, parallel epochs run their PEs sequentially:
+	// directory invalidations mutate other PEs' caches.
+	hw *hwState
 
 	// Precomputed schedules (New-time, immutable across runs).
 	insts []epochInst
@@ -261,6 +266,14 @@ func New(c *core.Compiled) (*Engine, error) {
 		}
 	}
 	lines := c.TotalWords/mp.LineWords + 1
+	if c.Mode.IsHW() {
+		cfg := coherence.Config{Org: c.Mode.DirOrg(), Pointers: mp.DirPointers,
+			SparseLines: int64(mp.DirSparseLines), SparseWays: mp.DirSparseWays}
+		e.hw = &hwState{
+			dir:   coherence.NewDirectory(cfg, mp.NumPE, lines),
+			noInv: mp.DirDropInvalidations,
+		}
+	}
 	e.pes = make([]*peState, mp.NumPE)
 	for p := 0; p < mp.NumPE; p++ {
 		e.pes[p] = &peState{
@@ -275,6 +288,14 @@ func New(c *core.Compiled) (*Engine, error) {
 			buffered:      bitset.NewSparse(lines),
 			idxScratch:    make([]int64, maxRank),
 			shScratch:     shmem.NewScratch(e.mem, mp),
+		}
+		if e.hw != nil && mp.HWPrefetcher != "" {
+			pref, err := newHWPrefetcher(mp.HWPrefetcher, mp.LineWords)
+			if err != nil {
+				return nil, err
+			}
+			e.pes[p].hwPref = pref
+			e.pes[p].hwPrefetched = bitset.NewSparse(lines)
 		}
 	}
 	return e, nil
@@ -312,11 +333,15 @@ func (e *Engine) Run(opts Options) (res *Result, err error) {
 	} else {
 		e.tr = nil
 	}
+	if e.hw != nil {
+		e.hw.dir.Reset()
+	}
 	// The PDES path needs more than one scheduler thread to win anything;
 	// on a single thread the canonical sequential order is the same
-	// simulation without the cross-goroutine choreography.
+	// simulation without the cross-goroutine choreography. The HW modes
+	// never use it: their epochs are sequential (see hw field).
 	e.pdes = e.net != nil && mp.NumPE > 1 && !opts.DetectRaces && !opts.SerialTorus &&
-		runtime.GOMAXPROCS(0) > 1
+		e.hw == nil && runtime.GOMAXPROCS(0) > 1
 	for _, pe := range e.pes {
 		pe.reset()
 	}
@@ -372,6 +397,10 @@ func (pe *peState) reset() {
 		pe.raceWr.Reset()
 	}
 	pe.vpAddrs = pe.vpAddrs[:0]
+	if pe.hwPref != nil {
+		pe.hwPref.Reset()
+		pe.hwPrefetched.Reset()
+	}
 	pe.staleByRef = nil
 	pe.demoted = 0
 	pe.sess = nil
@@ -410,6 +439,10 @@ func (e *Engine) runAll() error {
 		e.stats.FaultSpikes = c.Spikes
 		e.stats.FaultEvictions = c.Evictions
 		e.stats.FaultSkews = c.Skews
+	}
+	if e.hw != nil {
+		e.stats.DirStorageBits = e.hw.dir.StorageBits()
+		e.stats.DirEvictions = e.hw.dir.Evictions
 	}
 	return e.staleErr
 }
@@ -515,10 +548,13 @@ func (e *Engine) epoch(inst *epochInst) error {
 // parallelEpoch runs the DOALL on all PEs concurrently, safe because tasks
 // of one epoch touch disjoint data. Three cases:
 //
-//   - DetectRaces or 1 PE or Options.SerialTorus (with a torus) or a
-//     single-threaded scheduler: the PEs run sequentially on the calling
-//     goroutine. This is the canonical order torus link booking is defined
-//     against: PE p's whole epoch books before PE p+1's.
+//   - DetectRaces or 1 PE or a HWDIR mode or Options.SerialTorus (with a
+//     torus) or a single-threaded scheduler: the PEs run sequentially on
+//     the calling goroutine. This is the canonical order torus link booking
+//     is defined against: PE p's whole epoch books before PE p+1's. The
+//     HWDIR modes are pinned here because directory invalidations mutate
+//     OTHER PEs' caches — the disjoint-data argument the concurrent cases
+//     rest on does not hold for them.
 //   - Torus: all PEs run concurrently; link reservations commit through
 //     the windowed conservative-PDES session, which reproduces the
 //     canonical order's placements exactly (see noc/pdes.go), so results
@@ -560,7 +596,7 @@ func (e *Engine) parallelEpoch(node *ir.EpochNode) error {
 	}
 
 	switch {
-	case e.opts.DetectRaces || len(e.pes) == 1 || (e.net != nil && !e.pdes):
+	case e.opts.DetectRaces || len(e.pes) == 1 || e.hw != nil || (e.net != nil && !e.pdes):
 		for p := range e.pes {
 			runPE(p)
 		}

@@ -1,0 +1,231 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/noc"
+)
+
+// hwModes are the three hardware directory organizations of the arena.
+var hwModes = []core.Mode{core.ModeHWDir, core.ModeHWDirLP, core.ModeHWDirSparse}
+
+// runHW compiles and runs prog in one HW-arena configuration.
+func runHW(t *testing.T, prog *ir.Program, mode core.Mode, mp machine.Params, opts Options) *Result {
+	t.Helper()
+	c, err := core.Compile(prog, mode, mp)
+	if err != nil {
+		t.Fatalf("%v compile: %v", mode, err)
+	}
+	res, err := Run(c, opts)
+	if err != nil {
+		t.Fatalf("%v run: %v", mode, err)
+	}
+	return res
+}
+
+// TestHWModesMatchSeqOracleClean is the arena's core correctness claim:
+// every hardware directory organization computes the sequential results
+// bit-for-bit with zero oracle violations, on the flat model and the
+// torus, despite genuine cross-PE sharing (stencil halo traffic).
+func TestHWModesMatchSeqOracleClean(t *testing.T) {
+	prog := stencilProg(64, 3)
+	seq := run(t, prog, core.ModeSeq, 1, Options{FailOnStale: true})
+	topos := map[string]noc.Config{
+		"flat":  {},
+		"torus": {Kind: noc.KindTorus},
+	}
+	for name, topo := range topos {
+		for _, mode := range hwModes {
+			mp := machine.T3D(4)
+			mp.Topology = topo
+			res := runHW(t, prog, mode, mp, Options{FailOnStale: true})
+			if !arraysEqual(t, prog, seq, res, "A") {
+				t.Errorf("%s/%v results differ from sequential", name, mode)
+			}
+			s := res.Stats
+			if s.OracleViolations != 0 || s.StaleValueReads != 0 {
+				t.Errorf("%s/%v oracle violations = %d stale = %d", name, mode,
+					s.OracleViolations, s.StaleValueReads)
+			}
+			if s.CohMessages == 0 || s.CohInvSent == 0 {
+				t.Errorf("%s/%v booked no coherence traffic (msgs=%d inv=%d) on a sharing workload",
+					name, mode, s.CohMessages, s.CohInvSent)
+			}
+			if s.DirStorageBits == 0 {
+				t.Errorf("%s/%v reports zero directory storage", name, mode)
+			}
+			if s.Hits == 0 {
+				t.Errorf("%s/%v never hit the cache — shared data is not being cached", name, mode)
+			}
+			if name == "torus" && s.NetMessages < s.CohMessages {
+				t.Errorf("torus/%v coherence messages (%d) exceed total net messages (%d)",
+					mode, s.CohMessages, s.NetMessages)
+			}
+		}
+	}
+}
+
+// TestHWOrganizationsDistinctCosts: the three directory organizations must
+// show distinct storage costs and organization-specific traffic — the
+// limited-pointer Dir_1_B broadcasts where the full map stays precise, and
+// an undersized sparse directory evicts entries (invalidating live lines)
+// where the dense organizations never do.
+func TestHWOrganizationsDistinctCosts(t *testing.T) {
+	prog := stencilProg(64, 3)
+	results := map[core.Mode]*Result{}
+	for _, mode := range hwModes {
+		mp := machine.T3D(4)
+		// Undersize the sparse directory so entry eviction is exercised.
+		mp.DirSparseLines = 4
+		mp.DirSparseWays = 1
+		results[mode] = runHW(t, prog, mode, mp, Options{FailOnStale: true})
+	}
+	fm := results[core.ModeHWDir].Stats
+	lp := results[core.ModeHWDirLP].Stats
+	sp := results[core.ModeHWDirSparse].Stats
+	if fm.DirStorageBits == lp.DirStorageBits || fm.DirStorageBits == sp.DirStorageBits ||
+		lp.DirStorageBits == sp.DirStorageBits {
+		t.Errorf("directory storage not distinct: fm=%d lp=%d sp=%d",
+			fm.DirStorageBits, lp.DirStorageBits, sp.DirStorageBits)
+	}
+	if fm.DirStorageBits <= lp.DirStorageBits {
+		t.Errorf("full map (%d bits) should cost more than Dir_1_B (%d bits)",
+			fm.DirStorageBits, lp.DirStorageBits)
+	}
+	if fm.CohBroadcasts != 0 {
+		t.Errorf("full map broadcast %d times", fm.CohBroadcasts)
+	}
+	if lp.CohBroadcasts == 0 {
+		t.Error("Dir_1_B never overflowed to broadcast on a multi-sharer workload")
+	}
+	if lp.CohInvSent <= fm.CohInvSent {
+		t.Errorf("broadcast invalidations (%d) not above full map's precise ones (%d)",
+			lp.CohInvSent, fm.CohInvSent)
+	}
+	if fm.DirEvictions != 0 || lp.DirEvictions != 0 {
+		t.Errorf("dense directories evicted entries: fm=%d lp=%d", fm.DirEvictions, lp.DirEvictions)
+	}
+	if sp.DirEvictions == 0 {
+		t.Error("undersized sparse directory never evicted an entry")
+	}
+}
+
+// TestHWSabotageCaughtByOracle drives the fuzz campaign's sabotage: when
+// the directory's invalidations stop dropping copies, PEs keep consuming
+// stale halo values and the coherence oracle must flag every one.
+func TestHWSabotageCaughtByOracle(t *testing.T) {
+	prog := stencilProg(64, 3)
+	for _, mode := range hwModes {
+		mp := machine.T3D(4)
+		mp.DirDropInvalidations = true
+		res := runHW(t, prog, mode, mp, Options{})
+		if res.Stats.OracleViolations == 0 {
+			t.Errorf("%v: dropped invalidations produced zero oracle violations", mode)
+		}
+		if res.Stats.CohInvSent == 0 {
+			t.Errorf("%v: sabotage should still book invalidation sends", mode)
+		}
+		if res.Stats.CohInvRecv != 0 {
+			t.Errorf("%v: sabotage delivered %d invalidations", mode, res.Stats.CohInvRecv)
+		}
+	}
+}
+
+// TestHWRuntimePrefetcher: pairing a HW mode with a runtime prefetcher
+// keeps results exact and oracle-clean, issues prefetches, and some of
+// them are useful on a streaming stencil.
+func TestHWRuntimePrefetcher(t *testing.T) {
+	prog := stencilProg(64, 3)
+	seq := run(t, prog, core.ModeSeq, 1, Options{FailOnStale: true})
+	for _, name := range []string{"next-line", "stride"} {
+		mp := machine.T3D(4)
+		mp.HWPrefetcher = name
+		res := runHW(t, prog, core.ModeHWDir, mp, Options{FailOnStale: true})
+		if !arraysEqual(t, prog, seq, res, "A") {
+			t.Errorf("%s results differ from sequential", name)
+		}
+		if res.Stats.OracleViolations != 0 {
+			t.Errorf("%s oracle violations = %d", name, res.Stats.OracleViolations)
+		}
+		if res.Stats.HWPrefIssued == 0 {
+			t.Errorf("%s issued no prefetches", name)
+		}
+		if name == "next-line" && res.Stats.HWPrefUseful == 0 {
+			t.Error("next-line prefetches never useful on a streaming stencil")
+		}
+	}
+}
+
+// TestHWUnknownPrefetcherErrors: a bad prefetcher name fails loudly at
+// engine construction, listing the registry.
+func TestHWUnknownPrefetcherErrors(t *testing.T) {
+	mp := machine.T3D(4)
+	mp.HWPrefetcher = "psychic"
+	c, err := core.Compile(stencilProg(16, 1), core.ModeHWDir, mp)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := New(c); err == nil {
+		t.Fatal("unknown prefetcher accepted")
+	}
+}
+
+// TestCCDPAndBaseBookNoCoherenceTraffic pins the arena's headline split:
+// the software schemes run with zero hardware coherence messages and zero
+// directory storage.
+func TestCCDPAndBaseBookNoCoherenceTraffic(t *testing.T) {
+	prog := stencilProg(64, 3)
+	for _, mode := range []core.Mode{core.ModeBase, core.ModeCCDP} {
+		res := run(t, prog, mode, 4, Options{FailOnStale: true})
+		s := res.Stats
+		if s.CohMessages != 0 || s.CohInvSent != 0 || s.CohWritebacks != 0 ||
+			s.DirStorageBits != 0 || s.HWPrefIssued != 0 {
+			t.Errorf("%v booked hardware coherence state: %+v", mode, s)
+		}
+	}
+}
+
+// TestHWDeterministic: same configuration, same cycle count — the HW
+// epoch loop is sequential by construction, so any drift is a bug.
+func TestHWDeterministic(t *testing.T) {
+	prog := stencilProg(64, 3)
+	for _, topo := range []noc.Config{{}, {Kind: noc.KindTorus}} {
+		mp := machine.T3D(4)
+		mp.Topology = topo
+		mp.HWPrefetcher = "stride"
+		a := runHW(t, prog, core.ModeHWDirSparse, mp, Options{FailOnStale: true})
+		b := runHW(t, prog, core.ModeHWDirSparse, mp, Options{FailOnStale: true})
+		if a.Cycles != b.Cycles || a.Stats != b.Stats {
+			t.Errorf("topology %v nondeterministic: %d vs %d cycles", topo.Kind, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+// TestHWEngineReuse: repeated Runs of one engine reset the directory and
+// prefetcher state completely.
+func TestHWEngineReuse(t *testing.T) {
+	mp := machine.T3D(4)
+	mp.HWPrefetcher = "next-line"
+	c, err := core.Compile(stencilProg(64, 3), core.ModeHWDirSparse, mp)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	e, err := New(c)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, err := e.Run(Options{FailOnStale: true})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := e.Run(Options{FailOnStale: true})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Errorf("engine reuse drifted: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}

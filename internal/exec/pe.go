@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/cache"
+	"repro/internal/coherence/prefetch"
 	"repro/internal/core"
 	"repro/internal/craft"
 	"repro/internal/fault"
@@ -80,6 +81,14 @@ type peState struct {
 	idxScratch []int64
 	vpAddrs    []int64
 	shScratch  *shmem.Scratch
+
+	// hwPref is this PE's runtime prefetcher (HWDIR modes with
+	// machine.HWPrefetcher set; nil otherwise). hwPrefetched tracks the
+	// line indices it ever filled, for the usefulness count; prefScratch
+	// is the suggestion buffer Observe appends into.
+	hwPref       prefetch.Prefetcher
+	hwPrefetched *bitset.Sparse
+	prefScratch  []int64
 
 	// staleByRef attributes stale-value reads to reference sites
 	// (Options.TrackStaleRefs).
@@ -421,6 +430,12 @@ func (pe *peState) readRef(r *cRef) float64 {
 // oracle verifies the consumed word's generation against memory on every
 // read the simulated program makes.
 func (pe *peState) readMem(r *cRef, addr int64) float64 {
+	// Hardware coherence arena: every cached access goes through the
+	// directory protocol instead (hw.go). The HW pipelines never mark refs
+	// non-cached or bypass, so no software path is bypassed here.
+	if pe.eng.hw != nil {
+		return pe.readMemHW(r, addr)
+	}
 	mp := pe.eng.c.Machine
 	m := pe.eng.mem
 	local := m.OwnerOf(addr) == pe.id
@@ -613,6 +628,13 @@ func (pe *peState) writeRef(r *cRef, v float64) {
 	pe.regUpdate(addr, v)
 	pe.record(addr, trace.KindWrite)
 	gen := m.Write(addr, v)
+
+	// Hardware coherence arena: memory is current (write-through above);
+	// the directory invalidates every other cached copy (hw.go).
+	if pe.eng.hw != nil {
+		pe.writeHW(addr, v, gen, local)
+		return
+	}
 
 	if r.nonCached {
 		pe.stats.NonCachedRefs++

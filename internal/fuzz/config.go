@@ -30,14 +30,15 @@ func (rc RunConfig) String() string {
 	return s
 }
 
-// ParseMode reads a core.Mode in its String form.
+// ParseMode reads a core.Mode in its String form. It defers to the core
+// mode registry, so artifacts recorded under any registered mode —
+// including the hardware directory modes — parse back.
 func ParseMode(s string) (core.Mode, error) {
-	for _, m := range []core.Mode{core.ModeSeq, core.ModeBase, core.ModeCCDP, core.ModeIncoherent} {
-		if strings.EqualFold(s, m.String()) {
-			return m, nil
-		}
+	m, err := core.ParseMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("fuzz: %w", err)
 	}
-	return 0, fmt.Errorf("fuzz: unknown mode %q", s)
+	return m, nil
 }
 
 // ParseRunConfig reads a RunConfig in String form.
@@ -77,11 +78,15 @@ func ParseRunConfig(s string) (RunConfig, error) {
 
 // DefaultMatrix is the full differential matrix a campaign runs each
 // program through: {BASE, CCDP} × {flat, torus} × {fault-free, faulted} at
-// an uneven (3) and an even (8) PE count. Fault-free runs are the oracle's
-// hunting ground — a stale cached word is consumed and flagged. Faulted
-// runs exercise the §3.2 degraded paths, where lost or late prefetches may
-// cost cycles but must never corrupt results, so any divergence from the
-// sequential golden arrays is a genuine finding.
+// an uneven (3) and an even (8) PE count, plus the three hardware
+// directory modes fault-free on both topologies. Fault-free runs are the
+// oracle's hunting ground — a stale cached word is consumed and flagged.
+// Faulted runs exercise the §3.2 degraded paths, where lost or late
+// prefetches may cost cycles but must never corrupt results, so any
+// divergence from the sequential golden arrays is a genuine finding. The
+// hardware modes run fault-free only: their safety mechanism is the
+// directory protocol itself, and the oracle plus the divergence referee
+// hold it to the same zero-stale, bit-identical standard as CCDP.
 func DefaultMatrix(faultSeed int64) []RunConfig {
 	plans := []fault.Plan{
 		{},
@@ -97,7 +102,7 @@ func DefaultMatrix(faultSeed int64) []RunConfig {
 			}
 		}
 	}
-	return out
+	return append(out, HWMatrix()...)
 }
 
 // CoherenceMatrix is the fault-free CCDP slice of the default matrix — the
@@ -108,6 +113,22 @@ func CoherenceMatrix() []RunConfig {
 	for _, topo := range []noc.Config{{}, {Kind: noc.KindTorus}} {
 		for _, pes := range []int{3, 8} {
 			out = append(out, RunConfig{Mode: core.ModeCCDP, PEs: pes, Topology: topo})
+		}
+	}
+	return out
+}
+
+// HWMatrix is the hardware-directory slice of the default matrix: every
+// directory organization, fault-free, on both topologies at an uneven (3)
+// and an even (8) PE count. The directory-sabotage mutation test uses it
+// to bound its search the way CoherenceMatrix bounds CCDP's.
+func HWMatrix() []RunConfig {
+	var out []RunConfig
+	for _, mode := range []core.Mode{core.ModeHWDir, core.ModeHWDirLP, core.ModeHWDirSparse} {
+		for _, topo := range []noc.Config{{}, {Kind: noc.KindTorus}} {
+			for _, pes := range []int{3, 8} {
+				out = append(out, RunConfig{Mode: mode, PEs: pes, Topology: topo})
+			}
 		}
 	}
 	return out

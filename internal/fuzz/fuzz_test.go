@@ -59,6 +59,48 @@ func TestMutationNoInvalidateFlagged(t *testing.T) {
 	}
 }
 
+// With the hardware directory's invalidations booked but never delivered,
+// every directory organization keeps stale copies alive, and the campaign
+// must flag an oracle violation within a bounded number of generated
+// programs — the mutation test that proves the oracle referee also guards
+// the arena's hardware modes. The finding must replay deterministically
+// from its artifact, mutation included.
+func TestMutationNoDirInvalidateFlagged(t *testing.T) {
+	const bound = 60
+	sum, err := Run(Config{
+		Programs:    bound,
+		Matrix:      HWMatrix(),
+		Mutation:    MutNoDirInvalidate,
+		Shrink:      true,
+		MaxFindings: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Findings) == 0 {
+		t.Fatalf("directory invalidations dropped, yet %d programs ran clean: the oracle referee is vacuous for the hardware modes", bound)
+	}
+	f := sum.Findings[0]
+	if f.Referee != RefereeOracle {
+		t.Fatalf("expected an oracle finding, got %s: %s", f.Referee, f.Detail)
+	}
+	if !f.Config.Mode.IsHW() {
+		t.Fatalf("finding not under a hardware mode: %s", f.Config)
+	}
+	art := FormatFinding(f)
+	back, err := ParseFinding(art)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, art)
+	}
+	if back.Mutation != MutNoDirInvalidate {
+		t.Fatalf("artifact lost the mutation: %s", back.Mutation)
+	}
+	r := Replay(back)
+	if r == nil || r.Referee != RefereeOracle {
+		t.Fatalf("artifact did not reproduce the oracle finding on replay: %+v", r)
+	}
+}
+
 // With the scheduler's reference marks cleared (statements untouched), the
 // compiled-program invariant referee must flag the Stale-flag disagreement
 // within a bounded number of programs.

@@ -28,6 +28,13 @@ const (
 	// stay stable). The compiled-program invariant referee must then report
 	// the disagreement between the program's flags and the stale analysis.
 	MutNoSchedMarks
+	// MutNoDirInvalidate makes the hardware directory book its
+	// invalidation messages without ever dropping the sharers' copies —
+	// the protocol's sole safety action silently stops working. Hardware
+	// mode runs must then consume stale cached lines and trip the
+	// coherence oracle, proving the oracle also guards the arena's
+	// directory modes. A no-op outside the hardware modes.
+	MutNoDirInvalidate
 )
 
 func (m Mutation) String() string {
@@ -38,6 +45,8 @@ func (m Mutation) String() string {
 		return "no-invalidate"
 	case MutNoSchedMarks:
 		return "no-sched-marks"
+	case MutNoDirInvalidate:
+		return "no-dir-invalidate"
 	default:
 		return fmt.Sprintf("Mutation(%d)", int(m))
 	}
@@ -45,17 +54,18 @@ func (m Mutation) String() string {
 
 // ParseMutation reads a Mutation in String form.
 func ParseMutation(s string) (Mutation, error) {
-	for _, m := range []Mutation{MutNone, MutNoInvalidate, MutNoSchedMarks} {
+	for _, m := range []Mutation{MutNone, MutNoInvalidate, MutNoSchedMarks, MutNoDirInvalidate} {
 		if s == m.String() {
 			return m, nil
 		}
 	}
-	return MutNone, fmt.Errorf("fuzz: unknown mutation %q (want none, no-invalidate or no-sched-marks)", s)
+	return MutNone, fmt.Errorf("fuzz: unknown mutation %q (want none, no-invalidate, no-sched-marks or no-dir-invalidate)", s)
 }
 
 // Sabotage applies m to a compiled program in place. It is a no-op for
-// MutNone and for compilations the mutation does not apply to (mutations
-// target the CCDP analysis artifacts, absent in other modes).
+// MutNone and for compilations the mutation does not apply to (the CCDP
+// mutations target the compiler's analysis artifacts, absent in other
+// modes; the directory mutation targets the hardware modes only).
 func Sabotage(c *core.Compiled, m Mutation) {
 	switch m {
 	case MutNoInvalidate:
@@ -76,5 +86,10 @@ func Sabotage(c *core.Compiled, m Mutation) {
 			r.Bypass = false
 			r.Prefetched = false
 		}
+	case MutNoDirInvalidate:
+		if !c.Mode.IsHW() {
+			return
+		}
+		c.Machine.DirDropInvalidations = true
 	}
 }

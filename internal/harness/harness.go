@@ -244,3 +244,99 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// --- Coherence arena ---------------------------------------------------------
+
+// ArenaConfig tunes one coherence-arena run.
+type ArenaConfig struct {
+	// PEs is the machine size (default 8).
+	PEs int
+	// Topology selects the interconnect for the parallel runs (the
+	// sequential golden run always runs flat).
+	Topology noc.Config
+	// HWPrefetcher names a runtime prefetcher from the
+	// internal/coherence/prefetch registry, paired with the hardware modes
+	// only ("" = none).
+	HWPrefetcher string
+	// Tune lets ablations modify the machine parameters per run.
+	Tune func(*machine.Params)
+}
+
+// ArenaEntry is one mode's verified arena run.
+type ArenaEntry struct {
+	Mode    core.Mode
+	Cycles  int64
+	Speedup float64 // over sequential
+	Stats   stats.Stats
+	Net     *noc.Summary
+}
+
+// ArenaResult is the coherence arena for one workload: the same program,
+// machine and topology under every coherence scheme — the software ones
+// (BASE, CCDP) and the hardware directory organizations — each verified
+// bit-for-bit against the sequential run with zero oracle violations.
+type ArenaResult struct {
+	Name      string
+	PEs       int
+	SeqCycles int64
+	Entries   []ArenaEntry
+}
+
+// ArenaModes are the modes the arena compares: every registered mode
+// except the sequential golden baseline and the deliberately broken
+// INCOHERENT demonstrator. Derived from the core mode registry, so new
+// modes join the arena by registration.
+func ArenaModes() []core.Mode {
+	var out []core.Mode
+	for _, s := range core.ModeSpecs() {
+		if s.Mode == core.ModeSeq || s.Mode == core.ModeIncoherent {
+			continue
+		}
+		out = append(out, s.Mode)
+	}
+	return out
+}
+
+// RunArena runs one workload through the coherence arena.
+func RunArena(s *workloads.Spec, cfg ArenaConfig) (*ArenaResult, error) {
+	pes := cfg.PEs
+	if pes <= 0 {
+		pes = 8
+	}
+	mk := func(mode core.Mode) machine.Params {
+		mp := machine.T3D(pes)
+		mp.Topology = cfg.Topology
+		if mode.IsHW() {
+			mp.HWPrefetcher = cfg.HWPrefetcher
+		}
+		if cfg.Tune != nil {
+			cfg.Tune(&mp)
+		}
+		return mp
+	}
+
+	seq, err := runOne(s, core.ModeSeq, machine.T3D(1), fault.Plan{})
+	if err != nil {
+		return nil, fmt.Errorf("%s SEQ: %w", s.Name, err)
+	}
+	golden := snapshot(s, seq)
+
+	ar := &ArenaResult{Name: s.Name, PEs: pes, SeqCycles: seq.Cycles}
+	for _, mode := range ArenaModes() {
+		r, _, err := runVerified(s, mode, mk(mode), golden, Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s %s P=%d: %w", s.Name, mode, pes, err)
+		}
+		if v := r.Stats.OracleViolations; v != 0 {
+			return nil, fmt.Errorf("%s %s P=%d: %d oracle violations", s.Name, mode, pes, v)
+		}
+		ar.Entries = append(ar.Entries, ArenaEntry{
+			Mode:    mode,
+			Cycles:  r.Cycles,
+			Speedup: float64(seq.Cycles) / float64(r.Cycles),
+			Stats:   r.Stats,
+			Net:     r.Net,
+		})
+	}
+	return ar, nil
+}

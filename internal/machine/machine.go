@@ -124,6 +124,29 @@ type Params struct {
 	// for the potentially-stale ones.
 	PrefetchNonStale bool
 
+	// --- Hardware coherence arena (internal/coherence; HWDIR modes only) ---
+
+	// DirPointers is the pointer count per line of the limited-pointer
+	// directory (Dir_i_B); overflow sets the broadcast bit. Default 1.
+	DirPointers int
+	// DirSparseLines / DirSparseWays shape the sparse directory cache at
+	// each home node: DirSparseLines entries organized DirSparseWays-way
+	// set-associative. Defaults 128 / 4.
+	DirSparseLines int
+	DirSparseWays  int
+	// HWPrefetcher names a runtime prefetcher from the
+	// internal/coherence/prefetch registry ("" = none) paired with the
+	// hardware directory modes.
+	HWPrefetcher string
+	// HWPrefetchDegree caps how many prefetch suggestions one demand
+	// access may issue. Default 2.
+	HWPrefetchDegree int
+	// DirDropInvalidations is the fuzz campaign's sabotage switch: the
+	// directory still books invalidation messages but the target caches
+	// never drop their copies, so the coherence oracle must flag the
+	// resulting stale reads. Never set outside sabotage tests.
+	DirDropInvalidations bool
+
 	// --- Interconnect (internal/noc) ---
 
 	// Topology selects the interconnect model. The zero value (flat)
@@ -175,6 +198,11 @@ var DefaultParams = Params{
 	MinMoveBackCycles: 40,
 	MaxMoveBackCycles: 4000,
 	VectorMaxWords:    512, // half the cache
+
+	DirPointers:      1, // Dir_1_B: a second sharer already forces broadcast
+	DirSparseLines:   128,
+	DirSparseWays:    4,
+	HWPrefetchDegree: 2,
 }
 
 // T3D returns the Cray T3D configuration with p PEs (DefaultParams scaled

@@ -107,6 +107,70 @@ func Details(ar *harness.AppResult) string {
 	return b.String()
 }
 
+// Arena renders the coherence-arena table: one workload under every
+// coherence scheme, with the traffic split into data and coherence
+// messages. CCDP's rows must show zero coherence messages (its coherence
+// actions are compiler-scheduled prefetches, already part of the data
+// traffic); the hardware directory rows show the protocol's message and
+// storage costs, distinct per organization.
+func Arena(ar *harness.ArenaResult) string {
+	netted, pref := false, false
+	for _, e := range ar.Entries {
+		if e.Net != nil {
+			netted = true
+		}
+		if e.Stats.HWPrefIssued > 0 {
+			pref = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coherence arena: %s on %d PEs (sequential %d cycles)\n",
+		ar.Name, ar.PEs, ar.SeqCycles)
+	fmt.Fprintf(&b, "%-12s %14s %8s %10s %10s %10s %10s %7s %10s %12s",
+		"mode", "cycles", "speedup", "coh-msgs", "inv-sent", "inv-recv",
+		"writebacks", "bcasts", "dir-evicts", "dir-bits")
+	if netted {
+		fmt.Fprintf(&b, " %10s %10s", "net-msgs", "data-msgs")
+	}
+	if pref {
+		fmt.Fprintf(&b, " %10s %10s", "pf-issued", "pf-useful")
+	}
+	b.WriteString("\n")
+	for _, e := range ar.Entries {
+		s := &e.Stats
+		fmt.Fprintf(&b, "%-12s %14d %8.2f %10d %10d %10d %10d %7d %10d %12d",
+			e.Mode, e.Cycles, e.Speedup, s.CohMessages, s.CohInvSent, s.CohInvRecv,
+			s.CohWritebacks, s.CohBroadcasts, s.DirEvictions, s.DirStorageBits)
+		if netted {
+			fmt.Fprintf(&b, " %10d %10d", s.NetMessages, s.NetMessages-s.CohMessages)
+		}
+		if pref {
+			fmt.Fprintf(&b, " %10d %10d", s.HWPrefIssued, s.HWPrefUseful)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ArenaCSV renders arena results in machine-readable form, one row per
+// (workload, mode).
+func ArenaCSV(results []*harness.ArenaResult) string {
+	var b strings.Builder
+	b.WriteString("app,pes,mode,seq_cycles,cycles,speedup,coh_msgs,inv_sent,inv_recv," +
+		"writebacks,broadcasts,dir_evictions,dir_bits,net_msgs,data_msgs,hwpref_issued,hwpref_useful\n")
+	for _, ar := range results {
+		for _, e := range ar.Entries {
+			s := &e.Stats
+			fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				ar.Name, ar.PEs, e.Mode, ar.SeqCycles, e.Cycles, e.Speedup,
+				s.CohMessages, s.CohInvSent, s.CohInvRecv, s.CohWritebacks,
+				s.CohBroadcasts, s.DirEvictions, s.DirStorageBits,
+				s.NetMessages, s.NetMessages-s.CohMessages, s.HWPrefIssued, s.HWPrefUseful)
+		}
+	}
+	return b.String()
+}
+
 // CSV renders both tables' data in machine-readable form: one row per
 // (application, PE count) with cycles, speedups, improvement, and the
 // fault-injection counters (all zero in fault-free runs). When any row ran

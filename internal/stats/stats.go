@@ -54,6 +54,24 @@ type Stats struct {
 	NetContended  int64 // messages that waited at least one cycle
 	NetDrops      int64 // prefetches dropped by congestion timeout
 
+	// Hardware coherence arena accounting (internal/coherence). All zero
+	// outside the HWDIR modes — in particular CCDP runs book zero coherence
+	// messages, the arena's headline comparison. CohMessages counts every
+	// protocol message (invalidations, acks, upgrades, grants, recalls,
+	// writebacks); on the torus each is also a NetMessage, so the data
+	// traffic is NetMessages - CohMessages.
+	CohMessages   int64 // all coherence-protocol messages
+	CohInvSent    int64 // invalidations the directory sent
+	CohInvRecv    int64 // invalidations that actually dropped a cached copy
+	CohWritebacks int64 // dirty-line writebacks (evictions and recalls)
+	CohBroadcasts int64 // limited-pointer overflow broadcasts
+	DirEvictions  int64 // sparse-directory entry evictions
+	// DirStorageBits is the directory's storage cost in bits — a property
+	// of the configuration, set once per run, never merged.
+	DirStorageBits int64
+	HWPrefIssued   int64 // runtime-prefetcher fills issued
+	HWPrefUseful   int64 // demand hits on runtime-prefetched lines
+
 	FlopCycles int64
 }
 
@@ -88,6 +106,15 @@ func (s *Stats) Merge(o *Stats) {
 	s.NetWaitCycles += o.NetWaitCycles
 	s.NetContended += o.NetContended
 	s.NetDrops += o.NetDrops
+	s.CohMessages += o.CohMessages
+	s.CohInvSent += o.CohInvSent
+	s.CohInvRecv += o.CohInvRecv
+	s.CohWritebacks += o.CohWritebacks
+	s.CohBroadcasts += o.CohBroadcasts
+	s.DirEvictions += o.DirEvictions
+	// DirStorageBits is configuration, not workload: deliberately not merged.
+	s.HWPrefIssued += o.HWPrefIssued
+	s.HWPrefUseful += o.HWPrefUseful
 	s.FlopCycles += o.FlopCycles
 }
 
@@ -110,6 +137,14 @@ func (s *Stats) String() string {
 	if s.NetMessages > 0 || s.NetDrops > 0 {
 		fmt.Fprintf(&b, "\nnetwork: msgs=%d contended=%d wait=%d congestion-drops=%d",
 			s.NetMessages, s.NetContended, s.NetWaitCycles, s.NetDrops)
+	}
+	if s.CohMessages > 0 || s.DirStorageBits > 0 {
+		fmt.Fprintf(&b, "\ncoherence: msgs=%d inv-sent=%d inv-recv=%d writebacks=%d broadcasts=%d dir-evictions=%d dir-bits=%d",
+			s.CohMessages, s.CohInvSent, s.CohInvRecv, s.CohWritebacks,
+			s.CohBroadcasts, s.DirEvictions, s.DirStorageBits)
+		if s.HWPrefIssued > 0 {
+			fmt.Fprintf(&b, "\nhw-prefetch: issued=%d useful=%d", s.HWPrefIssued, s.HWPrefUseful)
+		}
 	}
 	if s.FaultsInjected() > 0 || s.Demotions > 0 || s.OracleViolations > 0 {
 		fmt.Fprintf(&b, "\nfault: drops=%d late=%d spikes=%d evictions=%d skews=%d demotions=%d oracle-violations=%d",
