@@ -12,6 +12,7 @@
 //
 //	ccdpbench [-table 1|2|all] [-apps MXM,VPENTA,TOMCATV,SWIM] [-pes 1,2,4,...]
 //	          [-scale small|paper] [-topology flat|torus|XxYxZ] [-jobs N]
+//	          [-pdes optimistic|conservative|adaptive]
 //	          [-arena] [-arena-pes 8] [-hw-prefetch next-line|stride]
 //	          [-ablation vpg|mbp|nonstale] [-details]
 //	          [-fault-rate 0.01] [-fault-kinds all] [-fault-seed 1]
@@ -51,6 +52,7 @@ func main() {
 	faultRates := flag.String("fault-rates", "0.001,0.01,0.05", "fault rates for -faultsweep")
 	faultTrials := flag.Int("fault-trials", 3, "trials (distinct seeds) per rate for -faultsweep")
 	tf := driver.RegisterTopology(flag.CommandLine)
+	pdf := driver.RegisterPDES(flag.CommandLine)
 	hf := driver.RegisterHW(flag.CommandLine)
 	ff := driver.RegisterFault(flag.CommandLine)
 	pf := driver.RegisterProf(flag.CommandLine)
@@ -71,6 +73,10 @@ func main() {
 		driver.Fatal(tool, err)
 	}
 	topo, err := tf.Config()
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
+	pdes, err := pdf.Mode()
 	if err != nil {
 		driver.Fatal(tool, err)
 	}
@@ -120,7 +126,7 @@ func main() {
 	if err != nil {
 		driver.Fatal(tool, err)
 	}
-	results, err := runApps(os.Stdout, specs, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo}, *jobs, *details)
+	results, err := runApps(os.Stdout, specs, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo, PDES: pdes}, *jobs, *details)
 	if err != nil {
 		driver.Fatal(tool, err)
 	}

@@ -28,6 +28,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/coherence"
@@ -161,6 +162,29 @@ type Compiled struct {
 	// (stale-because, dropped-because, covered-by, scheduling outcome);
 	// surfaced by `ccdpc -explain`. Never nil; empty outside CCDP mode.
 	Prov *pass.Provenance
+
+	// memo is an opaque cache slot tied to this compilation's identity,
+	// reached through Memo. internal/exec parks idle execution engines here
+	// so repeated one-shot runs of the same compiled program amortize
+	// engine construction; core itself never looks inside. Living on the
+	// Compiled (rather than in a global map keyed by it) ties the cached
+	// state's lifetime to the compilation's — fuzzing campaigns compile
+	// thousands of throwaway programs, and each one's cache must die with
+	// it.
+	memoMu sync.Mutex
+	memo   any
+}
+
+// Memo returns the value build produced the first time Memo was called on
+// this Compiled, calling build to produce it on that first call. Safe for
+// concurrent use; build runs under the slot's lock, at most once.
+func (c *Compiled) Memo(build func() any) any {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	if c.memo == nil {
+		c.memo = build()
+	}
+	return c.memo
 }
 
 // Options tunes a compilation beyond mode and machine.

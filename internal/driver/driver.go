@@ -200,11 +200,30 @@ func (t *TopologyFlag) Config() (noc.Config, error) {
 	return noc.Parse(*t.s)
 }
 
-// MachineFlags is the machine-configuration flag group (-pes, -topology)
-// for the tools that simulate one configuration at a time.
+// PDESFlag is the torus parallel-execution-scheme flag (-pdes). The mode
+// never changes simulation results — only how parallel torus epochs commit
+// their link reservations, i.e. wall-clock scaling.
+type PDESFlag struct {
+	s *string
+}
+
+// RegisterPDES installs the -pdes flag on fs.
+func RegisterPDES(fs *flag.FlagSet) *PDESFlag {
+	return &PDESFlag{s: fs.String("pdes", "optimistic",
+		"torus epoch commit scheme: optimistic, conservative or adaptive (bit-identical results; wall-clock only)")}
+}
+
+// Mode parses the flag into a PDES mode.
+func (p *PDESFlag) Mode() (noc.PDESMode, error) {
+	return noc.ParsePDES(*p.s)
+}
+
+// MachineFlags is the machine-configuration flag group (-pes, -topology,
+// -pdes) for the tools that simulate one configuration at a time.
 type MachineFlags struct {
 	PEs  *int
 	Topo *TopologyFlag
+	PDES *PDESFlag
 }
 
 // RegisterMachine installs the machine flags on fs.
@@ -212,6 +231,7 @@ func RegisterMachine(fs *flag.FlagSet, defaultPEs int) *MachineFlags {
 	return &MachineFlags{
 		PEs:  fs.Int("pes", defaultPEs, "number of PEs"),
 		Topo: RegisterTopology(fs),
+		PDES: RegisterPDES(fs),
 	}
 }
 
@@ -221,7 +241,12 @@ func (m *MachineFlags) Params() (machine.Params, error) {
 	if err != nil {
 		return machine.Params{}, err
 	}
+	pdes, err := m.PDES.Mode()
+	if err != nil {
+		return machine.Params{}, err
+	}
 	mp := machine.T3D(*m.PEs)
 	mp.Topology = topo
+	mp.PDES = pdes
 	return mp, nil
 }

@@ -152,7 +152,7 @@ func (*cVP) isCStmt()       {}
 
 // cEpoch is one compiled epoch node.
 type cEpoch struct {
-	loop  *cLoop // parallel epochs
+	loop  *cLoop  // parallel epochs
 	stmts []cStmt // serial epochs
 }
 

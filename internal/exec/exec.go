@@ -9,11 +9,13 @@
 // every epoch boundary is a barrier, and write-through caches keep home
 // memory current so the boundary memory-update is implicit.
 //
-// Torus-modeled runs also execute their parallel epochs concurrently: link
-// bookings go through a windowed conservative-PDES session (noc.Session)
-// that commits reservations in an order provably equivalent to the
-// canonical sequential PE-major order, so cycle counts stay bit-identical
-// at any GOMAXPROCS and any goroutine interleaving.
+// Torus-modeled runs also execute their parallel epochs concurrently, in
+// one of three PDES modes selected by machine.Params.PDES — optimistic
+// speculation with rollback (spec.go, the default), windowed conservative
+// commits, or adaptive per-link lookahead (noc/pdes.go). All three commit
+// link reservations in an order provably equivalent to the canonical
+// sequential PE-major order, so cycle counts stay bit-identical at any
+// GOMAXPROCS and any goroutine interleaving.
 //
 // Coherence is CHECKED, not assumed: every cached word carries the memory
 // generation it was filled with, and a hit on an out-of-date word is
@@ -101,15 +103,28 @@ type Result struct {
 // maxRecordedViolations bounds Result.Violations; counters keep the total.
 const maxRecordedViolations = 32
 
-// Run executes a compiled program: a one-shot New + Engine.Run. Callers
-// running the same compiled program repeatedly should build one Engine and
-// Run it many times — repeated runs reuse every arena the Engine owns.
+// Run executes a compiled program. Engines are cached per Compiled
+// (pool.go), so repeated Runs of the same compilation reuse every arena the
+// Engine owns; the returned Result is detached — backed by its own storage,
+// valid indefinitely — unlike Engine.Run's, which the engine's next run
+// overwrites. Callers needing explicit control over engine lifetime (or the
+// alias-free fast path) build one with New and Run it directly.
 func Run(c *core.Compiled, opts Options) (*Result, error) {
-	e, err := New(c)
-	if err != nil {
-		return nil, err
+	pool := poolFor(c)
+	e := pool.get()
+	if e == nil {
+		var err error
+		if e, err = New(c); err != nil {
+			return nil, err
+		}
 	}
-	return e.Run(opts)
+	// Run resets all engine state at entry, so the engine goes back to the
+	// pool even when this run failed (stale-value errors under FailOnStale
+	// are routine in the fuzzing campaign, not engine corruption).
+	res, err := e.Run(opts)
+	out := res.detach()
+	pool.put(e)
+	return out, err
 }
 
 // ctxBind is one precomputed context-variable binding of a dynamic epoch.
@@ -143,8 +158,10 @@ type invPlan struct {
 // tree, the dynamic epoch schedule, the interconnect and all per-PE state
 // once; Run resets that state and executes, so repeated runs are
 // allocation-flat in steady state. An Engine is not safe for concurrent
-// Runs, and Result.Mem aliases Engine-owned memory that the next Run
-// resets.
+// Runs, and the returned Result (memory, PE cycle slice, violations,
+// network summary) aliases Engine-owned storage that the next Run
+// overwrites — copy whatever must outlive it. Engines whose runs fanned
+// PEs out concurrently own parked worker goroutines until Close.
 type Engine struct {
 	c     *core.Compiled
 	cp    *cProgram
@@ -172,11 +189,42 @@ type Engine struct {
 	errs   []error
 	starts []int64
 
+	// Worker pool: one parked goroutine per PE, spawned on the first
+	// concurrent epoch and woken per epoch through wake (spec.go). poolJob
+	// stages the job kind for the next fan-out; curLoop stages the epoch's
+	// loop for runPE. An int job plus Engine-method workers keeps the
+	// per-epoch fan-out allocation-free (closures and method values both
+	// allocate).
+	wake    []chan struct{}
+	poolWG  sync.WaitGroup
+	poolJob int
+	curLoop *cLoop
+
+	// Optimistic-PDES state (spec.go): per-PE predictor recorders,
+	// epoch-entry snapshots and re-execution memos, all engine-reused.
+	recs          []*noc.SpecRecorder
+	snaps         []peSnap
+	memos         []memoTransport
+	specRollbacks int64
+
+	// Validation-phase scratch (spec.go): the set of shared words any PE
+	// wrote in the current speculative epoch, and the one being validated
+	// wrote, for the read-write hazard check and the prefetch-queue repair.
+	wAll, wrote *bitset.Sparse
+
+	// Reusable result storage: Run returns &res, so a Result's slices and
+	// Net summary alias Engine-owned memory that the next Run overwrites.
+	res      Result
+	peCycles []int64
+	netSum   noc.Summary
+
 	// Per-run state.
 	opts       Options
 	stats      stats.Stats
 	inj        *fault.Injector
 	pdes       bool
+	optimistic bool
+	flatSpec   bool
 	staleErr   error
 	violations []fault.Violation
 	staleMu    sync.Mutex
@@ -274,28 +322,44 @@ func New(c *core.Compiled) (*Engine, error) {
 			noInv: mp.DirDropInvalidations,
 		}
 	}
+	// Per-PE state is slab-allocated: one backing array per field family
+	// (plus the cache and prefetch-queue fleets) instead of ~10 allocations
+	// per PE, which dominates one-shot construction cost at 64 PEs.
 	e.pes = make([]*peState, mp.NumPE)
+	peSlab := make([]peState, mp.NumPE)
+	caches := cache.NewFleet(mp.NumPE, mp.CacheWords, mp.LineWords)
+	pqs := pfq.NewFleet(mp.NumPE, mp.PrefetchQueueWords)
+	scalarSlab := make([]float64, mp.NumPE*cp.nScalars)
+	writtenSlab := make([]bool, mp.NumPE*cp.nScalars)
+	envSlab := make([]int64, mp.NumPE*cp.nVars)
+	boundSlab := make([]bool, mp.NumPE*cp.nVars)
+	idxSlab := make([]int64, mp.NumPE*maxRank)
 	for p := 0; p < mp.NumPE; p++ {
-		e.pes[p] = &peState{
+		pe := &peSlab[p]
+		sLo, sHi := p*cp.nScalars, (p+1)*cp.nScalars
+		vLo, vHi := p*cp.nVars, (p+1)*cp.nVars
+		iLo, iHi := p*maxRank, (p+1)*maxRank
+		*pe = peState{
 			id:            p,
 			eng:           e,
-			cache:         cache.New(mp.CacheWords, mp.LineWords),
-			pq:            pfq.New(mp.PrefetchQueueWords),
-			scalars:       make([]float64, cp.nScalars),
-			scalarWritten: make([]bool, cp.nScalars),
-			env:           make([]int64, cp.nVars),
-			bound:         make([]bool, cp.nVars),
+			cache:         caches[p],
+			pq:            pqs[p],
+			scalars:       scalarSlab[sLo:sHi:sHi],
+			scalarWritten: writtenSlab[sLo:sHi:sHi],
+			env:           envSlab[vLo:vHi:vHi],
+			bound:         boundSlab[vLo:vHi:vHi],
 			buffered:      bitset.NewSparse(lines),
-			idxScratch:    make([]int64, maxRank),
+			idxScratch:    idxSlab[iLo:iHi:iHi],
 			shScratch:     shmem.NewScratch(e.mem, mp),
 		}
+		e.pes[p] = pe
 		if e.hw != nil && mp.HWPrefetcher != "" {
 			pref, err := newHWPrefetcher(mp.HWPrefetcher, mp.LineWords)
 			if err != nil {
 				return nil, err
 			}
-			e.pes[p].hwPref = pref
-			e.pes[p].hwPrefetched = bitset.NewSparse(lines)
+			pe.hwPref = pref
+			pe.hwPrefetched = bitset.NewSparse(lines)
 		}
 	}
 	return e, nil
@@ -320,7 +384,7 @@ func (e *Engine) Run(opts Options) (res *Result, err error) {
 	e.opts = opts
 	e.stats = stats.Stats{}
 	e.staleErr = nil
-	e.violations = nil
+	e.violations = e.violations[:0]
 	e.inj = fault.NewInjector(opts.Fault, mp.NumPE)
 	e.mem.Reset()
 	// The engine starts single-threaded (epoch setup, serial epochs); the
@@ -342,6 +406,29 @@ func (e *Engine) Run(opts Options) (res *Result, err error) {
 	// never use it: their epochs are sequential (see hw field).
 	e.pdes = e.net != nil && mp.NumPE > 1 && !opts.DetectRaces && !opts.SerialTorus &&
 		e.hw == nil && runtime.GOMAXPROCS(0) > 1
+	// Optimistic speculation additionally excludes fault injection (fault
+	// streams are stateful draws a rollback cannot rewind), tracing (the
+	// stream would record speculative timings) and stale-ref attribution
+	// (per-ref counts would double-count re-executed reads). Those runs
+	// fall back to the conservative session, which handles them all.
+	e.optimistic = e.pdes && mp.PDES == noc.PDESOptimistic &&
+		e.inj == nil && opts.Trace == nil && !opts.TrackStaleRefs
+	// Flat concurrent epochs have no link state to validate, but they share
+	// memory, so line fills and prefetch captures race with same-epoch
+	// writes exactly as torus speculation does (the INCOHERENT mode makes
+	// the race observable as nondeterministic oracle counts). The same
+	// capture bookkeeping settles them deterministically (spec.go); the
+	// exclusions mirror e.optimistic's, and excluded runs keep the plain
+	// fan-out.
+	e.flatSpec = e.net == nil && mp.NumPE > 1 && !opts.DetectRaces &&
+		e.hw == nil && e.inj == nil && opts.Trace == nil && !opts.TrackStaleRefs
+	if e.sess != nil {
+		if mp.PDES == noc.PDESAdaptive {
+			e.sess.SetMode(noc.PDESAdaptive)
+		} else {
+			e.sess.SetMode(noc.PDESConservative)
+		}
+	}
 	for _, pe := range e.pes {
 		pe.reset()
 	}
@@ -350,8 +437,12 @@ func (e *Engine) Run(opts Options) (res *Result, err error) {
 		return nil, err
 	}
 
-	res = &Result{Stats: e.stats, Mem: e.mem, PECycles: make([]int64, mp.NumPE),
+	if e.peCycles == nil {
+		e.peCycles = make([]int64, mp.NumPE)
+	}
+	e.res = Result{Stats: e.stats, Mem: e.mem, PECycles: e.peCycles,
 		Violations: e.violations}
+	res = &e.res
 	if opts.TrackStaleRefs {
 		res.StaleByRef = map[ir.RefID]int64{}
 		for _, pe := range e.pes {
@@ -366,7 +457,8 @@ func (e *Engine) Run(opts Options) (res *Result, err error) {
 	res.Cycles = res.PECycles[0]
 	res.Stats.Cycles = res.Cycles
 	if e.net != nil {
-		res.Net = e.net.Summary(res.Cycles)
+		e.net.SummaryInto(&e.netSum, res.Cycles)
+		res.Net = &e.netSum
 		res.Stats.NetMessages = res.Net.Messages
 		res.Stats.NetWaitCycles = res.Net.WaitCycles
 		res.Stats.NetContended = res.Net.Contended
@@ -404,6 +496,14 @@ func (pe *peState) reset() {
 	pe.staleByRef = nil
 	pe.demoted = 0
 	pe.sess = nil
+	pe.tr = e.tr
+	pe.spec = false
+	pe.pendViol = pe.pendViol[:0]
+	pe.undo = pe.undo[:0]
+	pe.filled = pe.filled[:0]
+	if pe.consumed != nil {
+		pe.consumed.Reset()
+	}
 	pe.fault, pe.shFaults = nil, nil
 	if e.inj != nil {
 		pe.fault = e.inj.PE(pe.id)
@@ -546,7 +646,7 @@ func (e *Engine) epoch(inst *epochInst) error {
 }
 
 // parallelEpoch runs the DOALL on all PEs concurrently, safe because tasks
-// of one epoch touch disjoint data. Three cases:
+// of one epoch touch disjoint data. Four cases:
 //
 //   - DetectRaces or 1 PE or a HWDIR mode or Options.SerialTorus (with a
 //     torus) or a single-threaded scheduler: the PEs run sequentially on
@@ -555,86 +655,66 @@ func (e *Engine) epoch(inst *epochInst) error {
 //     HWDIR modes are pinned here because directory invalidations mutate
 //     OTHER PEs' caches — the disjoint-data argument the concurrent cases
 //     rest on does not hold for them.
-//   - Torus: all PEs run concurrently; link reservations commit through
-//     the windowed conservative-PDES session, which reproduces the
-//     canonical order's placements exactly (see noc/pdes.go), so results
-//     stay bit-identical at any GOMAXPROCS and interleaving.
-//   - Flat: no link state exists, PE clocks are fully independent, and
-//     memory is in atomic mode — the PEs fan out over the shared worker
-//     budget (degrading to inline when the machine is busy), work-stealing
-//     by atomic index; the assignment of PEs to workers cannot affect
-//     results.
+//   - Torus, optimistic (the default): all PEs speculate concurrently on
+//     private predictor networks, then a serial pass validates and commits
+//     (or rolls back and re-executes) in PE-major order (spec.go).
+//   - Torus, conservative or adaptive: all PEs run concurrently; link
+//     reservations commit through the windowed PDES session, which
+//     reproduces the canonical order's placements exactly (see
+//     noc/pdes.go), so results stay bit-identical at any GOMAXPROCS and
+//     interleaving.
+//   - Flat: no link state exists and PE clocks are fully independent, so
+//     the PEs fan out over the shared worker budget (degrading to inline
+//     when the machine is busy), work-stealing by atomic index. Memory is
+//     still shared, though: line fills and prefetch captures race with
+//     same-epoch writes, so fault-free untraced runs carry the speculative
+//     capture bookkeeping and settle serially afterwards (settleFlat,
+//     spec.go), keeping results bit-identical to the canonical PE-major
+//     order at any GOMAXPROCS.
 func (e *Engine) parallelEpoch(node *ir.EpochNode) error {
-	mp := e.c.Machine
-	l := e.cp.nodes[node.Index].loop
+	e.curLoop = e.cp.nodes[node.Index].loop
 	errs := e.errs
 	for i := range errs {
 		errs[i] = nil
-	}
-	runPE := func(p int) {
-		defer func() {
-			if r := recover(); r != nil {
-				errs[p] = fmt.Errorf("PE %d: %v", p, r)
-			}
-		}()
-		pe := e.pes[p]
-		if e.opts.DetectRaces {
-			if pe.raceRd == nil {
-				pe.raceRd = bitset.NewSparse(e.mem.Words())
-				pe.raceWr = bitset.NewSparse(e.mem.Words())
-			}
-			pe.reads = pe.raceRd
-			pe.writes = pe.raceWr
-		}
-		switch e.c.Mode {
-		case core.ModeBase:
-			pe.now += mp.CraftDosharedSetupCost
-		case core.ModeCCDP:
-			pe.now += mp.CCDPLoopSetupCost
-		}
-		errs[p] = pe.runDoall(l)
 	}
 
 	switch {
 	case e.opts.DetectRaces || len(e.pes) == 1 || e.hw != nil || (e.net != nil && !e.pdes):
 		for p := range e.pes {
-			runPE(p)
+			e.runPE(p)
 		}
 
+	case e.net != nil && e.optimistic:
+		e.specEpoch()
+
 	case e.net != nil:
-		// Windowed conservative PDES: one goroutine per PE (they spend
-		// their commit waits blocked, so this does not draw from the
+		// Windowed PDES session: one pool worker per PE (they spend their
+		// commit waits blocked, so this does not draw from the shared
 		// worker budget), clocks seeded with the epoch-entry times.
 		for p, pe := range e.pes {
 			e.starts[p] = pe.now
 			pe.sess = e.sess
+			pe.tr = e.sess
 		}
 		e.sess.Begin(e.starts)
-		e.tr = e.sess
 		e.mem.SetSerial(false)
-		var wg sync.WaitGroup
-		for p := range e.pes {
-			wg.Add(1)
-			go func(p int) {
-				defer wg.Done()
-				defer e.sess.Done(p)
-				runPE(p)
-			}(p)
-		}
-		wg.Wait()
+		e.fanOut(jobSession)
 		e.mem.SetSerial(true)
-		e.tr = e.net
 		for _, pe := range e.pes {
 			pe.sess = nil
+			pe.tr = e.net
 		}
 
 	default:
 		extra := parallel.AcquireWorkers(len(e.pes) - 1)
 		if extra == 0 {
 			for p := range e.pes {
-				runPE(p)
+				e.runPE(p)
 			}
 			break
+		}
+		if e.flatSpec {
+			e.beginMemSpec()
 		}
 		e.mem.SetSerial(false)
 		var next atomic.Int64
@@ -644,7 +724,7 @@ func (e *Engine) parallelEpoch(node *ir.EpochNode) error {
 				if p >= len(e.pes) {
 					return
 				}
-				runPE(p)
+				e.runPE(p)
 			}
 		}
 		var wg sync.WaitGroup
@@ -659,6 +739,9 @@ func (e *Engine) parallelEpoch(node *ir.EpochNode) error {
 		wg.Wait()
 		parallel.ReleaseWorkers(extra)
 		e.mem.SetSerial(true)
+		if e.flatSpec {
+			e.settleFlat()
+		}
 	}
 
 	for _, err := range errs {
@@ -722,6 +805,15 @@ func (e *Engine) reportStale(pe *peState, r *ir.Ref, addr int64, gen uint32) {
 	}
 	if r != nil {
 		v.Ref = r.String()
+	}
+	if pe.spec {
+		// Speculative epoch: buffer on the PE and merge at commit (PE-major,
+		// deterministic, no lock); a rollback discards and the re-execution
+		// re-detects.
+		if len(pe.pendViol) < maxRecordedViolations {
+			pe.pendViol = append(pe.pendViol, v)
+		}
+		return
 	}
 	e.staleMu.Lock()
 	if len(e.violations) < maxRecordedViolations {

@@ -14,16 +14,36 @@ import (
 	"repro/internal/workloads"
 )
 
+// pdesVariant is one concurrent execution flavour the equivalence property
+// test checks against the canonical sequential order. skew, when set,
+// perturbs the optimistic mode's round-trip predictions so a healthy share
+// of speculative epochs is convicted and re-executed — the rollback path
+// must converge to the same results, and the variant asserts it actually
+// ran (a passing test with zero rollbacks would prove nothing).
+type pdesVariant struct {
+	name string
+	mode noc.PDESMode
+	skew bool
+}
+
+var pdesVariants = []pdesVariant{
+	{"optimistic", noc.PDESOptimistic, false},
+	{"optimistic-skewed", noc.PDESOptimistic, true},
+	{"conservative", noc.PDESConservative, false},
+	{"adaptive", noc.PDESAdaptive, false},
+}
+
 // TestParallelTorusMatchesSequential is the engine-level PDES equivalence
-// property test: every workload runs over the torus twice — once with
-// Options.SerialTorus (the canonical sequential PE-major booking order the
-// golden CSVs pin) and once through the default concurrent windowed-PDES
-// path with goroutine yields injected at every session commit point — and
-// every observable must match exactly: total and per-PE cycles, the full
-// stats block, the complete per-link network summary, and the computed
-// array contents. GOMAXPROCS is forced above 1 so the PDES path actually
-// engages even on single-core CI runners; running under -race additionally
-// proves the concurrent path's synchronization sound.
+// property test: every workload runs over the torus with Options.SerialTorus
+// (the canonical sequential PE-major booking order the golden CSVs pin) and
+// then through every concurrent PDES mode — optimistic speculation (plus a
+// variant with mispredictions injected to force rollbacks), windowed
+// conservative, and adaptive lookahead — with goroutine yields injected at
+// every commit point. Every observable must match exactly: total and per-PE
+// cycles, the full stats block, the complete per-link network summary, and
+// the computed array contents. GOMAXPROCS is forced above 1 so the PDES
+// paths actually engage even on single-core CI runners; running under -race
+// additionally proves the concurrent paths' synchronization sound.
 func TestParallelTorusMatchesSequential(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
@@ -44,6 +64,12 @@ func TestParallelTorusMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Rollbacks are counted across all workloads: a workload whose parallel
+	// epochs make no remote round trips has nothing to skew (VPENTA's
+	// chunks are all-local), but if NO skewed run anywhere rolled back, the
+	// rollback path was never exercised and the convergence claim is
+	// untested.
+	var totalRollbacks int64
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			mp := machine.T3D(tc.pes)
@@ -61,44 +87,73 @@ func TestParallelTorusMatchesSequential(t *testing.T) {
 				wantData[name] = want.Mem.ArrayData(want.Mem.ArrayNamed(name))
 			}
 
-			// A fresh Engine per run: want.Mem aliases its engine's memory.
-			eng, err := exec.New(c)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var yields atomic.Int64
-			noc.TestCommitYield = func() {
-				if yields.Add(1)%5 == 0 {
-					runtime.Gosched()
-				}
-			}
-			defer func() { noc.TestCommitYield = nil }()
-			got, err := eng.Run(exec.Options{FailOnStale: true})
-			noc.TestCommitYield = nil
-			if err != nil {
-				t.Fatal(err)
-			}
+			for _, v := range pdesVariants {
+				t.Run(v.name, func(t *testing.T) {
+					vmp := mp
+					vmp.PDES = v.mode
+					vc, err := core.Compile(tc.spec.Prog, tc.mode, vmp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// A fresh Engine per run: want.Mem aliases its own
+					// engine's memory.
+					eng, err := exec.New(vc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer eng.Close()
+					var yields atomic.Int64
+					noc.TestCommitYield = func() {
+						if yields.Add(1)%5 == 0 {
+							runtime.Gosched()
+						}
+					}
+					defer func() { noc.TestCommitYield = nil }()
+					if v.skew {
+						var skews atomic.Int64
+						noc.TestSpecSkew = func() int64 {
+							if skews.Add(1)%7 == 1 {
+								return 31
+							}
+							return 0
+						}
+						defer func() { noc.TestSpecSkew = nil }()
+					}
+					got, err := eng.Run(exec.Options{FailOnStale: true})
+					noc.TestCommitYield = nil
+					noc.TestSpecSkew = nil
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v.skew {
+						totalRollbacks += eng.SpecRollbacks()
+					}
 
-			if got.Cycles != want.Cycles {
-				t.Errorf("cycles: pdes %d != sequential %d", got.Cycles, want.Cycles)
-			}
-			if !reflect.DeepEqual(got.PECycles, want.PECycles) {
-				t.Errorf("per-PE cycles diverge:\npdes: %v\nseq:  %v", got.PECycles, want.PECycles)
-			}
-			if got.Stats != want.Stats {
-				t.Errorf("stats diverge:\npdes: %+v\nseq:  %+v", got.Stats, want.Stats)
-			}
-			if !reflect.DeepEqual(got.Net, want.Net) {
-				t.Errorf("network summaries diverge")
-				diffSummaries(t, got.Net, want.Net)
-			}
-			for _, name := range tc.spec.CheckArrays {
-				gotData := got.Mem.ArrayData(got.Mem.ArrayNamed(name))
-				if !reflect.DeepEqual(gotData, wantData[name]) {
-					t.Errorf("array %s contents diverge", name)
-				}
+					if got.Cycles != want.Cycles {
+						t.Errorf("cycles: pdes %d != sequential %d", got.Cycles, want.Cycles)
+					}
+					if !reflect.DeepEqual(got.PECycles, want.PECycles) {
+						t.Errorf("per-PE cycles diverge:\npdes: %v\nseq:  %v", got.PECycles, want.PECycles)
+					}
+					if got.Stats != want.Stats {
+						t.Errorf("stats diverge:\npdes: %+v\nseq:  %+v", got.Stats, want.Stats)
+					}
+					if !reflect.DeepEqual(got.Net, want.Net) {
+						t.Errorf("network summaries diverge")
+						diffSummaries(t, got.Net, want.Net)
+					}
+					for _, name := range tc.spec.CheckArrays {
+						gotData := got.Mem.ArrayData(got.Mem.ArrayNamed(name))
+						if !reflect.DeepEqual(gotData, wantData[name]) {
+							t.Errorf("array %s contents diverge", name)
+						}
+					}
+				})
 			}
 		})
+	}
+	if totalRollbacks == 0 {
+		t.Error("no skewed optimistic run performed a rollback; the convergence property is untested")
 	}
 }
 
@@ -130,50 +185,93 @@ func diffSummaries(t *testing.T, got, want *noc.Summary) {
 	}
 }
 
+// resultSnap deep-copies the comparable observables of a Result: a Result
+// returned by Engine.Run aliases Engine-owned storage that the next Run on
+// the same Engine overwrites, so cross-run comparisons must copy first.
+type resultSnap struct {
+	cycles   int64
+	stats    interface{}
+	pecycles []int64
+	hopHist  []int64
+	links    []noc.LinkStat
+	netTot   [4]int64
+	data     []float64
+}
+
+func snapResult(r *exec.Result, data []float64) resultSnap {
+	s := resultSnap{
+		cycles:   r.Cycles,
+		stats:    r.Stats,
+		pecycles: append([]int64(nil), r.PECycles...),
+		data:     append([]float64(nil), data...),
+	}
+	if r.Net != nil {
+		s.hopHist = append([]int64(nil), r.Net.HopHist...)
+		s.links = append([]noc.LinkStat(nil), r.Net.Links...)
+		s.netTot = [4]int64{r.Net.Messages, r.Net.WaitCycles, r.Net.Contended, r.Net.MaxWait}
+	}
+	return s
+}
+
 // TestEngineReuseIsDeterministic pins the arena behaviour the Engine split
-// exists for: one Engine Run repeatedly — including alternating serial and
-// PDES torus paths — must reproduce the identical result every time.
+// exists for: one Engine Run repeatedly — alternating the serial reference
+// order, the optimistic speculation path and the conservative session on
+// the same arenas — must reproduce the identical result every time.
 func TestEngineReuseIsDeterministic(t *testing.T) {
 	prev := runtime.GOMAXPROCS(2)
 	defer runtime.GOMAXPROCS(prev)
 
-	mp := machine.T3D(8)
 	topo, err := noc.Parse("torus")
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp.Topology = topo
 	spec := workloads.MXM(32, 16, 8)
-	c, err := core.Compile(spec.Prog, core.ModeCCDP, mp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := exec.New(c)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var ref *exec.Result
-	var refData []float64
-	for i := 0; i < 4; i++ {
-		serial := i%2 == 1
-		r, err := eng.Run(exec.Options{FailOnStale: true, SerialTorus: serial})
-		if err != nil {
-			t.Fatal(err)
-		}
-		data := r.Mem.ArrayData(r.Mem.ArrayNamed(spec.CheckArrays[0]))
-		if ref == nil {
-			ref, refData = r, data
-			continue
-		}
-		label := fmt.Sprintf("run %d (serial=%v)", i, serial)
-		if r.Cycles != ref.Cycles || r.Stats != ref.Stats {
-			t.Errorf("%s: stats diverge from run 0", label)
-		}
-		if !reflect.DeepEqual(r.Net, ref.Net) {
-			t.Errorf("%s: network summary diverges from run 0", label)
-		}
-		if !reflect.DeepEqual(data, refData) {
-			t.Errorf("%s: results diverge from run 0", label)
-		}
+	for _, v := range []struct {
+		name string
+		mode noc.PDESMode
+	}{{"optimistic", noc.PDESOptimistic}, {"conservative", noc.PDESConservative}} {
+		t.Run(v.name, func(t *testing.T) {
+			mp := machine.T3D(8)
+			mp.Topology = topo
+			mp.PDES = v.mode
+			c, err := core.Compile(spec.Prog, core.ModeCCDP, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := exec.New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			var ref resultSnap
+			have := false
+			for i := 0; i < 4; i++ {
+				serial := i%2 == 1
+				r, err := eng.Run(exec.Options{FailOnStale: true, SerialTorus: serial})
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := r.Mem.ArrayData(r.Mem.ArrayNamed(spec.CheckArrays[0]))
+				got := snapResult(r, data)
+				if !have {
+					ref, have = got, true
+					continue
+				}
+				label := fmt.Sprintf("run %d (serial=%v)", i, serial)
+				if got.cycles != ref.cycles || got.stats != ref.stats {
+					t.Errorf("%s: stats diverge from run 0", label)
+				}
+				if !reflect.DeepEqual(got.pecycles, ref.pecycles) {
+					t.Errorf("%s: per-PE cycles diverge from run 0", label)
+				}
+				if got.netTot != ref.netTot || !reflect.DeepEqual(got.hopHist, ref.hopHist) ||
+					!reflect.DeepEqual(got.links, ref.links) {
+					t.Errorf("%s: network summary diverges from run 0", label)
+				}
+				if !reflect.DeepEqual(got.data, ref.data) {
+					t.Errorf("%s: results diverge from run 0", label)
+				}
+			}
+		})
 	}
 }

@@ -11,18 +11,25 @@ import (
 )
 
 // RunConfig is one point of the differential matrix: a mode, a PE count, a
-// topology and a fault plan. Its String form round-trips through
-// ParseRunConfig, so repro artifacts can record the exact configuration.
+// topology, a torus PDES commit scheme and a fault plan. Its String form
+// round-trips through ParseRunConfig, so repro artifacts can record the
+// exact configuration.
 type RunConfig struct {
 	Mode     core.Mode
 	PEs      int
 	Topology noc.Config
+	PDES     noc.PDESMode
 	Fault    fault.Plan
 }
 
-// String renders the config as space-separated key=value tokens.
+// String renders the config as space-separated key=value tokens. The pdes
+// token is omitted for the zero (optimistic, default) mode, so artifacts
+// recorded before the mode existed still parse to the same config.
 func (rc RunConfig) String() string {
 	s := fmt.Sprintf("mode=%s pes=%d topo=%s", rc.Mode, rc.PEs, rc.Topology)
+	if rc.PDES != noc.PDESOptimistic {
+		s += " pdes=" + rc.PDES.String()
+	}
 	if rc.Fault.Enabled() {
 		s += fmt.Sprintf(" frate=%g fkinds=%s fseed=%d",
 			rc.Fault.Rate, fault.FormatKinds(rc.Fault.Kinds), rc.Fault.Seed)
@@ -57,6 +64,8 @@ func ParseRunConfig(s string) (RunConfig, error) {
 			rc.PEs, err = strconv.Atoi(val)
 		case "topo":
 			rc.Topology, err = noc.Parse(val)
+		case "pdes":
+			rc.PDES, err = noc.ParsePDES(val)
 		case "frate":
 			rc.Fault.Rate, err = strconv.ParseFloat(val, 64)
 		case "fkinds":
@@ -102,6 +111,13 @@ func DefaultMatrix(faultSeed int64) []RunConfig {
 			}
 		}
 	}
+	// The torus entries above run the default optimistic PDES scheme; one
+	// fault-free CCDP point per alternative scheme pins all three against
+	// the same referees (including the canonical-timing referee).
+	for _, pm := range []noc.PDESMode{noc.PDESConservative, noc.PDESAdaptive} {
+		out = append(out, RunConfig{Mode: core.ModeCCDP, PEs: 8,
+			Topology: noc.Config{Kind: noc.KindTorus}, PDES: pm})
+	}
 	return append(out, HWMatrix()...)
 }
 
@@ -114,6 +130,19 @@ func CoherenceMatrix() []RunConfig {
 		for _, pes := range []int{3, 8} {
 			out = append(out, RunConfig{Mode: core.ModeCCDP, PEs: pes, Topology: topo})
 		}
+	}
+	return out
+}
+
+// TimingMatrix is the slice of the default matrix where the optimistic
+// torus PDES scheme engages: fault-free CCDP on the torus at an uneven (3)
+// and an even (8) PE count. The rollback-sabotage mutation test uses it to
+// bound its search the way CoherenceMatrix bounds the invalidation tests'.
+func TimingMatrix() []RunConfig {
+	var out []RunConfig
+	for _, pes := range []int{3, 8} {
+		out = append(out, RunConfig{Mode: core.ModeCCDP, PEs: pes,
+			Topology: noc.Config{Kind: noc.KindTorus}})
 	}
 	return out
 }

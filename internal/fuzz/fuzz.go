@@ -27,6 +27,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/noc"
 	"repro/internal/parallel"
 	"repro/internal/pass"
 	"repro/internal/progen"
@@ -316,6 +317,7 @@ func checkOne(p *ir.Program, golden goldenFn, rc RunConfig, mut Mutation) (f *Fi
 
 	mp := machine.T3D(rc.PEs)
 	mp.Topology = rc.Topology
+	mp.PDES = rc.PDES
 	c, err := core.Compile(p, rc.Mode, mp)
 	if err != nil {
 		return &Finding{Config: rc, Mutation: mut, Referee: RefereeCompile, Detail: oneLine(err.Error())}
@@ -348,6 +350,33 @@ func checkOne(p *ir.Program, golden goldenFn, rc RunConfig, mut Mutation) (f *Fi
 			if got[i] != want[a.Name][i] {
 				return &Finding{Config: rc, Mutation: mut, Referee: RefereeDivergence,
 					Detail: fmt.Sprintf("%s[%d]: got %v, sequential golden %v", a.Name, i, got[i], want[a.Name][i])}
+			}
+		}
+	}
+
+	// Canonical-timing referee: every concurrent torus PDES scheme promises
+	// cycle counts bit-identical to the canonical sequential PE-major
+	// booking order — the array referees above cannot see a scheme that
+	// places link reservations wrongly but computes the right values (the
+	// exact failure MutNoRollback plants), so torus configs are rerun in
+	// the canonical order and compared cycle for cycle. Skipped where the
+	// concurrent path cannot engage (r then already ran canonically).
+	if rc.Topology.Kind != noc.KindFlat && rc.PEs > 1 && runtime.GOMAXPROCS(0) > 1 {
+		sr, err := exec.Run(c, exec.Options{Fault: rc.Fault, SerialTorus: true})
+		if err != nil {
+			return &Finding{Config: rc, Mutation: mut, Referee: RefereeRun,
+				Detail: "canonical serial rerun: " + oneLine(err.Error())}
+		}
+		if r.Cycles != sr.Cycles {
+			return &Finding{Config: rc, Mutation: mut, Referee: RefereeDivergence,
+				Detail: fmt.Sprintf("cycles diverge from canonical serial order: pdes=%s got %d, canonical %d",
+					c.Machine.PDES, r.Cycles, sr.Cycles)}
+		}
+		for pe, got := range r.PECycles {
+			if got != sr.PECycles[pe] {
+				return &Finding{Config: rc, Mutation: mut, Referee: RefereeDivergence,
+					Detail: fmt.Sprintf("PE %d cycles diverge from canonical serial order: pdes=%s got %d, canonical %d",
+						pe, c.Machine.PDES, got, sr.PECycles[pe])}
 			}
 		}
 	}

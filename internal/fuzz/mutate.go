@@ -35,6 +35,14 @@ const (
 	// coherence oracle, proving the oracle also guards the arena's
 	// directory modes. A no-op outside the hardware modes.
 	MutNoDirInvalidate
+	// MutNoRollback disables the optimistic PDES scheme's rollback: a PE
+	// whose speculative link timings mispredict keeps them anyway, so its
+	// cycle counts silently drift from the canonical PE-major booking
+	// order while the computed arrays stay correct. The canonical-timing
+	// referee (a SerialTorus rerun compared cycle for cycle) must flag the
+	// drift. A no-op off the torus, below 2 PEs, and on a single-threaded
+	// scheduler, where speculation never engages.
+	MutNoRollback
 )
 
 func (m Mutation) String() string {
@@ -47,6 +55,8 @@ func (m Mutation) String() string {
 		return "no-sched-marks"
 	case MutNoDirInvalidate:
 		return "no-dir-invalidate"
+	case MutNoRollback:
+		return "no-rollback"
 	default:
 		return fmt.Sprintf("Mutation(%d)", int(m))
 	}
@@ -54,12 +64,12 @@ func (m Mutation) String() string {
 
 // ParseMutation reads a Mutation in String form.
 func ParseMutation(s string) (Mutation, error) {
-	for _, m := range []Mutation{MutNone, MutNoInvalidate, MutNoSchedMarks, MutNoDirInvalidate} {
+	for _, m := range []Mutation{MutNone, MutNoInvalidate, MutNoSchedMarks, MutNoDirInvalidate, MutNoRollback} {
 		if s == m.String() {
 			return m, nil
 		}
 	}
-	return MutNone, fmt.Errorf("fuzz: unknown mutation %q (want none, no-invalidate, no-sched-marks or no-dir-invalidate)", s)
+	return MutNone, fmt.Errorf("fuzz: unknown mutation %q (want none, no-invalidate, no-sched-marks, no-dir-invalidate or no-rollback)", s)
 }
 
 // Sabotage applies m to a compiled program in place. It is a no-op for
@@ -91,5 +101,7 @@ func Sabotage(c *core.Compiled, m Mutation) {
 			return
 		}
 		c.Machine.DirDropInvalidations = true
+	case MutNoRollback:
+		c.Machine.PDESNoRollback = true
 	}
 }

@@ -74,6 +74,10 @@ type Config struct {
 	// sequential baseline always runs flat). The zero value keeps the flat
 	// constant-latency model, bit-identical to a pre-noc sweep.
 	Topology noc.Config
+	// PDES selects how parallel torus epochs commit link reservations
+	// (optimistic speculation by default). Results are bit-identical across
+	// modes; only wall-clock scaling differs.
+	PDES noc.PDESMode
 }
 
 // RunApp sweeps one application. Every parallel run's check arrays are
@@ -86,6 +90,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 	mk := func(p int) machine.Params {
 		mp := machine.T3D(p)
 		mp.Topology = cfg.Topology
+		mp.PDES = cfg.PDES
 		if cfg.Tune != nil {
 			cfg.Tune(&mp)
 		}

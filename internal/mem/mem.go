@@ -99,6 +99,19 @@ func (m *Memory) Reset() {
 	}
 }
 
+// Clone returns a memory with its own copy of the word and generation
+// state, sharing the immutable layout (program, array table). The execution
+// engine detaches a finished run's memory from the engine before the engine
+// is reused, so the returned Result stays valid. The clone starts in serial
+// mode: it belongs to whoever holds the Result, not to a running machine.
+func (m *Memory) Clone() *Memory {
+	out := *m
+	out.words = append([]uint64(nil), m.words...)
+	out.gen = append([]uint32(nil), m.gen...)
+	out.serial = true
+	return &out
+}
+
 // ArrayNamed returns this memory's own record of the named array — the
 // compiled clone's copy, whose Base matches this memory's layout. Callers
 // comparing results across runs must resolve arrays through each run's
@@ -159,6 +172,25 @@ func (m *Memory) Gen(addr int64) uint32 {
 		return m.gen[addr]
 	}
 	return atomic.LoadUint32(&m.gen[addr])
+}
+
+// PeekBits returns the raw stored bits and generation of the word at addr —
+// the exact round-trippable representation the optimistic PDES undo log
+// (internal/exec) captures before a speculative write. Float64bits survives
+// NaN payloads that a float64-level copy could normalize.
+func (m *Memory) PeekBits(addr int64) (bits uint64, gen uint32) {
+	if m.serial {
+		return m.words[addr], m.gen[addr]
+	}
+	return atomic.LoadUint64(&m.words[addr]), atomic.LoadUint32(&m.gen[addr])
+}
+
+// RestoreBits reinstates a word and generation captured by PeekBits (the
+// rollback path). Must only be called from a single-goroutine section; the
+// engine rolls PEs back during the serial validation phase.
+func (m *Memory) RestoreBits(addr int64, bits uint64, gen uint32) {
+	m.words[addr] = bits
+	m.gen[addr] = gen
 }
 
 // Write stores v at addr and bumps its generation. Within a parallel epoch

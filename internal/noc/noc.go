@@ -27,6 +27,7 @@ package noc
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -198,6 +199,18 @@ type Network struct {
 	// scratch holds the route of the message being sent (no per-message
 	// allocation).
 	scratch []int32
+	// names caches the rendered per-link names ("PE7+x"); built on first
+	// LinkName call so the many predictor networks of an optimistic run,
+	// which never report, pay nothing. Keeping fmt off the Run path also
+	// makes steady-state allocation counts deterministic (fmt's internal
+	// sync.Pool refills after a GC showed up as ±1 allocs/op drift in the
+	// benchmarks).
+	names []string
+	// dist caches pairwise route lengths (dist[src*numPE+dst]) for the
+	// adaptive PDES commit rule; built on first Dist call.
+	dist []int32
+	// topoStr caches the rendered topology label (summary.go).
+	topoStr string
 
 	// Cumulative message accounting.
 	msgs, words, hops, waitCycles, contended int64
@@ -236,6 +249,16 @@ func New(cfg Config, numPE int) (*Network, error) {
 	// One link per node per dimension per direction (+,−), wraparound
 	// links included.
 	n.links = make([]linkState, numPE*numDims*2)
+	// Pre-size every link's schedule out of one slab: first-fit insertion
+	// grows schedules by appending, and letting several hundred links each
+	// double their way up dominated the one-shot allocation profile. Hot
+	// links that outgrow the seed capacity migrate out of the slab on their
+	// first append (three-index slicing keeps neighbors from overlapping).
+	const seedIvals = 8
+	ivalSlab := make([]ival, len(n.links)*seedIvals)
+	for i := range n.links {
+		n.links[i].ivals = ivalSlab[i*seedIvals : i*seedIvals : (i+1)*seedIvals][:0]
+	}
 	maxHops := 0
 	for d := 0; d < numDims; d++ {
 		maxHops += n.dims[d] / 2
@@ -291,15 +314,37 @@ func (n *Network) linkID(node, d, dir int) int32 {
 }
 
 // LinkName renders a link id as "PE7+x" (the +x link out of node 7).
+// Names are rendered once per network and cached.
 func (n *Network) LinkName(id int32) string {
-	node := int(id) / (numDims * 2)
-	rem := int(id) % (numDims * 2)
-	d, dir := rem/2, rem%2
-	sign := "+"
-	if dir == 1 {
-		sign = "-"
+	if n.names == nil {
+		n.names = make([]string, len(n.links))
+		for i := range n.names {
+			node := i / (numDims * 2)
+			rem := i % (numDims * 2)
+			d, dir := rem/2, rem%2
+			sign := "+"
+			if dir == 1 {
+				sign = "-"
+			}
+			n.names[i] = "PE" + strconv.Itoa(node) + sign + string("xyz"[d])
+		}
 	}
-	return fmt.Sprintf("PE%d%s%c", node, sign, "xyz"[d])
+	return n.names[id]
+}
+
+// Dist returns the dimension-order route length between two PEs from a
+// lazily built table (the adaptive PDES commit rule queries it per hop per
+// commit, too hot for the coordinate arithmetic of Hops).
+func (n *Network) Dist(src, dst int) int {
+	if n.dist == nil {
+		n.dist = make([]int32, n.numPE*n.numPE)
+		for s := 0; s < n.numPE; s++ {
+			for d := 0; d < n.numPE; d++ {
+				n.dist[s*n.numPE+d] = int32(n.Hops(s, d))
+			}
+		}
+	}
+	return int(n.dist[src*n.numPE+dst])
 }
 
 // Route appends the dimension-order route from src to dst (as link ids) to
@@ -429,6 +474,41 @@ func (n *Network) planSend(src, dst int, payload, depart, hotExtra int64) (arriv
 		}
 	}
 	return t + payload*n.cfg.WordCost, wait
+}
+
+// linkEnd is one hop of a planned placement: the node whose outgoing link
+// carries the message, and the cycle the message's occupancy of that link
+// ends. The adaptive PDES commit rule (pdes.go) is phrased in these.
+type linkEnd struct {
+	node int32
+	end  int64
+}
+
+// planSendEnds computes, without reserving anything, the per-hop
+// (node, occupancy-end) pairs of the placement Send would commit right now,
+// appending them to out. Like planSend it is exact as long as no other
+// booking interleaves, which the Session's lock guarantees.
+func (n *Network) planSendEnds(src, dst int, payload, depart, hotExtra int64, out []linkEnd) (ends []linkEnd, arrive int64) {
+	out = out[:0]
+	if src == dst {
+		return out, depart
+	}
+	route := n.Route(src, dst)
+	occBase := n.cfg.HopCost + payload*n.cfg.WordCost
+	t := depart
+	for k, id := range route {
+		occ := occBase
+		if k == 0 {
+			occ += hotExtra
+		}
+		start, _ := n.links[id].probe(t, occ)
+		out = append(out, linkEnd{node: id / (numDims * 2), end: start + occ})
+		t = start + n.cfg.HopCost
+		if k == 0 {
+			t += hotExtra
+		}
+	}
+	return out, t + payload*n.cfg.WordCost
 }
 
 // RoundTrip models a remote read-style transfer: a one-word request from

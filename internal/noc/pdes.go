@@ -33,6 +33,23 @@
 // (per-link counters, hop histogram, wait totals and maxima, drop
 // decisions) is identical too: they are sums and maxima of identical
 // per-transaction values.
+//
+// The ADAPTIVE mode (PDESAdaptive) keeps the same machinery but relaxes the
+// commit rule per link: instead of one quantized horizon that every lower
+// PE's clock must pass, each hop of the planned placement — occupying the
+// link leaving node v until cycle end — demands only that lower PE q reach
+// end − dist(q,v)·HopCost. Any traffic q issues after its clock c departs at
+// or after c, and its head cannot occupy v's outgoing link before
+// c + dist(q,v)·HopCost: route prefixes are shortest paths, reply legs add
+// dist(q,dst) + RemoteBaseCost + dist(dst,v) ≥ dist(q,v) hops of delay by
+// the triangle inequality, first-fit never places a message before its
+// request time, and hotspot stalls only push times later. So when q's clock
+// passes the per-link threshold, every future q-interval on that link starts
+// at or after our occupancy's end — with half-open intervals and probe's
+// `hi > at` scan, neither booking can perturb the other's placement, which
+// is the same mutual-invisibility argument as the conservative window, made
+// per-link. Distant lower PEs therefore stop gating commits at all, which
+// is what lets low-contention epochs commit with near-zero waiting.
 package noc
 
 import (
@@ -68,9 +85,19 @@ type Session struct {
 	// clocks[p] is PE p's last published simulated time (MaxInt64 once the
 	// PE is done). Written only by PE p, read by committing PEs.
 	clocks []atomic.Int64
-	// waiting[p] is the clock threshold PE p's pending commit needs every
-	// lower PE to reach (MaxInt64 when p is not waiting). Guarded by mu.
+	// waiting[p] is the SMALLEST clock threshold PE p's pending commit
+	// needs any lower PE to reach (MaxInt64 when p is not waiting); the
+	// exact per-PE thresholds live in thr. Guarded by mu.
 	waiting []int64
+	// mode selects the commit rule: PDESAdaptive uses per-link lookahead
+	// thresholds, anything else the conservative windowed horizon.
+	mode PDESMode
+	// thr[p*numPE+q] is the clock threshold PE p's pending commit needs PE
+	// q (< p) to reach — uniform (the horizon) in conservative mode,
+	// per-link-derived in adaptive mode. Guarded by mu.
+	thr []int64
+	// ends is planSendEnds scratch. Guarded by mu.
+	ends []linkEnd
 	// waitLine caches min(waiting): publishers skip the mutex and the
 	// broadcast entirely while no waiter needs their new clock value. The
 	// store-waitLine-then-load-clocks (waiter) versus
@@ -90,6 +117,7 @@ func NewSession(net *Network) *Session {
 		window:  net.cfg.HopCost + net.cfg.WordCost,
 		clocks:  make([]atomic.Int64, net.numPE),
 		waiting: make([]int64, net.numPE),
+		thr:     make([]int64, net.numPE*net.numPE),
 	}
 	if s.window < 1 {
 		s.window = 1
@@ -100,6 +128,12 @@ func NewSession(net *Network) *Session {
 
 // Window returns the lookahead width in cycles.
 func (s *Session) Window() int64 { return s.window }
+
+// SetMode selects the commit rule for subsequent epochs: PDESAdaptive uses
+// the per-link lookahead thresholds, anything else the conservative
+// windowed horizon (the optimistic mode never routes through a Session).
+// Call only between epochs.
+func (s *Session) SetMode(m PDESMode) { s.mode = m }
 
 // Stalls returns the cumulative number of commit waits across epochs.
 func (s *Session) Stalls() int64 {
@@ -177,13 +211,12 @@ func (s *Session) sendAs(owner, from, to int, payload, depart, hot int64) (arriv
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		arrive, wait = s.net.planSend(from, to, payload, depart, hot)
-		if s.safeLocked(owner, arrive) {
+		if s.safePlanLocked(owner, from, to, payload, depart, hot) {
 			// Plan and apply run under one lock hold, so the placement the
 			// plan saw is the placement Send commits.
 			return s.net.Send(from, to, payload, depart, hot)
 		}
-		s.await(owner, s.horizon(arrive))
+		s.await(owner)
 	}
 }
 
@@ -214,30 +247,64 @@ func (s *Session) horizon(end int64) int64 {
 	return (end/s.window + 1) * s.window
 }
 
-// safeLocked reports whether every PE below src has published a clock past
-// the horizon of a reservation ending at `end`. Finished PEs are at
-// +infinity; PE 0 is vacuously always safe.
-func (s *Session) safeLocked(src int, end int64) bool {
-	threshold := s.horizon(end)
-	for q := 0; q < src; q++ {
+// safePlanLocked plans the message's placement against the current link
+// schedules and fills owner's row of thr with the clock threshold each
+// lower PE must reach before the commit is provably canonical, returning
+// whether every lower PE is already there. Finished PEs are at +infinity;
+// PE 0 is vacuously always safe. Callers hold mu.
+func (s *Session) safePlanLocked(owner, from, to int, payload, depart, hot int64) bool {
+	thr := s.thr[owner*s.net.numPE : (owner+1)*s.net.numPE]
+	ok := true
+	if s.mode == PDESAdaptive {
+		ends, _ := s.net.planSendEnds(from, to, payload, depart, hot, s.ends)
+		s.ends = ends
+		hop := s.net.cfg.HopCost
+		for q := 0; q < owner; q++ {
+			t := int64(math.MinInt64)
+			for _, le := range ends {
+				if v := le.end - int64(s.net.Dist(q, int(le.node)))*hop; v > t {
+					t = v
+				}
+			}
+			thr[q] = t
+			if s.clocks[q].Load() < t {
+				ok = false
+			}
+		}
+		return ok
+	}
+	arrive, _ := s.net.planSend(from, to, payload, depart, hot)
+	threshold := s.horizon(arrive)
+	for q := 0; q < owner; q++ {
+		thr[q] = threshold
 		if s.clocks[q].Load() < threshold {
-			return false
+			ok = false
 		}
 	}
-	return true
+	return ok
 }
 
-// await blocks (mu held) until every PE below src reaches threshold. It
-// registers the threshold before re-checking the clocks, pairing with
-// Publish's store-clock-then-load-waitLine order.
-func (s *Session) await(src int, threshold int64) {
-	s.waiting[src] = threshold
+// await blocks (mu held) until every PE below src reaches the threshold
+// recorded for it by safePlanLocked. It registers the smallest threshold as
+// the wake line before re-checking the clocks, pairing with Publish's
+// store-clock-then-load-waitLine order: a publisher crossing ANY per-PE
+// threshold has necessarily crossed the line, so its broadcast cannot be
+// missed (spurious wakes merely re-check).
+func (s *Session) await(src int) {
+	thr := s.thr[src*s.net.numPE : (src+1)*s.net.numPE]
+	line := int64(math.MaxInt64)
+	for q := 0; q < src; q++ {
+		if thr[q] < line {
+			line = thr[q]
+		}
+	}
+	s.waiting[src] = line
 	s.refreshWaitLine()
 	s.stalls++
 	for {
 		reached := true
 		for q := 0; q < src; q++ {
-			if s.clocks[q].Load() < threshold {
+			if s.clocks[q].Load() < thr[q] {
 				reached = false
 				break
 			}

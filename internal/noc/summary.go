@@ -37,28 +37,48 @@ type Summary struct {
 	Links []LinkStat
 }
 
+// Clone returns a summary with its own copy of the histogram and link
+// slices. The execution engine refills one engine-owned Summary per run;
+// a Result that outlives the engine's reuse carries a clone instead.
+func (s *Summary) Clone() *Summary {
+	out := *s
+	out.HopHist = append([]int64(nil), s.HopHist...)
+	out.Links = append([]LinkStat(nil), s.Links...)
+	return &out
+}
+
 // Summary snapshots the network's cumulative statistics. totalCycles (the
 // run's final cycle count) scales the per-link utilization.
 func (n *Network) Summary(totalCycles int64) *Summary {
-	s := &Summary{
-		X: n.dims[0], Y: n.dims[1], Z: n.dims[2],
-		Topology:   fmt.Sprintf("%dx%dx%d torus (%d PEs)", n.dims[0], n.dims[1], n.dims[2], n.numPE),
-		Messages:   n.msgs,
-		Words:      n.words,
-		WaitCycles: n.waitCycles,
-		Contended:  n.contended,
-		MaxWait:    n.maxWait,
-		HopHist:    append([]int64(nil), n.hopHist...),
-	}
+	s := &Summary{}
+	n.SummaryInto(s, totalCycles)
+	return s
+}
+
+// SummaryInto snapshots the network's cumulative statistics into s, reusing
+// s's HopHist and Links storage — the engine holds one Summary per Network
+// and refills it every run, so the steady state allocates nothing.
+func (n *Network) SummaryInto(s *Summary, totalCycles int64) {
+	s.X, s.Y, s.Z = n.dims[0], n.dims[1], n.dims[2]
+	s.Topology = n.topologyString()
+	s.Messages = n.msgs
+	s.Words = n.words
+	s.WaitCycles = n.waitCycles
+	s.Contended = n.contended
+	s.MaxWait = n.maxWait
+	s.HopHist = append(s.HopHist[:0], n.hopHist...)
+	s.MeanHops = 0
 	if n.msgs > 0 {
 		s.MeanHops = float64(n.hops) / float64(n.msgs)
 	}
+	s.MaxHops = 0
 	for h := len(n.hopHist) - 1; h > 0; h-- {
 		if n.hopHist[h] > 0 {
 			s.MaxHops = h
 			break
 		}
 	}
+	s.Links = s.Links[:0]
 	for id := range n.links {
 		l := &n.links[id]
 		if l.msgs == 0 {
@@ -74,13 +94,31 @@ func (n *Network) Summary(totalCycles int64) *Summary {
 		}
 		s.Links = append(s.Links, ls)
 	}
-	sort.Slice(s.Links, func(i, j int) bool {
-		if s.Links[i].Busy != s.Links[j].Busy {
-			return s.Links[i].Busy > s.Links[j].Busy
-		}
-		return s.Links[i].Name < s.Links[j].Name
-	})
-	return s
+	// sort.Sort on a pointer-to-named-slice-type stays off the heap, unlike
+	// sort.Slice's closure + reflect-based swapper.
+	sort.Sort((*linksByBusy)(&s.Links))
+}
+
+// topologyString caches the rendered topology label ("4x4x4 torus (64
+// PEs)") so repeated summaries keep fmt out of the run path.
+func (n *Network) topologyString() string {
+	if n.topoStr == "" {
+		n.topoStr = fmt.Sprintf("%dx%dx%d torus (%d PEs)", n.dims[0], n.dims[1], n.dims[2], n.numPE)
+	}
+	return n.topoStr
+}
+
+// linksByBusy sorts hotspots first: Busy descending, name ascending on ties.
+type linksByBusy []LinkStat
+
+func (l *linksByBusy) Len() int      { return len(*l) }
+func (l *linksByBusy) Swap(i, j int) { (*l)[i], (*l)[j] = (*l)[j], (*l)[i] }
+func (l *linksByBusy) Less(i, j int) bool {
+	a, b := &(*l)[i], &(*l)[j]
+	if a.Busy != b.Busy {
+		return a.Busy > b.Busy
+	}
+	return a.Name < b.Name
 }
 
 // MeanHopsOrZero returns the mean route length (0 on a nil summary).
