@@ -11,6 +11,7 @@
 // Usage:
 //
 //	ccdpbench [-table 1|2|all] [-apps MXM,VPENTA,TOMCATV,SWIM] [-pes 1,2,4,...]
+//	          [-machine-profile t3d|cxl-pcc|pim] [-domain-size D]
 //	          [-scale small|paper] [-topology flat|torus|XxYxZ] [-jobs N]
 //	          [-pdes optimistic|conservative|adaptive]
 //	          [-arena] [-arena-pes 8] [-hw-prefetch next-line|stride]
@@ -41,6 +42,9 @@ func main() {
 	apps := flag.String("apps", "MXM,VPENTA,TOMCATV,SWIM", "comma-separated application list")
 	pes := flag.String("pes", "1,2,4,8,16,32,64", "comma-separated PE counts")
 	scale := flag.String("scale", "paper", "problem scale: small or paper")
+	profile := flag.String("machine-profile", "t3d", driver.ProfileUsage())
+	domainSize := flag.Int("domain-size", 0,
+		"override the profile's coherence-domain size (0 = profile default, 1 = per-PE domains)")
 	details := flag.Bool("details", false, "print per-configuration details")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	arena := flag.Bool("arena", false, "run the coherence arena instead: every mode (software and hardware directory) on one machine size")
@@ -80,6 +84,9 @@ func main() {
 	if err != nil {
 		driver.Fatal(tool, err)
 	}
+	if _, err := machine.ProfileParams(*profile, 1); err != nil {
+		driver.Fatal(tool, err)
+	}
 
 	if *faultSweep {
 		specs, err := driver.Apps(*apps, *scale)
@@ -96,7 +103,7 @@ func main() {
 		if err != nil {
 			driver.Fatal(tool, err)
 		}
-		acfg := harness.ArenaConfig{PEs: *arenaPEs, Topology: topo, HWPrefetcher: *hf.Prefetcher,
+		acfg := harness.ArenaConfig{PEs: *arenaPEs, Profile: *profile, Topology: topo, HWPrefetcher: *hf.Prefetcher,
 			Tune: func(mp *machine.Params) {
 				// Directory shape only; the prefetcher is already routed to
 				// the HW modes by ArenaConfig.HWPrefetcher.
@@ -126,7 +133,7 @@ func main() {
 	if err != nil {
 		driver.Fatal(tool, err)
 	}
-	results, err := runApps(os.Stdout, specs, harness.Config{PECounts: peCounts, Fault: plan, Topology: topo, PDES: pdes}, *jobs, *details)
+	results, err := runApps(os.Stdout, specs, harness.Config{PECounts: peCounts, Profile: *profile, DomainSize: *domainSize, Fault: plan, Topology: topo, PDES: pdes}, *jobs, *details)
 	if err != nil {
 		driver.Fatal(tool, err)
 	}

@@ -28,8 +28,8 @@ func runSweep(w io.Writer, name string, peCounts []int, jobs int) error {
 	case "remote":
 		app = workloads.TOMCATV(257, 3)
 		// Sweep around the canonical T3D remote latency (⅓× to 4×) so the
-		// midpoint always matches machine.DefaultParams.
-		base := machine.DefaultParams.RemoteReadCost
+		// midpoint always matches the t3d machine profile.
+		base := machine.MustProfileParams("t3d", 1).RemoteReadCost
 		for _, lat := range []int64{base / 3, 2 * base / 3, base, 2 * base, 4 * base} {
 			lat := lat
 			points = append(points, sweepPoint{

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	ccdpc -app MXM [-pes 8] [-scale small|paper] [-mode seq|base|ccdp|incoherent]
+//	      [-machine-profile t3d|cxl-pcc|pim] [-domain-size D]
 //	      [-phase stale|target|sched|all] [-dump]
 //	      [-dump-after <pass>|all] [-dump-format text|json]
 //	      [-explain <array>|#<id>|all] [-check]
@@ -46,6 +47,9 @@ func main() {
 	app := flag.String("app", "MXM", "workload: MXM, VPENTA, TOMCATV or SWIM")
 	file := flag.String("file", "", "compile a program from a source file instead of a built-in workload")
 	pes := flag.Int("pes", 8, "number of PEs to compile for")
+	profile := flag.String("machine-profile", "t3d", driver.ProfileUsage())
+	domainSize := flag.Int("domain-size", 0,
+		"override the profile's coherence-domain size (0 = profile default, 1 = per-PE domains)")
 	scale := flag.String("scale", "small", "problem scale: small or paper")
 	mode := flag.String("mode", "ccdp", "execution mode to lower for: seq, base, ccdp or incoherent")
 	phase := flag.String("phase", "all", "phase to report: stale, target, sched or all")
@@ -110,7 +114,14 @@ func main() {
 		}
 	}
 
-	c, err := core.CompileOpt(prog, m, machine.T3D(*pes), opts)
+	mp, err := machine.ProfileParams(*profile, *pes)
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
+	if *domainSize > 0 {
+		mp.DomainSize = *domainSize
+	}
+	c, err := core.CompileOpt(prog, m, mp, opts)
 	if err != nil {
 		driver.Fatal(tool, err)
 	}

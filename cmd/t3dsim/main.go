@@ -4,6 +4,7 @@
 // Usage:
 //
 //	t3dsim -app TOMCATV -mode ccdp -pes 16 [-scale small|paper] [-races] [-verify]
+//	       [-machine-profile t3d|cxl-pcc|pim] [-domain-size D]
 //	       [-topology flat|torus|XxYxZ]
 //	       [-hw-prefetch next-line|stride] [-dir-pointers i]
 //	       [-dir-sparse-lines n] [-dir-sparse-ways w]
@@ -97,7 +98,7 @@ func main() {
 	}
 
 	if *verify {
-		cs, err := core.Compile(spec.Prog, core.ModeSeq, machine.T3D(1))
+		cs, err := core.Compile(spec.Prog, core.ModeSeq, machine.MustProfileParams("t3d", 1))
 		if err != nil {
 			driver.Fatal(tool, err)
 		}

@@ -216,6 +216,9 @@ func CompileOpt(src *ir.Program, mode Mode, mp machine.Params, opts Options) (*C
 		// sized for the parallel runs don't fail the 1-PE check.
 		mp.NumPE = 1
 		mp.Topology = noc.Config{}
+		// A 1-PE machine is one trivial coherence domain; drop a profile's
+		// multi-PE domain size so it cannot fail the divisibility check.
+		mp.DomainSize = 0
 	}
 	if err := mp.Validate(); err != nil {
 		return nil, err
@@ -261,8 +264,10 @@ func remapIDs(sres *stale.Result, tres *target.Result, old []*ir.Ref) {
 	}
 	sres.StaleReads = newBool(sres.StaleReads)
 	sres.RemoteReads = newBool(sres.RemoteReads)
+	sres.DemotedIntra = newBool(sres.DemotedIntra)
 	sres.Why = newStr(sres.Why)
 	sres.RemoteWhy = newStr(sres.RemoteWhy)
+	sres.DemotedWhy = newStr(sres.DemotedWhy)
 	tres.Targets = newBool(tres.Targets)
 	dropped := make(map[ir.RefID]target.Drop, len(tres.Dropped))
 	for id, v := range tres.Dropped {

@@ -94,17 +94,22 @@ func baseLowerPass() pass.Pass {
 	})
 }
 
-// stalePass runs the stale reference analysis (paper §4.1) and records a
-// witness for every stale and remote read.
+// stalePass runs the stale reference analysis (paper §4.1) — domain-aware
+// when the machine has coherence domains — and records a witness for every
+// stale, demoted and remote read.
 func stalePass() pass.Pass {
 	return pass.Func(PassStale, func(ctx *pass.Context) error {
-		sres, err := stale.Analyze(ctx.Prog, ctx.Machine.NumPE)
+		sres, err := stale.AnalyzeOpt(ctx.Prog, ctx.Machine.NumPE,
+			stale.Options{Domains: ctx.Machine.DomainTable()})
 		if err != nil {
 			return err
 		}
 		ctx.Stale = sres
 		for id, why := range sres.Why {
 			ctx.Prov.Record(id, PassStale, pass.VerdictStale, why)
+		}
+		for id, why := range sres.DemotedWhy {
+			ctx.Prov.Record(id, PassStale, pass.VerdictDemoted, why)
 		}
 		for id, why := range sres.RemoteWhy {
 			ctx.Prov.Record(id, PassStale, pass.VerdictRemote, why)

@@ -112,6 +112,62 @@ func TestProvenanceCoversEveryDecision(t *testing.T) {
 	}
 }
 
+// TestProvenanceCoversDomainDemotions compiles every workload on a
+// domained machine and verifies each reference the domain-aware analysis
+// demoted to non-stale carries a recorded demotion reason — `ccdpc
+// -explain` must be able to say why a read needs no prefetch on cxl-pcc.
+func TestProvenanceCoversDomainDemotions(t *testing.T) {
+	demoted := 0
+	for _, spec := range workloads.Small() {
+		t.Run(spec.Name, func(t *testing.T) {
+			c, err := Compile(spec.Prog, ModeCCDP, machine.MustProfileParams("cxl-pcc", 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range c.Stale.DemotedIntra {
+				demoted++
+				found := false
+				for _, e := range c.Prov.Entries(id) {
+					if e.Verdict == pass.VerdictDemoted && e.Reason != "" {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("demoted read #%d %s has no demotion reason", id, c.Prog.Ref(id))
+				}
+				if c.Stale.StaleReads[id] {
+					t.Errorf("read #%d both demoted and stale", id)
+				}
+			}
+		})
+	}
+	// The whole-domain machine demotes everything, so the coverage above is
+	// guaranteed non-vacuous even if cxl-pcc's 2×4 split demotes nothing.
+	for _, spec := range workloads.Small() {
+		mp := machine.T3D(8)
+		mp.DomainSize = 8
+		c, err := Compile(spec.Prog, ModeCCDP, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		demoted += len(c.Stale.DemotedIntra)
+		for id := range c.Stale.DemotedIntra {
+			found := false
+			for _, e := range c.Prov.Entries(id) {
+				if e.Verdict == pass.VerdictDemoted && e.Reason != "" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s D=8: demoted read #%d has no demotion reason", spec.Name, id)
+			}
+		}
+	}
+	if demoted == 0 {
+		t.Error("no demotions anywhere: the coverage check is vacuous")
+	}
+}
+
 // TestPassDumpGolden pins the full dump-after-pass snapshot sequence for
 // MXM / CCDP / 8 PEs. Run `go test ./internal/core -update` after an
 // intentional pipeline change.

@@ -218,24 +218,39 @@ func (p *PDESFlag) Mode() (noc.PDESMode, error) {
 	return noc.ParsePDES(*p.s)
 }
 
-// MachineFlags is the machine-configuration flag group (-pes, -topology,
-// -pdes) for the tools that simulate one configuration at a time.
+// ProfileUsage renders the -machine-profile flag's usage string from the
+// machine-profile registry, so every tool's help text lists exactly the
+// registered profiles.
+func ProfileUsage() string {
+	return "machine profile: " + strings.Join(machine.ProfileNames(), ", ")
+}
+
+// MachineFlags is the machine-configuration flag group (-pes,
+// -machine-profile, -domain-size, -topology, -pdes) for the tools that
+// simulate one configuration at a time.
 type MachineFlags struct {
-	PEs  *int
-	Topo *TopologyFlag
-	PDES *PDESFlag
+	PEs        *int
+	Profile    *string
+	DomainSize *int
+	Topo       *TopologyFlag
+	PDES       *PDESFlag
 }
 
 // RegisterMachine installs the machine flags on fs.
 func RegisterMachine(fs *flag.FlagSet, defaultPEs int) *MachineFlags {
 	return &MachineFlags{
-		PEs:  fs.Int("pes", defaultPEs, "number of PEs"),
+		PEs:     fs.Int("pes", defaultPEs, "number of PEs"),
+		Profile: fs.String("machine-profile", "t3d", ProfileUsage()),
+		DomainSize: fs.Int("domain-size", 0,
+			"override the profile's coherence-domain size (0 = profile default, 1 = per-PE domains)"),
 		Topo: RegisterTopology(fs),
 		PDES: RegisterPDES(fs),
 	}
 }
 
-// Params builds the T3D machine parameters the flags describe.
+// Params builds the machine parameters the flags describe, starting from
+// the named machine profile. An unknown profile name is an error that
+// lists the valid profiles.
 func (m *MachineFlags) Params() (machine.Params, error) {
 	topo, err := m.Topo.Config()
 	if err != nil {
@@ -245,7 +260,13 @@ func (m *MachineFlags) Params() (machine.Params, error) {
 	if err != nil {
 		return machine.Params{}, err
 	}
-	mp := machine.T3D(*m.PEs)
+	mp, err := machine.ProfileParams(*m.Profile, *m.PEs)
+	if err != nil {
+		return machine.Params{}, err
+	}
+	if *m.DomainSize > 0 {
+		mp.DomainSize = *m.DomainSize
+	}
 	mp.Topology = topo
 	mp.PDES = pdes
 	return mp, nil

@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func runProfile(t *testing.T, spec *workloads.Spec, mode core.Mode, mp machine.Params) *Result {
+	t.Helper()
+	c, err := core.Compile(spec.Prog, mode, mp)
+	if err != nil {
+		t.Fatalf("%s %v compile: %v", spec.Name, mode, err)
+	}
+	res, err := Run(c, Options{FailOnStale: true})
+	if err != nil {
+		t.Fatalf("%s %v run: %v", spec.Name, mode, err)
+	}
+	return res
+}
+
+// cxl-pcc with the domain size overridden to 1 must be bit-identical to
+// t3d: its near tier, hardware invalidation and prefetch skipping all gate
+// on multi-PE domains, and its other latency constants are the T3D's. This
+// is the executable form of the "domain size 1 reproduces the blind
+// analysis" property.
+func TestCxlPccDomainSizeOneMatchesT3D(t *testing.T) {
+	for _, spec := range workloads.Small() {
+		for _, mode := range []core.Mode{core.ModeBase, core.ModeCCDP} {
+			t3d := runProfile(t, spec, mode, machine.T3D(8))
+			cxl := machine.MustProfileParams("cxl-pcc", 8)
+			cxl.DomainSize = 1
+			got := runProfile(t, spec, mode, cxl)
+			if got.Cycles != t3d.Cycles {
+				t.Errorf("%s %v: cxl-pcc D=1 %d cycles, t3d %d", spec.Name, mode, got.Cycles, t3d.Cycles)
+			}
+			if got.Stats != t3d.Stats {
+				t.Errorf("%s %v: cxl-pcc D=1 stats differ from t3d:\n%s\nvs\n%s",
+					spec.Name, mode, got.Stats.String(), t3d.Stats.String())
+			}
+		}
+	}
+}
+
+// Every profile runs every workload oracle-clean with results identical to
+// the sequential run, and the domained cxl-pcc machine must schedule fewer
+// prefetch words and software-invalidate fewer lines than t3d on the
+// workloads with cross-PE stale traffic (the intra-domain share moves to
+// the free hardware tier) — the PR's acceptance criterion, enforced here at
+// 8 PEs on MXM, SWIM and TOMCATV.
+func TestDomainProfilesVerifiedAndCheaper(t *testing.T) {
+	for _, spec := range workloads.Small() {
+		seq := runProfile(t, spec, core.ModeSeq, machine.T3D(1))
+		t3d := runProfile(t, spec, core.ModeCCDP, machine.T3D(8))
+		for _, prof := range []string{"cxl-pcc", "pim"} {
+			got := runProfile(t, spec, core.ModeCCDP, machine.MustProfileParams(prof, 8))
+			for _, name := range spec.CheckArrays {
+				want := seq.Mem.ArrayData(seq.Mem.ArrayNamed(name))
+				have := got.Mem.ArrayData(got.Mem.ArrayNamed(name))
+				for i := range want {
+					if want[i] != have[i] {
+						t.Fatalf("%s %s: %s[%d] = %v, sequential %v", spec.Name, prof, name, i, have[i], want[i])
+					}
+				}
+			}
+			if got.Stats.OracleViolations != 0 {
+				t.Errorf("%s %s: %d oracle violations", spec.Name, prof, got.Stats.OracleViolations)
+			}
+			if prof != "cxl-pcc" || spec.Name == "VPENTA" {
+				continue // VPENTA has no stale references to demote
+			}
+			gotPF := got.Stats.PrefetchIssued + got.Stats.VectorWords
+			t3dPF := t3d.Stats.PrefetchIssued + t3d.Stats.VectorWords
+			if gotPF >= t3dPF {
+				t.Errorf("%s: cxl-pcc schedules %d prefetch words, t3d %d — domains bought nothing",
+					spec.Name, gotPF, t3dPF)
+			}
+			if got.Stats.InvalidatedLines >= t3d.Stats.InvalidatedLines {
+				t.Errorf("%s: cxl-pcc invalidates %d lines, t3d %d — domains bought nothing",
+					spec.Name, got.Stats.InvalidatedLines, t3d.Stats.InvalidatedLines)
+			}
+			if got.Stats.DomainNearWords == 0 {
+				t.Errorf("%s: cxl-pcc booked no near-tier words", spec.Name)
+			}
+		}
+	}
+}
+
+// The t3d profile books zero domain counters and prints no domain line —
+// the property that keeps every existing golden byte-identical.
+func TestT3DBooksNoDomainCounters(t *testing.T) {
+	for _, spec := range workloads.Small() {
+		res := runProfile(t, spec, core.ModeCCDP, machine.T3D(8))
+		s := &res.Stats
+		if s.DomainNearWords != 0 || s.DomainFarWords != 0 || s.DomainHWInvalidations != 0 {
+			t.Errorf("%s: t3d booked domain counters: near=%d far=%d hw=%d",
+				spec.Name, s.DomainNearWords, s.DomainFarWords, s.DomainHWInvalidations)
+		}
+	}
+}
+
+// pim charges its batched coherence settlement once per barrier: its cycle
+// count must exceed an otherwise-identical machine's by at least
+// barriers × DomainBatchCost (the local/remote cost shifts move it
+// further).
+func TestPimBatchCostCharged(t *testing.T) {
+	spec := workloads.Small()[0]
+	pim := machine.MustProfileParams("pim", 8)
+	base := pim
+	base.DomainBatchCost = 0
+	with := runProfile(t, spec, core.ModeCCDP, pim)
+	without := runProfile(t, spec, core.ModeCCDP, base)
+	wantExtra := with.Stats.Barriers * pim.DomainBatchCost
+	if got := with.Cycles - without.Cycles; got != wantExtra {
+		t.Errorf("batch settlement added %d cycles, want %d (%d barriers × %d)",
+			got, wantExtra, with.Stats.Barriers, pim.DomainBatchCost)
+	}
+}

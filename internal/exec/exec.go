@@ -44,11 +44,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ir"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/parallel"
 	"repro/internal/pfq"
 	"repro/internal/shmem"
+	"repro/internal/stale"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -184,6 +186,17 @@ type Engine struct {
 	// Precomputed schedules (New-time, immutable across runs).
 	insts []epochInst
 	inv   [][]invPlan // [node][pe]; nil outside CCDP
+	// hwInv mirrors inv for the coherence-domain hardware: the intra-domain
+	// dirty regions the domain's coherent fabric has already invalidated by
+	// epoch entry. Applied at zero cycle cost. nil without domains.
+	hwInv [][]invPlan
+	// domains is true when the machine groups PEs into multi-PE coherence
+	// domains AND this is a CCDP compilation: the compiler then skips
+	// prefetches for intra-domain words outside the cross-domain refetch
+	// set (hardware keeps them fresh). domAware additionally covers
+	// batch-cost-only profiles and gates the near/far word accounting.
+	domains  bool
+	domAware bool
 
 	// Reusable scratch.
 	errs   []error
@@ -230,6 +243,46 @@ type Engine struct {
 	staleMu    sync.Mutex
 }
 
+// domainTopo is the machine's interconnect config with its coherence-domain
+// fields injected: the noc near tier is profile-derived, never parsed, so
+// every transport built for this machine (canonical network, PDES session,
+// optimistic predictor fleet) must come through here to see the same costs.
+func domainTopo(mp machine.Params) noc.Config {
+	topo := mp.Topology
+	if mp.DomainSize > 1 {
+		topo.DomainPEs = mp.DomainSize
+		topo.NearBaseCost = mp.NearBaseCost
+	}
+	return topo
+}
+
+// buildInvPlans resolves one analysis invalidation table (software or
+// hardware) into per-(node, PE) word-address range plans.
+func buildInvPlans(prog *ir.Program, graph *ir.EpochGraph, numPE int, table [][]stale.ArraySections) [][]invPlan {
+	plans := make([][]invPlan, len(graph.Nodes))
+	for ni := range graph.Nodes {
+		plans[ni] = make([]invPlan, numPE)
+		for p := 0; p < numPE; p++ {
+			sections := table[ni][p]
+			plan := invPlan{has: len(sections) > 0}
+			names := make([]string, 0, len(sections))
+			for name := range sections {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				arr := prog.ArrayByName(name)
+				for _, r := range sections[name].Rects() {
+					plan.ranges = append(plan.ranges,
+						invRange{mem.AddrOf(arr, r.Lo), mem.AddrOf(arr, r.Hi)})
+				}
+			}
+			plans[ni][p] = plan
+		}
+	}
+	return plans
+}
+
 // New builds a reusable engine for a compiled program.
 func New(c *core.Compiled) (*Engine, error) {
 	prog := c.Prog
@@ -250,7 +303,7 @@ func New(c *core.Compiled) (*Engine, error) {
 	if mp.NumPE > 1 {
 		// noc.New returns nil for the flat topology: every remote path
 		// then keeps the constant-latency costs, bit-identically.
-		if net, err = noc.New(mp.Topology, mp.NumPE); err != nil {
+		if net, err = noc.New(domainTopo(mp), mp.NumPE); err != nil {
 			return nil, err
 		}
 	}
@@ -284,28 +337,13 @@ func New(c *core.Compiled) (*Engine, error) {
 	// the dropped-line count and the resulting cache state are identical
 	// to walking the analysis map in any order.
 	if c.Mode == core.ModeCCDP && c.Stale != nil {
-		e.inv = make([][]invPlan, len(graph.Nodes))
-		for ni := range graph.Nodes {
-			e.inv[ni] = make([]invPlan, mp.NumPE)
-			for p := 0; p < mp.NumPE; p++ {
-				sections := c.Stale.Invalidate[ni][p]
-				plan := invPlan{has: len(sections) > 0}
-				names := make([]string, 0, len(sections))
-				for name := range sections {
-					names = append(names, name)
-				}
-				sort.Strings(names)
-				for _, name := range names {
-					arr := prog.ArrayByName(name)
-					for _, r := range sections[name].Rects() {
-						plan.ranges = append(plan.ranges,
-							invRange{mem.AddrOf(arr, r.Lo), mem.AddrOf(arr, r.Hi)})
-					}
-				}
-				e.inv[ni][p] = plan
-			}
+		e.inv = buildInvPlans(prog, graph, mp.NumPE, c.Stale.Invalidate)
+		if c.Stale.HWInvalidate != nil {
+			e.hwInv = buildInvPlans(prog, graph, mp.NumPE, c.Stale.HWInvalidate)
 		}
 	}
+	e.domains = mp.DomainSize > 1 && e.inv != nil
+	e.domAware = mp.DomainAware()
 
 	maxRank := 1
 	for _, a := range prog.Arrays {
@@ -495,6 +533,7 @@ func (pe *peState) reset() {
 	}
 	pe.staleByRef = nil
 	pe.demoted = 0
+	pe.crossInv = nil
 	pe.sess = nil
 	pe.tr = e.tr
 	pe.spec = false
@@ -554,6 +593,17 @@ func (e *Engine) epoch(inst *epochInst) error {
 	node := inst.node
 	e.stats.Epochs++
 
+	// Modeled hardware coherence (machines with multi-PE domains): the
+	// domain fabric has already invalidated the intra-domain dirty regions
+	// by the time the epoch starts, at no cycle cost to the program.
+	if e.hwInv != nil {
+		for p, pe := range e.pes {
+			for _, r := range e.hwInv[node.Index][p].ranges {
+				pe.stats.DomainHWInvalidations += pe.cache.InvalidateRange(r.lo, r.hi)
+			}
+		}
+	}
+
 	// Compiler-directed invalidation (CCDP): each PE drops the cached
 	// regions the analysis says may be dirty for it.
 	if e.inv != nil {
@@ -567,6 +617,10 @@ func (e *Engine) epoch(inst *epochInst) error {
 				pe.now += 10 + dropped*mp.InvalidateLineCost
 			}
 			pe.stats.InvalidatedLines += dropped
+			// The epoch's cross-domain refetch ranges double as the
+			// compiler's prefetch-skip filter on domained machines
+			// (peState.domainSkip).
+			pe.crossInv = plan.ranges
 		}
 	}
 
@@ -615,6 +669,9 @@ func (e *Engine) epoch(inst *epochInst) error {
 	if mp.NumPE > 1 {
 		maxNow += mp.BarrierCost
 		e.stats.Barriers++
+		// LazyPIM-style batched coherence: compute-side and memory-side
+		// caches reconcile once per epoch boundary.
+		maxNow += mp.DomainBatchCost
 	}
 	for _, pe := range e.pes {
 		pe.now = maxNow

@@ -54,7 +54,7 @@ func (pe *peState) cohMsg(src, dst int, words, at int64) int64 {
 		arrive, _ := tr.Send(src, dst, words, at, 0)
 		return arrive
 	}
-	return at + pe.eng.c.Machine.RemoteReadCost/2
+	return at + pe.eng.c.Machine.RemoteReadCostFor(src, dst)/2
 }
 
 // hwDrop delivers one invalidation to PE sp's copy of line la — unless the
@@ -133,7 +133,7 @@ func (pe *peState) hwFill(la, at, spike int64) int64 {
 	} else if tr := e.tr; tr != nil {
 		arrive, _ = tr.RoundTrip(pe.id, home, mp.LineWords, at, spike)
 	} else {
-		arrive = at + mp.RemoteReadCost + spike
+		arrive = at + mp.RemoteReadCostFor(pe.id, home) + spike
 	}
 	if recallDone > arrive {
 		arrive = recallDone

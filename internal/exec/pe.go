@@ -123,6 +123,12 @@ type peState struct {
 	// (Options.TrackStaleRefs).
 	staleByRef map[ir.RefID]int64
 
+	// crossInv is the current epoch's cross-domain refetch ranges (the
+	// software invalidation plan), set at epoch entry on domained CCDP
+	// runs: the compiler's prefetch-skip filter (domainSkip). nil
+	// otherwise.
+	crossInv []invRange
+
 	// fault is this PE's seeded fault stream; nil in a fault-free run.
 	// shFaults is the prefetch-drop/late hook pair handed to shmem.
 	fault    *fault.PE
@@ -544,10 +550,12 @@ func (pe *peState) readMem(r *cRef, addr int64) float64 {
 			pe.record(addr, trace.KindPrefetched)
 			return e.Val
 		}
-	} else if r.prefetched && !demoted {
+	} else if r.prefetched && !demoted && !pe.domainSkip(addr) {
 		// A scheduled prefetch never arrived (queue overflow, or an
 		// injected drop): the reference demotes to the demand fetch
-		// below, which is exactly the paper's bypass fallback.
+		// below, which is exactly the paper's bypass fallback. Words the
+		// domain-aware compiler deliberately left unprefetched
+		// (domainSkip) are not demotions — hardware kept them fresh.
 		pe.demote()
 	}
 
@@ -590,24 +598,65 @@ func (pe *peState) readMem(r *cRef, addr int64) float64 {
 // unrelated traffic routed through that link.
 func (pe *peState) chargeRemoteRead(addr, words int64) {
 	mp := pe.eng.c.Machine
+	home := pe.eng.mem.OwnerOf(addr)
 	if tr := pe.tr; tr != nil {
-		arrive, _ := tr.RoundTrip(pe.id, pe.eng.mem.OwnerOf(addr), words, pe.now, pe.remoteSpike())
+		arrive, _ := tr.RoundTrip(pe.id, home, words, pe.now, pe.remoteSpike())
 		pe.now = arrive
 	} else {
-		pe.now += mp.RemoteReadCost + pe.remoteSpike()
+		pe.now += mp.RemoteReadCostFor(pe.id, home) + pe.remoteSpike()
 	}
 	pe.stats.RemoteReads++
+	pe.countDomainWords(home, words)
+}
+
+// countDomainWords attributes words moved between this PE and a home PE to
+// the near- or far-tier traffic counter on domain-aware machines. A no-op
+// everywhere else, so t3d statistics stay byte-identical.
+func (pe *peState) countDomainWords(home int, words int64) {
+	if !pe.eng.domAware {
+		return
+	}
+	if pe.eng.c.Machine.SameDomain(pe.id, home) {
+		pe.stats.DomainNearWords += words
+	} else {
+		pe.stats.DomainFarWords += words
+	}
+}
+
+// domainSkip reports whether the domain-aware compiler suppresses a
+// scheduled prefetch of addr on this PE: the word is homed inside the PE's
+// own coherence domain and lies outside the PE's cross-domain refetch
+// ranges for the current epoch, so any cached copy of it is hardware-fresh
+// and a demand miss costs only the near tier — a prefetch would waste
+// issue slots and queue capacity. Cross-domain-homed words keep their
+// prefetches (latency hiding), as do near-homed words a cross-domain PE
+// may have dirtied (they must be refetched coherently).
+func (pe *peState) domainSkip(addr int64) bool {
+	if !pe.eng.domains {
+		return false
+	}
+	if !pe.eng.c.Machine.SameDomain(pe.id, pe.eng.mem.OwnerOf(addr)) {
+		return false
+	}
+	for _, r := range pe.crossInv {
+		if addr >= r.lo && addr <= r.hi {
+			return false
+		}
+	}
+	return true
 }
 
 // chargeRemoteWrite charges one buffered, non-blocking remote store: the PE
 // pays only the constant injection cost, but over a torus the store's
 // packet is still booked along the route so it contends with other traffic.
 func (pe *peState) chargeRemoteWrite(addr int64) {
+	home := pe.eng.mem.OwnerOf(addr)
 	if tr := pe.tr; tr != nil {
-		tr.Send(pe.id, pe.eng.mem.OwnerOf(addr), 1, pe.now, 0)
+		tr.Send(pe.id, home, 1, pe.now, 0)
 	}
-	pe.now += pe.eng.c.Machine.RemoteWriteCost
+	pe.now += pe.eng.c.Machine.RemoteWriteCostFor(pe.id, home)
 	pe.stats.RemoteWrites++
+	pe.countDomainWords(home, 1)
 }
 
 // oracleCheck is the coherence safety oracle: every word the simulated
@@ -757,6 +806,12 @@ func (pe *peState) issuePrefetchAt(target *cRef, v int32, it int64) {
 func (pe *peState) issueAt(addr int64) {
 	mp := pe.eng.c.Machine
 	m := pe.eng.mem
+	if pe.domainSkip(addr) {
+		// The domain-aware compiler emitted no prefetch for this word at
+		// all: it is near-homed and hardware-fresh, so nothing is issued
+		// and nothing is charged.
+		return
+	}
 	pe.now += mp.PrefetchIssueCost
 	if pe.fault != nil && pe.fault.DropPrefetch() {
 		// The prefetch packet is lost in flight: the issue cost is paid
@@ -764,7 +819,8 @@ func (pe *peState) issueAt(addr int64) {
 		return
 	}
 	var readyAt int64
-	if owner := m.OwnerOf(addr); owner == pe.id {
+	owner := m.OwnerOf(addr)
+	if owner == pe.id {
 		lat := mp.LocalMemCost
 		if pe.fault != nil {
 			lat += pe.fault.LateDelay()
@@ -784,11 +840,14 @@ func (pe *peState) issueAt(addr int64) {
 		}
 		readyAt = arrive
 	} else {
-		lat := mp.RemoteReadCost
+		lat := mp.RemoteReadCostFor(pe.id, owner)
 		if pe.fault != nil {
 			lat += pe.fault.LateDelay()
 		}
 		readyAt = pe.now + lat
+	}
+	if owner != pe.id {
+		pe.countDomainWords(owner, 1)
 	}
 	v, g := m.Read(addr)
 	pe.pq.Issue(pfq.Entry{Addr: addr, Val: v, Gen: g, ReadyAt: readyAt})
@@ -805,9 +864,19 @@ func (pe *peState) vectorPrefetch(vp *cVP, lo, hi, step int64) {
 	pe.bound[vp.varSlot] = true
 	for v := lo; v <= hi; v += step {
 		pe.env[vp.varSlot] = v
-		pe.vpAddrs = append(pe.vpAddrs, pe.addrOf(vp.target))
+		a := pe.addrOf(vp.target)
+		if pe.domainSkip(a) {
+			// The domain-aware compiler pulls only the words hardware
+			// cannot keep fresh; near-homed hardware-coherent words are
+			// left out of the gather entirely.
+			continue
+		}
+		pe.vpAddrs = append(pe.vpAddrs, a)
 	}
 	pe.env[vp.varSlot], pe.bound[vp.varSlot] = oldV, oldB
+	if len(pe.vpAddrs) == 0 {
+		return
+	}
 	cost, droppedLines := shmem.GetOverNet(pe.eng.mem, pe.cache, pe.eng.c.Machine, pe.tr, pe.id, pe.vpAddrs, pe.now, pe.shFaults, pe.shScratch)
 	pe.now += cost
 	lw := pe.eng.c.Machine.LineWords
@@ -821,6 +890,13 @@ func (pe *peState) vectorPrefetch(vp *cVP, lo, hi, step int64) {
 		pe.buffered.Add(la / lw)
 		if pe.spec {
 			pe.logFill(la)
+		}
+	}
+	if pe.eng.domAware {
+		for _, a := range pe.vpAddrs {
+			if home := pe.eng.mem.OwnerOf(a); home != pe.id {
+				pe.countDomainWords(home, 1)
+			}
 		}
 	}
 	pe.stats.VectorPrefetches++

@@ -285,7 +285,7 @@ func (e *Engine) Close() {
 func (e *Engine) specEpoch() {
 	mp := e.c.Machine
 	if e.recs == nil {
-		preds, err := noc.NewFleet(mp.Topology, mp.NumPE, len(e.pes))
+		preds, err := noc.NewFleet(domainTopo(mp), mp.NumPE, len(e.pes))
 		if err != nil {
 			// New validated the topology already; a failure here is an
 			// engine bug, not an input error.

@@ -7,15 +7,19 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/machine"
 	"repro/internal/noc"
 )
 
-// RunConfig is one point of the differential matrix: a mode, a PE count, a
-// topology, a torus PDES commit scheme and a fault plan. Its String form
-// round-trips through ParseRunConfig, so repro artifacts can record the
-// exact configuration.
+// RunConfig is one point of the differential matrix: a mode, a machine
+// profile, a PE count, a topology, a torus PDES commit scheme and a fault
+// plan. Its String form round-trips through ParseRunConfig, so repro
+// artifacts can record the exact configuration.
 type RunConfig struct {
-	Mode     core.Mode
+	Mode core.Mode
+	// Profile names a machine profile from the machine registry
+	// ("" = "t3d", the pre-profile configuration).
+	Profile  string
 	PEs      int
 	Topology noc.Config
 	PDES     noc.PDESMode
@@ -23,10 +27,14 @@ type RunConfig struct {
 }
 
 // String renders the config as space-separated key=value tokens. The pdes
-// token is omitted for the zero (optimistic, default) mode, so artifacts
-// recorded before the mode existed still parse to the same config.
+// and profile tokens are omitted for their zero (optimistic / t3d) values,
+// so artifacts recorded before those dimensions existed still parse to the
+// same config.
 func (rc RunConfig) String() string {
 	s := fmt.Sprintf("mode=%s pes=%d topo=%s", rc.Mode, rc.PEs, rc.Topology)
+	if rc.Profile != "" && rc.Profile != "t3d" {
+		s += " profile=" + rc.Profile
+	}
 	if rc.PDES != noc.PDESOptimistic {
 		s += " pdes=" + rc.PDES.String()
 	}
@@ -35,6 +43,20 @@ func (rc RunConfig) String() string {
 			rc.Fault.Rate, fault.FormatKinds(rc.Fault.Kinds), rc.Fault.Seed)
 	}
 	return s
+}
+
+// MachineParams builds the machine configuration one run executes on: the
+// named profile at the config's PE count, with the topology and PDES
+// scheme applied. An unknown profile name is an error that lists the valid
+// profiles.
+func (rc RunConfig) MachineParams() (machine.Params, error) {
+	mp, err := machine.ProfileParams(rc.Profile, rc.PEs)
+	if err != nil {
+		return machine.Params{}, fmt.Errorf("fuzz: %w", err)
+	}
+	mp.Topology = rc.Topology
+	mp.PDES = rc.PDES
+	return mp, nil
 }
 
 // ParseMode reads a core.Mode in its String form. It defers to the core
@@ -62,6 +84,9 @@ func ParseRunConfig(s string) (RunConfig, error) {
 			rc.Mode, err = ParseMode(val)
 		case "pes":
 			rc.PEs, err = strconv.Atoi(val)
+		case "profile":
+			_, err = machine.ProfileParams(val, 1)
+			rc.Profile = val
 		case "topo":
 			rc.Topology, err = noc.Parse(val)
 		case "pdes":
@@ -87,8 +112,9 @@ func ParseRunConfig(s string) (RunConfig, error) {
 
 // DefaultMatrix is the full differential matrix a campaign runs each
 // program through: {BASE, CCDP} × {flat, torus} × {fault-free, faulted} at
-// an uneven (3) and an even (8) PE count, plus the three hardware
-// directory modes fault-free on both topologies. Fault-free runs are the
+// an uneven (3) and an even (8) PE count, plus the software modes on the
+// non-t3d machine profiles and the three hardware directory modes, both
+// fault-free on both topologies. Fault-free runs are the
 // oracle's hunting ground — a stale cached word is consumed and flagged.
 // Faulted runs exercise the §3.2 degraded paths, where lost or late
 // prefetches may cost cycles but must never corrupt results, so any
@@ -118,7 +144,44 @@ func DefaultMatrix(faultSeed int64) []RunConfig {
 		out = append(out, RunConfig{Mode: core.ModeCCDP, PEs: 8,
 			Topology: noc.Config{Kind: noc.KindTorus}, PDES: pm})
 	}
+	out = append(out, ProfileMatrix()...)
 	return append(out, HWMatrix()...)
+}
+
+// ProfileMatrix is the coherence-domain slice of the default matrix: the
+// software modes on every non-t3d machine profile, fault-free, on both
+// topologies at an uneven (3) and an even (8) PE count. The oracle and the
+// divergence referee are profile-agnostic — the sequential golden arrays
+// never depend on the machine — so a domain-aware analysis that wrongly
+// demotes a cross-domain stale reference must surface here. The
+// domain-sabotage mutation test uses the cxl-pcc CCDP entries to bound its
+// search the way CoherenceMatrix bounds the invalidation tests'.
+func ProfileMatrix() []RunConfig {
+	var out []RunConfig
+	for _, prof := range []string{"cxl-pcc", "pim"} {
+		for _, mode := range []core.Mode{core.ModeBase, core.ModeCCDP} {
+			for _, topo := range []noc.Config{{}, {Kind: noc.KindTorus}} {
+				for _, pes := range []int{3, 8} {
+					out = append(out, RunConfig{Mode: mode, Profile: prof, PEs: pes, Topology: topo})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DomainMatrix is the slice of the profile matrix where multi-PE coherence
+// domains actually form under CCDP: the cxl-pcc profile (8 PEs → domains
+// of 4; 3 PEs → one domain of 3) on both topologies. The domain-sabotage
+// mutation test bounds its search with it.
+func DomainMatrix() []RunConfig {
+	var out []RunConfig
+	for _, topo := range []noc.Config{{}, {Kind: noc.KindTorus}} {
+		for _, pes := range []int{3, 8} {
+			out = append(out, RunConfig{Mode: core.ModeCCDP, Profile: "cxl-pcc", PEs: pes, Topology: topo})
+		}
+	}
+	return out
 }
 
 // CoherenceMatrix is the fault-free CCDP slice of the default matrix — the

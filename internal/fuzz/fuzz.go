@@ -277,7 +277,10 @@ func lazyGolden(p *ir.Program) goldenFn {
 		seqCfg := RunConfig{Mode: core.ModeSeq, PEs: 1}
 		func() {
 			defer recoverInto(&f, seqCfg, MutNone)
-			c, err := core.Compile(p, core.ModeSeq, machine.T3D(1))
+			// The golden arrays are deliberately machine-independent: the
+			// t3d profile at one PE defines correctness for every profile
+			// in the matrix.
+			c, err := core.Compile(p, core.ModeSeq, machine.MustProfileParams("t3d", 1))
 			if err != nil {
 				f = &Finding{Config: seqCfg, Referee: RefereeCompile, Detail: oneLine(err.Error())}
 				return
@@ -315,9 +318,10 @@ func recoverInto(f **Finding, rc RunConfig, mut Mutation) {
 func checkOne(p *ir.Program, golden goldenFn, rc RunConfig, mut Mutation) (f *Finding) {
 	defer recoverInto(&f, rc, mut)
 
-	mp := machine.T3D(rc.PEs)
-	mp.Topology = rc.Topology
-	mp.PDES = rc.PDES
+	mp, err := rc.MachineParams()
+	if err != nil {
+		return &Finding{Config: rc, Mutation: mut, Referee: RefereeCompile, Detail: oneLine(err.Error())}
+	}
 	c, err := core.Compile(p, rc.Mode, mp)
 	if err != nil {
 		return &Finding{Config: rc, Mutation: mut, Referee: RefereeCompile, Detail: oneLine(err.Error())}

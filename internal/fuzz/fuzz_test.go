@@ -149,6 +149,63 @@ func TestMutationNoRollbackFlagged(t *testing.T) {
 	}
 }
 
+// With the software (cross-domain) invalidations of a domained machine
+// emptied while the hardware intra-domain invalidations stay intact, the
+// free epoch-entry hardware invalidation cannot cover writers in other
+// coherence domains, and the campaign must flag an oracle violation within
+// a bounded number of generated programs — the mutation test that proves
+// the domain-aware analysis's cross/intra split is load-bearing. On an
+// undomained machine the same sabotage is a no-op, so the t3d slice of the
+// matrix must stay clean under it.
+func TestMutationNoDomainDemotionFlagged(t *testing.T) {
+	const bound = 60
+	sum, err := Run(Config{
+		Programs:    bound,
+		Matrix:      DomainMatrix(),
+		Mutation:    MutNoDomainDemotion,
+		Shrink:      true,
+		MaxFindings: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Findings) == 0 {
+		t.Fatalf("cross-domain invalidations dropped, yet %d programs ran clean: the oracle referee is vacuous for domained profiles", bound)
+	}
+	f := sum.Findings[0]
+	if f.Referee != RefereeOracle {
+		t.Fatalf("expected an oracle finding, got %s: %s", f.Referee, f.Detail)
+	}
+	if f.Config.Profile != "cxl-pcc" {
+		t.Fatalf("finding not under the cxl-pcc profile: %s", f.Config)
+	}
+	art := FormatFinding(f)
+	back, err := ParseFinding(art)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, art)
+	}
+	if back.Mutation != MutNoDomainDemotion {
+		t.Fatalf("artifact lost the mutation: %s", back.Mutation)
+	}
+	if back.Config.Profile != "cxl-pcc" {
+		t.Fatalf("artifact lost the profile: %s", back.Config)
+	}
+	r := Replay(back)
+	if r == nil || r.Referee != RefereeOracle {
+		t.Fatalf("artifact did not reproduce the oracle finding on replay: %+v", r)
+	}
+
+	// The sabotage is explicitly gated on multi-PE domains: the identical
+	// campaign on the undomained t3d matrix must run clean.
+	clean, err := Run(Config{Programs: 20, Matrix: CoherenceMatrix(), Mutation: MutNoDomainDemotion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range clean.Findings {
+		t.Errorf("t3d run flagged under a domains-only sabotage: %s under %s: %s", f.Referee, f.Config, f.Detail)
+	}
+}
+
 // With the scheduler's reference marks cleared (statements untouched), the
 // compiled-program invariant referee must flag the Stale-flag disagreement
 // within a bounded number of programs.
@@ -223,7 +280,7 @@ func TestShmemPanicCapturedAsFinding(t *testing.T) {
 // Every run configuration of the default matrix round-trips through its
 // String form, so artifacts can record configurations exactly.
 func TestRunConfigRoundTrip(t *testing.T) {
-	for _, rc := range append(DefaultMatrix(7), CoherenceMatrix()...) {
+	for _, rc := range append(append(DefaultMatrix(7), CoherenceMatrix()...), DomainMatrix()...) {
 		back, err := ParseRunConfig(rc.String())
 		if err != nil {
 			t.Fatalf("%s: %v", rc, err)

@@ -43,6 +43,18 @@ const (
 	// drift. A no-op off the torus, below 2 PEs, and on a single-threaded
 	// scheduler, where speculation never engages.
 	MutNoRollback
+	// MutNoDomainDemotion models a domain-aware compiler that trusts the
+	// coherence domains too far: on a machine with multi-PE domains it
+	// empties every software (cross-domain) invalidation set of a CCDP
+	// compilation while leaving the hardware intra-domain sets intact — as
+	// if the analysis had demoted every stale reference to
+	// hardware-coherent, not just the intra-domain ones. The free
+	// epoch-entry hardware invalidation cannot cover writers in other
+	// domains, so fault-free CCDP runs on a domained profile must consume
+	// stale cached lines and trip the coherence oracle — proving the
+	// cross/intra split of the analysis is load-bearing, not decorative. A
+	// no-op on machines without multi-PE domains (t3d, pim).
+	MutNoDomainDemotion
 )
 
 func (m Mutation) String() string {
@@ -57,6 +69,8 @@ func (m Mutation) String() string {
 		return "no-dir-invalidate"
 	case MutNoRollback:
 		return "no-rollback"
+	case MutNoDomainDemotion:
+		return "no-domain-demotion-check"
 	default:
 		return fmt.Sprintf("Mutation(%d)", int(m))
 	}
@@ -64,12 +78,12 @@ func (m Mutation) String() string {
 
 // ParseMutation reads a Mutation in String form.
 func ParseMutation(s string) (Mutation, error) {
-	for _, m := range []Mutation{MutNone, MutNoInvalidate, MutNoSchedMarks, MutNoDirInvalidate, MutNoRollback} {
+	for _, m := range []Mutation{MutNone, MutNoInvalidate, MutNoSchedMarks, MutNoDirInvalidate, MutNoRollback, MutNoDomainDemotion} {
 		if s == m.String() {
 			return m, nil
 		}
 	}
-	return MutNone, fmt.Errorf("fuzz: unknown mutation %q (want none, no-invalidate, no-sched-marks, no-dir-invalidate or no-rollback)", s)
+	return MutNone, fmt.Errorf("fuzz: unknown mutation %q (want none, no-invalidate, no-sched-marks, no-dir-invalidate, no-rollback or no-domain-demotion-check)", s)
 }
 
 // Sabotage applies m to a compiled program in place. It is a no-op for
@@ -103,5 +117,14 @@ func Sabotage(c *core.Compiled, m Mutation) {
 		c.Machine.DirDropInvalidations = true
 	case MutNoRollback:
 		c.Machine.PDESNoRollback = true
+	case MutNoDomainDemotion:
+		if c.Stale == nil || c.Machine.DomainSize <= 1 {
+			return
+		}
+		for n := range c.Stale.Invalidate {
+			for p := range c.Stale.Invalidate[n] {
+				c.Stale.Invalidate[n][p] = stale.ArraySections{}
+			}
+		}
 	}
 }

@@ -47,7 +47,11 @@ type Row struct {
 
 // AppResult holds one application's sweep.
 type AppResult struct {
-	Name      string
+	Name string
+	// Profile is the machine-profile name the sweep ran on (normalized;
+	// "t3d" when Config.Profile was empty). Reports use it to decide
+	// whether to show coherence-domain columns.
+	Profile   string
 	SeqCycles int64
 	Rows      []Row
 }
@@ -59,6 +63,14 @@ const DefaultFaultRetries = 2
 // Config tunes a sweep.
 type Config struct {
 	PECounts []int
+	// Profile names a machine profile from the machine registry
+	// ("" = "t3d"). Every run of the sweep — including the sequential
+	// golden — is built from it.
+	Profile string
+	// DomainSize overrides the profile's coherence-domain size when
+	// positive (1 collapses the machine to per-PE domains, which makes the
+	// stale analysis identical to an undomained run).
+	DomainSize int
 	// Tune lets ablations modify the machine parameters per run.
 	Tune func(*machine.Params)
 	// Modes restricts which parallel modes run (default BASE and CCDP).
@@ -87,8 +99,14 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 	if len(pes) == 0 {
 		pes = PaperPEs
 	}
+	if _, err := machine.ProfileParams(cfg.Profile, 1); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
 	mk := func(p int) machine.Params {
-		mp := machine.T3D(p)
+		mp := machine.MustProfileParams(cfg.Profile, p)
+		if cfg.DomainSize > 0 {
+			mp.DomainSize = cfg.DomainSize
+		}
 		mp.Topology = cfg.Topology
 		mp.PDES = cfg.PDES
 		if cfg.Tune != nil {
@@ -137,7 +155,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 	}
 	wg.Wait()
 
-	ar := &AppResult{Name: s.Name, SeqCycles: seq.Cycles}
+	ar := &AppResult{Name: s.Name, Profile: mk(1).Profile, SeqCycles: seq.Cycles}
 	for _, p := range pes {
 		row := Row{PEs: p}
 		if !cfg.SkipBase {
@@ -256,6 +274,9 @@ func max(a, b int) int {
 type ArenaConfig struct {
 	// PEs is the machine size (default 8).
 	PEs int
+	// Profile names a machine profile from the machine registry
+	// ("" = "t3d").
+	Profile string
 	// Topology selects the interconnect for the parallel runs (the
 	// sequential golden run always runs flat).
 	Topology noc.Config
@@ -308,8 +329,11 @@ func RunArena(s *workloads.Spec, cfg ArenaConfig) (*ArenaResult, error) {
 	if pes <= 0 {
 		pes = 8
 	}
+	if _, err := machine.ProfileParams(cfg.Profile, 1); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
 	mk := func(mode core.Mode) machine.Params {
-		mp := machine.T3D(pes)
+		mp := machine.MustProfileParams(cfg.Profile, pes)
 		mp.Topology = cfg.Topology
 		if mode.IsHW() {
 			mp.HWPrefetcher = cfg.HWPrefetcher
@@ -320,7 +344,7 @@ func RunArena(s *workloads.Spec, cfg ArenaConfig) (*ArenaResult, error) {
 		return mp
 	}
 
-	seq, err := runOne(s, core.ModeSeq, machine.T3D(1), fault.Plan{})
+	seq, err := runOne(s, core.ModeSeq, machine.MustProfileParams(cfg.Profile, 1), fault.Plan{})
 	if err != nil {
 		return nil, fmt.Errorf("%s SEQ: %w", s.Name, err)
 	}

@@ -171,6 +171,32 @@ type Params struct {
 	// booking order and the divergence referee must flag it. Never set
 	// outside sabotage tests.
 	PDESNoRollback bool
+
+	// --- Machine profile & coherence domains ---
+
+	// Profile is the registry name this Params was built from (see
+	// profile.go). Purely descriptive: reports key on it to decide whether
+	// to emit domain columns, so the t3d output stays byte-identical.
+	Profile string
+	// DomainSize groups consecutive PEs into hardware-coherent coherence
+	// domains of this many PEs each (PEs p and q share a domain iff
+	// p/DomainSize == q/DomainSize). 0 or 1 means every PE is its own
+	// domain — the T3D model, where all coherence is software-managed.
+	// Must divide NumPE when > 1.
+	DomainSize int
+	// NearReadCost / NearWriteCost replace RemoteReadCost / RemoteWriteCost
+	// for accesses whose requester and home PE share a coherence domain
+	// (the CXL-PCC near tier: same-node hardware-coherent fabric). 0 means
+	// the far cost is charged everywhere.
+	NearReadCost  int64
+	NearWriteCost int64
+	// NearBaseCost replaces the torus model's RemoteBaseCost endpoint
+	// overhead for intra-domain transfers (0 = keep the far overhead).
+	NearBaseCost int64
+	// DomainBatchCost is a LazyPIM-style batched coherence settlement
+	// charged once per epoch barrier: the cost of reconciling compute-side
+	// and memory-side caches at the coarse batch boundary. 0 = none.
+	DomainBatchCost int64
 }
 
 // DefaultParams is the canonical Cray T3D parameter set (with NumPE = 1
@@ -178,7 +204,8 @@ type Params struct {
 // constant. Tests, sweeps and ablations that need "the T3D number" must
 // read it from here rather than repeating the literal.
 var DefaultParams = Params{
-	NumPE: 1,
+	NumPE:   1,
+	Profile: "t3d",
 
 	CacheWords: 1024, // 8 KB
 	LineWords:  4,    // 32 B
@@ -248,10 +275,86 @@ func (p Params) Validate() error {
 	if p.VectorMaxWords > p.CacheWords {
 		return fmt.Errorf("machine: VectorMaxWords %d exceeds cache %d", p.VectorMaxWords, p.CacheWords)
 	}
+	if p.DomainSize < 0 {
+		return fmt.Errorf("machine: DomainSize %d < 0", p.DomainSize)
+	}
+	if p.DomainSize > 1 && p.NumPE%p.DomainSize != 0 {
+		return fmt.Errorf("machine: DomainSize %d does not divide NumPE %d", p.DomainSize, p.NumPE)
+	}
+	if p.NearReadCost < 0 || p.NearWriteCost < 0 || p.NearBaseCost < 0 || p.DomainBatchCost < 0 {
+		return fmt.Errorf("machine: negative domain cost")
+	}
+	if p.NearReadCost > p.RemoteReadCost {
+		return fmt.Errorf("machine: NearReadCost %d exceeds far RemoteReadCost %d", p.NearReadCost, p.RemoteReadCost)
+	}
+	if p.NearWriteCost > p.RemoteWriteCost {
+		return fmt.Errorf("machine: NearWriteCost %d exceeds far RemoteWriteCost %d", p.NearWriteCost, p.RemoteWriteCost)
+	}
 	if err := p.Topology.Validate(p.NumPE); err != nil {
 		return err
 	}
 	return nil
+}
+
+// DomainOf returns the coherence domain of a PE.
+func (p Params) DomainOf(pe int) int {
+	if p.DomainSize <= 1 {
+		return pe
+	}
+	return pe / p.DomainSize
+}
+
+// SameDomain reports whether two PEs share a hardware-coherent domain.
+func (p Params) SameDomain(a, b int) bool {
+	return p.DomainOf(a) == p.DomainOf(b)
+}
+
+// NumDomains returns the number of coherence domains.
+func (p Params) NumDomains() int {
+	if p.DomainSize <= 1 {
+		return p.NumPE
+	}
+	return p.NumPE / p.DomainSize
+}
+
+// DomainTable materializes the PE → domain map for the stale analysis, or
+// nil when every PE is its own domain (the analysis then takes its exact
+// original domain-blind form).
+func (p Params) DomainTable() []int {
+	if p.DomainSize <= 1 {
+		return nil
+	}
+	t := make([]int, p.NumPE)
+	for pe := range t {
+		t[pe] = pe / p.DomainSize
+	}
+	return t
+}
+
+// DomainAware reports whether any coherence-domain behaviour is active —
+// multi-PE domains or a batched settlement cost. False for t3d, so every
+// domain code path is skipped and t3d stays bit-identical.
+func (p Params) DomainAware() bool {
+	return p.DomainSize > 1 || p.DomainBatchCost > 0
+}
+
+// RemoteReadCostFor returns the single-word remote read latency between a
+// requesting PE and the home PE of the data: the near tier inside a
+// coherence domain, the far RemoteReadCost across domains (and everywhere
+// on machines without domains).
+func (p Params) RemoteReadCostFor(src, home int) int64 {
+	if p.NearReadCost > 0 && p.DomainSize > 1 && p.SameDomain(src, home) {
+		return p.NearReadCost
+	}
+	return p.RemoteReadCost
+}
+
+// RemoteWriteCostFor is RemoteReadCostFor for buffered remote stores.
+func (p Params) RemoteWriteCostFor(src, home int) int64 {
+	if p.NearWriteCost > 0 && p.DomainSize > 1 && p.SameDomain(src, home) {
+		return p.NearWriteCost
+	}
+	return p.RemoteWriteCost
 }
 
 // AvgPrefetchLatency is the compiler's estimate of how long a prefetch

@@ -1,0 +1,120 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile is one named machine configuration in the registry: the same
+// single-source-of-truth pattern as core's mode registry — the -machine-profile
+// flags, their usage strings and their error messages all derive from this
+// table, so adding a profile here is all it takes for every CLI to list it.
+type Profile struct {
+	// Name is the canonical lowercase CLI name.
+	Name string
+	// Desc is the one-line usage blurb.
+	Desc string
+	// build returns the profile's parameter set scaled to p PEs.
+	build func(p int) Params
+}
+
+// profiles is the machine profile registry.
+//
+//   - t3d: the paper's Cray T3D — every PE its own coherence domain, all
+//     coherence software-managed, every remote access at one flat latency.
+//     Bit-identical to the historical behaviour by construction (no domain
+//     field is set, so every domain code path is dead).
+//   - cxl-pcc: a 2026 CXL shared-memory pod — PEs grouped into
+//     hardware-coherent domains (sockets on one coherent fabric) with a
+//     cheap near tier, software-managed coherence only across domains.
+//   - pim: a processing-in-memory part — compute sits beside its DRAM
+//     (cheap local tier), crossing to another PE's memory stack is very
+//     expensive, and compute-side/memory-side caches are reconciled in
+//     LazyPIM-style batches at each epoch barrier.
+var profiles = []Profile{
+	{
+		Name:  "t3d",
+		Desc:  "Cray T3D: per-PE domains, all coherence software-managed",
+		build: T3D,
+	},
+	{
+		Name: "cxl-pcc",
+		Desc: "CXL pod: hardware-coherent domains with a near latency tier, software coherence across",
+		build: func(p int) Params {
+			mp := T3D(p)
+			mp.Profile = "cxl-pcc"
+			mp.DomainSize = domainSizeFor(p)
+			mp.NearReadCost = 40
+			mp.NearWriteCost = 12
+			mp.NearBaseCost = 20
+			return mp
+		},
+	},
+	{
+		Name: "pim",
+		Desc: "processing-in-memory: near-bank locals, costly cross-stack access, batched coherence per epoch",
+		build: func(p int) Params {
+			mp := T3D(p)
+			mp.Profile = "pim"
+			mp.LocalMemCost = 8
+			mp.LocalReadCost = 4
+			mp.RemoteReadCost = 320
+			mp.RemoteWriteCost = 60
+			mp.DomainBatchCost = 400
+			return mp
+		},
+	},
+}
+
+// domainSizeFor picks the cxl-pcc coherence-domain width for p PEs: 4 PEs
+// per domain (a 4-socket coherent node) when 4 divides p, else the largest
+// divisor of p that is at most 4 — the domain size must always divide the
+// PE count, whatever odd count a fuzz config asks for.
+func domainSizeFor(p int) int {
+	for d := 4; d > 1; d-- {
+		if p%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+// Profiles returns the profile registry. The slice is shared; callers must
+// not mutate it.
+func Profiles() []Profile { return profiles }
+
+// ProfileNames returns every profile's canonical CLI name, in registry
+// order.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileParams resolves a profile name (case-insensitively) to its
+// parameter set scaled to pes PEs. Unknown names report the valid set.
+func ProfileParams(name string, pes int) (Params, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	if want == "" {
+		want = "t3d"
+	}
+	for _, p := range profiles {
+		if p.Name == want {
+			return p.build(pes), nil
+		}
+	}
+	return Params{}, fmt.Errorf("unknown machine profile %q: valid profiles are %s",
+		name, strings.Join(ProfileNames(), ", "))
+}
+
+// MustProfileParams is ProfileParams for callers that pass a registry
+// literal (tests, sweeps); it panics on an unknown name.
+func MustProfileParams(name string, pes int) Params {
+	mp, err := ProfileParams(name, pes)
+	if err != nil {
+		panic(err)
+	}
+	return mp
+}

@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The registry must offer the three profiles by name, resolve the empty
+// name and case/whitespace variants to t3d, and reject unknown names with
+// an error that lists the valid choices — the same contract the core mode
+// registry gives ParseMode.
+func TestProfileRegistry(t *testing.T) {
+	names := ProfileNames()
+	for _, want := range []string{"t3d", "cxl-pcc", "pim"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("profile %q missing from registry %v", want, names)
+		}
+	}
+	for _, alias := range []string{"", "t3d", "T3D", " t3d "} {
+		mp, err := ProfileParams(alias, 8)
+		if err != nil {
+			t.Fatalf("ProfileParams(%q): %v", alias, err)
+		}
+		if mp != T3D(8) {
+			t.Errorf("ProfileParams(%q) differs from T3D(8)", alias)
+		}
+	}
+	_, err := ProfileParams("cray-xmp", 8)
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	for _, want := range []string{"cray-xmp", "t3d", "cxl-pcc", "pim"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-profile error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// Every registered profile must produce a valid machine at every PE count
+// the paper sweeps, including counts that do not divide evenly into
+// domains.
+func TestProfilesValidateAtAllPECounts(t *testing.T) {
+	for _, prof := range Profiles() {
+		for _, pes := range []int{1, 2, 3, 4, 7, 8, 16, 64} {
+			mp, err := ProfileParams(prof.Name, pes)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", prof.Name, pes, err)
+			}
+			if err := mp.Validate(); err != nil {
+				t.Errorf("%s/%d: %v", prof.Name, pes, err)
+			}
+			if mp.Profile != prof.Name {
+				t.Errorf("%s/%d: Profile field is %q", prof.Name, pes, mp.Profile)
+			}
+		}
+	}
+}
+
+// cxl-pcc groups PEs into hardware-coherent domains with a cheaper near
+// tier; pim gives every PE its own domain but charges a batched settlement
+// at each barrier.
+func TestProfileDomainShapes(t *testing.T) {
+	cxl := MustProfileParams("cxl-pcc", 8)
+	if cxl.DomainSize != 4 {
+		t.Errorf("cxl-pcc/8 DomainSize = %d, want 4", cxl.DomainSize)
+	}
+	if cxl.NumDomains() != 2 {
+		t.Errorf("cxl-pcc/8 NumDomains = %d, want 2", cxl.NumDomains())
+	}
+	if !cxl.SameDomain(0, 3) || cxl.SameDomain(3, 4) {
+		t.Error("cxl-pcc/8 domain boundary not between PE 3 and PE 4")
+	}
+	if got := cxl.DomainTable(); len(got) != 8 || got[0] != 0 || got[7] != 1 {
+		t.Errorf("cxl-pcc/8 DomainTable = %v", got)
+	}
+	if near, far := cxl.RemoteReadCostFor(0, 3), cxl.RemoteReadCostFor(0, 4); near >= far {
+		t.Errorf("near read %d not cheaper than far read %d", near, far)
+	}
+	if near, far := cxl.RemoteWriteCostFor(0, 3), cxl.RemoteWriteCostFor(0, 4); near >= far {
+		t.Errorf("near write %d not cheaper than far write %d", near, far)
+	}
+	if !cxl.DomainAware() {
+		t.Error("cxl-pcc not DomainAware")
+	}
+
+	// cxl-pcc at a PE count with no divisor <= 4 falls back to per-PE
+	// domains rather than an invalid machine.
+	if mp := MustProfileParams("cxl-pcc", 7); mp.DomainSize > 1 {
+		t.Errorf("cxl-pcc/7 DomainSize = %d, want <= 1", mp.DomainSize)
+	}
+
+	pim := MustProfileParams("pim", 8)
+	if pim.DomainSize > 1 {
+		t.Errorf("pim DomainSize = %d, want per-PE domains", pim.DomainSize)
+	}
+	if pim.DomainTable() != nil {
+		t.Error("pim has a domain table: its stale analysis must stay domain-blind")
+	}
+	if pim.DomainBatchCost <= 0 {
+		t.Error("pim has no batched settlement cost")
+	}
+	if !pim.DomainAware() {
+		t.Error("pim not DomainAware")
+	}
+
+	t3d := MustProfileParams("t3d", 8)
+	if t3d.DomainAware() {
+		t.Error("t3d DomainAware: its code paths must all stay off")
+	}
+	if t3d.DomainTable() != nil {
+		t.Error("t3d has a domain table")
+	}
+	if got := t3d.RemoteReadCostFor(0, 1); got != t3d.RemoteReadCost {
+		t.Errorf("t3d tiered read cost %d != RemoteReadCost %d", got, t3d.RemoteReadCost)
+	}
+}
+
+// Validate must reject inconsistent domain configurations.
+func TestValidateRejectsBadDomains(t *testing.T) {
+	cases := []struct {
+		name string
+		tune func(*Params)
+	}{
+		{"negative domain size", func(p *Params) { p.DomainSize = -1 }},
+		{"indivisible domain size", func(p *Params) { p.DomainSize = 3 }},
+		{"negative near cost", func(p *Params) { p.NearReadCost = -5 }},
+		{"negative batch cost", func(p *Params) { p.DomainBatchCost = -1 }},
+		{"near read above far", func(p *Params) { p.DomainSize = 4; p.NearReadCost = p.RemoteReadCost + 1 }},
+		{"near write above far", func(p *Params) { p.DomainSize = 4; p.NearWriteCost = p.RemoteWriteCost + 1 }},
+	}
+	for _, tc := range cases {
+		mp := T3D(8)
+		tc.tune(&mp)
+		if err := mp.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	mp := T3D(8)
+	mp.DomainSize = 4
+	mp.NearReadCost = 40
+	if err := mp.Validate(); err != nil {
+		t.Errorf("valid domained machine rejected: %v", err)
+	}
+}
+
+// MustProfileParams panics exactly when ProfileParams errors.
+func TestMustProfileParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown profile")
+		}
+	}()
+	MustProfileParams("nonesuch", 4)
+}

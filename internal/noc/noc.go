@@ -87,6 +87,25 @@ type Config struct {
 	// consuming read then demotes to a bypass fetch exactly as for a lost
 	// prefetch (paper §3.2). Demand (blocking) accesses never drop.
 	DropWaitCycles int64
+	// DomainPEs and NearBaseCost model coherence domains on the fabric:
+	// when DomainPEs > 1, a round trip whose endpoints share a domain
+	// (src/DomainPEs == dst/DomainPEs) pays NearBaseCost instead of
+	// RemoteBaseCost at the home node — the hardware-coherent near tier.
+	// Injected programmatically by the execution engine from the machine
+	// profile; never part of the Parse/String CLI syntax, so the zero
+	// value keeps every existing config bit-identical.
+	DomainPEs    int
+	NearBaseCost int64
+}
+
+// baseCostFor returns the endpoint overhead of a round trip between src
+// and dst: the near tier inside a coherence domain, RemoteBaseCost
+// otherwise.
+func (c Config) baseCostFor(src, dst int) int64 {
+	if c.DomainPEs > 1 && c.NearBaseCost > 0 && src/c.DomainPEs == dst/c.DomainPEs {
+		return c.NearBaseCost
+	}
+	return c.RemoteBaseCost
 }
 
 // withDefaults fills zero cost fields with the package defaults.
@@ -124,7 +143,7 @@ func (c Config) Validate(numPE int) error {
 		return fmt.Errorf("noc: torus %dx%dx%d holds %d PEs, machine has %d",
 			c.X, c.Y, c.Z, c.X*c.Y*c.Z, numPE)
 	}
-	if c.HopCost < 0 || c.WordCost < 0 || c.RemoteBaseCost < 0 || c.DropWaitCycles < 0 {
+	if c.HopCost < 0 || c.WordCost < 0 || c.RemoteBaseCost < 0 || c.DropWaitCycles < 0 || c.NearBaseCost < 0 {
 		return fmt.Errorf("noc: negative cost parameter in %+v", c)
 	}
 	return nil
@@ -517,7 +536,7 @@ func (n *Network) planSendEnds(src, dst int, payload, depart, hotExtra int64, ou
 // It returns the completion cycle at src and the total queueing wait.
 func (n *Network) RoundTrip(src, dst int, replyWords, depart, hot int64) (arrive, wait int64) {
 	t1, w1 := n.Send(src, dst, 1, depart, 0)
-	t2, w2 := n.Send(dst, src, replyWords, t1+n.cfg.RemoteBaseCost, hot)
+	t2, w2 := n.Send(dst, src, replyWords, t1+n.cfg.baseCostFor(src, dst), hot)
 	return t2, w1 + w2
 }
 

@@ -230,7 +230,7 @@ func (s *Session) sendAs(owner, from, to int, payload, depart, hot int64) (arriv
 func (s *Session) RoundTrip(src, dst int, replyWords, depart, hot int64) (arrive, wait int64) {
 	s.Publish(src, depart)
 	t1, w1 := s.sendAs(src, src, dst, 1, depart, 0)
-	t2, w2 := s.sendAs(src, dst, src, replyWords, t1+s.net.cfg.RemoteBaseCost, hot)
+	t2, w2 := s.sendAs(src, dst, src, replyWords, t1+s.net.cfg.baseCostFor(src, dst), hot)
 	return t2, w1 + w2
 }
 

@@ -34,6 +34,11 @@ const (
 	// VerdictBypass: every technique failed; the read was demoted to a
 	// bypass-cache fetch (paper §3.2).
 	VerdictBypass Verdict = "bypass"
+	// VerdictDemoted: the domain-aware stale analysis demoted the read to
+	// non-stale — its dirt is wholly intra-domain, so the machine's
+	// hardware coherence covers it and no prefetch or software
+	// invalidation is needed.
+	VerdictDemoted Verdict = "demoted"
 )
 
 // NoRef is the Other value of an Entry that names no related reference.
@@ -117,8 +122,8 @@ func (p *Provenance) Summary() string {
 			counts[e.Verdict]++
 		}
 	}
-	order := []Verdict{VerdictStale, VerdictRemote, VerdictCandidate, VerdictSelected,
-		VerdictCovered, VerdictDropped, VerdictScheduled, VerdictBypass}
+	order := []Verdict{VerdictStale, VerdictDemoted, VerdictRemote, VerdictCandidate,
+		VerdictSelected, VerdictCovered, VerdictDropped, VerdictScheduled, VerdictBypass}
 	var parts []string
 	for _, v := range order {
 		if n := counts[v]; n > 0 {

@@ -1,0 +1,68 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// cxlpccGoldenCSV pins the cxl-pcc machine-profile sweep output: a
+// domained profile widens the CSV with the prefetch-word, invalidation and
+// domain-traffic columns, and the cycle counts embed the near-tier charging
+// and hardware intra-domain invalidation. Any drift here is a behavioral
+// change to the coherence-domain model and must be deliberate.
+const cxlpccGoldenCSV = `app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct,drops,late,demotions,oracle_violations,attempts,pf_words,invalidated,domain_near_words,domain_far_words,domain_hw_inv
+MXM,1,74656,142476,75706,0.5240,0.9861,46.8640,0,0,0,0,1,0,0,0,0,0
+MXM,2,74656,158160,114990,0.4720,0.6492,27.2951,0,0,0,0,1,0,0,2048,0,0
+MXM,4,74656,95600,58790,0.7809,1.2699,38.5042,0,0,0,0,1,0,0,3072,0,0
+MXM,8,74656,120640,30762,0.6188,2.4269,74.5010,0,0,0,0,1,2048,384,1536,2048,0
+VPENTA,1,393984,447524,394734,0.8804,0.9981,11.7960,0,0,0,0,1,0,0,0,0,0
+VPENTA,2,393984,236112,198545,1.6686,1.9844,15.9107,0,0,0,0,1,0,0,0,0,0
+VPENTA,4,393984,129856,100049,3.0340,3.9379,22.9539,0,0,0,0,1,0,0,0,0,0
+VPENTA,8,393984,76728,50801,5.1348,7.7554,33.7908,0,0,0,0,1,0,0,0,0,0
+TOMCATV,1,781807,1517312,801157,0.5153,0.9758,47.1989,0,0,0,0,1,0,0,0,0,0
+TOMCATV,2,781807,1543182,916468,0.5066,0.8531,40.6118,0,0,0,0,1,0,0,17190,0,150
+TOMCATV,4,781807,1152142,554222,0.6786,1.4106,51.8964,0,0,0,0,1,0,0,25758,0,240
+TOMCATV,8,781807,1384262,433168,0.5648,1.8049,68.7077,0,0,0,0,1,12516,3302,13886,16344,267
+SWIM,1,1073428,1349510,1075678,0.7954,0.9979,20.2912,0,0,0,0,1,0,0,0,0,0
+SWIM,2,1073428,779032,602224,1.3779,1.7824,22.6959,0,0,0,0,1,0,0,1176,0,0
+SWIM,4,1073428,459574,336032,2.3357,3.1944,26.8819,0,0,0,0,1,0,0,3110,0,7
+SWIM,8,1073428,383042,208281,2.8024,5.1537,45.6245,0,0,0,0,1,854,6,4582,1028,32
+`
+
+// TestCxlPccGoldenCSV runs the full small-scale sweep on the cxl-pcc
+// profile and asserts the rendered CSV is byte-identical to the pinned
+// capture. Together with the flat golden (which exercises the unchanged
+// t3d shape) it pins both sides of the profile split.
+func TestCxlPccGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale sweep in -short mode")
+	}
+	var results []*harness.AppResult
+	for _, s := range workloads.Small() {
+		ar, err := harness.RunApp(s, harness.Config{PECounts: []int{1, 2, 4, 8}, Profile: "cxl-pcc"})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		results = append(results, ar)
+	}
+	got := report.CSV(results)
+	if got == cxlpccGoldenCSV {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(cxlpccGoldenCSV, "\n")
+	for i := range wantLines {
+		if i >= len(gotLines) || gotLines[i] != wantLines[i] {
+			g := "<missing>"
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			t.Fatalf("cxl-pcc CSV diverges from the golden at line %d:\n got: %s\nwant: %s", i+1, g, wantLines[i])
+		}
+	}
+	t.Fatalf("cxl-pcc CSV has %d lines, golden has %d", len(gotLines), len(wantLines))
+}

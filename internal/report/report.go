@@ -177,9 +177,15 @@ func ArenaCSV(results []*harness.ArenaResult) string {
 // over a modeled interconnect, the CCDP run's net columns (mean/max hop
 // distance, busiest-link utilization, queueing, congestion drops) are
 // appended; a flat sweep's CSV stays byte-identical to the pre-noc format.
+// A sweep on a coherence-domain profile (anything but t3d) further appends
+// the CCDP run's prefetch-word, invalidation and domain-traffic columns;
+// t3d CSVs never change shape.
 func CSV(results []*harness.AppResult) string {
-	netted := false
+	netted, domained := false, false
 	for _, ar := range results {
+		if ar.Profile != "" && ar.Profile != "t3d" {
+			domained = true
+		}
 		for _, r := range ar.Rows {
 			if r.CCDPNet != nil || r.BaseNet != nil {
 				netted = true
@@ -191,6 +197,9 @@ func CSV(results []*harness.AppResult) string {
 		"drops,late,demotions,oracle_violations,attempts")
 	if netted {
 		b.WriteString(",mean_hops,max_hops,max_link_util,net_wait,net_contended,net_drops")
+	}
+	if domained {
+		b.WriteString(",pf_words,invalidated,domain_near_words,domain_far_words,domain_hw_inv")
 	}
 	b.WriteString("\n")
 	for _, ar := range results {
@@ -208,6 +217,11 @@ func CSV(results []*harness.AppResult) string {
 				fmt.Fprintf(&b, ",%.4f,%d,%.4f,%d,%d,%d",
 					r.CCDPNet.MeanHopsOrZero(), r.CCDPNet.MaxHopsOrZero(),
 					r.CCDPNet.MaxLinkUtil(), s.NetWaitCycles, s.NetContended, s.NetDrops)
+			}
+			if domained {
+				fmt.Fprintf(&b, ",%d,%d,%d,%d,%d",
+					s.PrefetchIssued+s.VectorWords, s.InvalidatedLines,
+					s.DomainNearWords, s.DomainFarWords, s.DomainHWInvalidations)
 			}
 			b.WriteString("\n")
 		}

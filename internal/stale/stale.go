@@ -40,14 +40,40 @@ type Result struct {
 	RemoteWhy map[ir.RefID]string
 
 	// DirtyAtEntry[n][p] is the fixpoint dirty-for-p region at entry to
-	// epoch node n.
+	// epoch node n. With coherence domains (Options.Domains) this is the
+	// CROSS-domain dirty state: regions overwritten by PEs outside p's
+	// domain, the only writes software must handle. Without domains every
+	// other PE is cross-domain and this is the classic domain-blind state.
 	DirtyAtEntry [][]ArraySections
 
+	// IntraDirty[n][p] is the companion fixpoint over same-domain writers
+	// only: regions overwritten by p's domain peers, which the domain's
+	// hardware coherence invalidates for free. nil without domains. The
+	// union DirtyAtEntry ∪ IntraDirty covers the domain-blind dirty state,
+	// so splitting loses no writes.
+	IntraDirty [][]ArraySections
+
 	// Invalidate[n][p] is the region PE p must invalidate in its cache when
-	// entering node n (dirty ∩ may-read): the compiler-directed
+	// entering node n (cross-domain dirty ∩ may-read): the compiler-directed
 	// invalidation the CCDP scheme performs before issuing prefetches
 	// (paper §3.2).
 	Invalidate [][]ArraySections
+
+	// HWInvalidate[n][p] is the region of p's cache the domain's hardware
+	// coherence has already invalidated by entry to node n (intra-domain
+	// dirty ∩ may-read). The engine models it by dropping those lines at
+	// epoch entry at zero cost. nil without domains.
+	HWInvalidate [][]ArraySections
+
+	// DemotedIntra marks read references the domain-blind analysis would
+	// have called potentially stale but whose dirt is wholly intra-domain
+	// for every PE: hardware keeps them coherent, so they need no prefetch
+	// or software invalidation. Empty without domains.
+	DemotedIntra map[ir.RefID]bool
+
+	// DemotedWhy records, per demoted read, the first (epoch, PE) witness
+	// with the domain reasoning — the provenance `ccdpc -explain` surfaces.
+	DemotedWhy map[ir.RefID]string
 }
 
 // Options tunes the analysis.
@@ -58,6 +84,14 @@ type Options struct {
 	// reads; the property tests comparing against a NON-coherent execution
 	// disable it.
 	DisableReadRefresh bool
+
+	// Domains maps each PE to its coherence-domain ID
+	// (machine.Params.DomainTable). Writes by a same-domain peer are kept
+	// coherent by hardware, so they accrue to IntraDirty instead of
+	// DirtyAtEntry and never make a reference potentially stale. nil (or a
+	// table where every PE is alone) reproduces the domain-blind analysis
+	// exactly.
+	Domains []int
 }
 
 // Analyze runs the stale reference analysis for a machine with numPE PEs.
@@ -75,14 +109,43 @@ func AnalyzeOpt(prog *ir.Program, numPE int, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Domains != nil && len(opts.Domains) != numPE {
+		return nil, fmt.Errorf("stale: domain table has %d entries for %d PEs", len(opts.Domains), numPE)
+	}
 	r := &Result{Graph: g, Summaries: sums, NumPE: numPE,
 		StaleReads: map[ir.RefID]bool{}, RemoteReads: map[ir.RefID]bool{},
-		Why: map[ir.RefID]string{}, RemoteWhy: map[ir.RefID]string{}, opts: opts}
-	r.fixpoint()
+		Why: map[ir.RefID]string{}, RemoteWhy: map[ir.RefID]string{},
+		DemotedIntra: map[ir.RefID]bool{}, DemotedWhy: map[ir.RefID]string{}, opts: opts}
+	r.DirtyAtEntry = r.fixpoint(r.crossFilter())
+	if intra := r.intraFilter(); intra != nil {
+		r.IntraDirty = r.fixpoint(intra)
+	}
 	r.markStale()
+	r.markDemoted()
 	r.markRemote()
 	r.buildInvalidate()
 	return r, nil
+}
+
+// crossFilter selects the writer PEs whose epoch writes dirty PE p's cache
+// in the software-visible sense: every other PE without domains, only
+// other-domain PEs with them.
+func (r *Result) crossFilter() func(q, p int) bool {
+	dom := r.opts.Domains
+	if dom == nil {
+		return func(q, p int) bool { return q != p }
+	}
+	return func(q, p int) bool { return q != p && dom[q] != dom[p] }
+}
+
+// intraFilter selects the same-domain peer writers (hardware-coherent
+// dirt), or nil when there are no multi-PE domains.
+func (r *Result) intraFilter() func(q, p int) bool {
+	dom := r.opts.Domains
+	if dom == nil {
+		return nil
+	}
+	return func(q, p int) bool { return q != p && dom[q] == dom[p] }
 }
 
 // markRemote flags reads whose per-PE section leaves the PE's own slab of
@@ -115,13 +178,16 @@ func (r *Result) markRemote() {
 	}
 }
 
-// fixpoint runs the worklist dataflow computing DirtyAtEntry.
-func (r *Result) fixpoint() {
+// fixpoint runs the worklist dataflow computing the per-node entry dirty
+// state whose generating writers are selected by gens (cross-domain or
+// intra-domain peers). The kill set is the same either way — any coherent
+// access by p itself refreshes its copies regardless of who dirtied them.
+func (r *Result) fixpoint(gens func(q, p int) bool) [][]ArraySections {
 	n := len(r.Graph.Nodes)
-	r.DirtyAtEntry = make([][]ArraySections, n)
+	entry := make([][]ArraySections, n)
 	outs := make([][]ArraySections, n)
 	for i := 0; i < n; i++ {
-		r.DirtyAtEntry[i] = emptyState(r.NumPE)
+		entry[i] = emptyState(r.NumPE)
 		outs[i] = nil
 	}
 	passes := make([]int, n)
@@ -143,7 +209,7 @@ func (r *Result) fixpoint() {
 		inWork[i] = false
 		passes[i]++
 
-		out := r.transfer(i, r.DirtyAtEntry[i])
+		out := r.transfer(i, entry[i], gens)
 		if passes[i] > maxPasses {
 			widenState(out)
 		}
@@ -152,21 +218,22 @@ func (r *Result) fixpoint() {
 		}
 		outs[i] = out
 		for _, succ := range r.Graph.Succ[i] {
-			merged := mergeState(r.DirtyAtEntry[succ], out, r.NumPE)
-			if !statesEqual(r.DirtyAtEntry[succ], merged) {
-				r.DirtyAtEntry[succ] = merged
+			merged := mergeState(entry[succ], out, r.NumPE)
+			if !statesEqual(entry[succ], merged) {
+				entry[succ] = merged
 				push(succ)
 			} else if outs[succ] == nil {
 				push(succ)
 			}
 		}
 	}
+	return entry
 }
 
 // transfer applies one epoch node to the dirty state:
 //
-//	out_p = (in_p − mustWrite_p − mustRead_p) ∪ ⋃_{q≠p} mayWrite_q
-func (r *Result) transfer(node int, in []ArraySections) []ArraySections {
+//	out_p = (in_p − mustWrite_p − mustRead_p) ∪ ⋃_{gens(q,p)} mayWrite_q
+func (r *Result) transfer(node int, in []ArraySections, gens func(q, p int) bool) []ArraySections {
 	sum := r.Summaries[node]
 	out := make([]ArraySections, r.NumPE)
 	// Union of other PEs' writes, computed once as total minus own share is
@@ -186,9 +253,9 @@ func (r *Result) transfer(node int, in []ArraySections) []ArraySections {
 				}
 			}
 		}
-		// Then gen: writes by every other PE in this epoch.
+		// Then gen: writes by every selected other PE in this epoch.
 		for q := 0; q < r.NumPE; q++ {
-			if q == p {
+			if !gens(q, p) {
 				continue
 			}
 			for name, w := range sum.MayWrite[q] {
@@ -238,26 +305,73 @@ func (r *Result) markStale() {
 	}
 }
 
-// buildInvalidate computes per-node per-PE invalidation regions.
-func (r *Result) buildInvalidate() {
-	r.Invalidate = make([][]ArraySections, len(r.Summaries))
+// markDemoted records the reads the domain split rescued: references that
+// overlap some PE's intra-domain dirt (so the blind analysis would have
+// marked them potentially stale) but no PE's cross-domain dirt (so they are
+// not in StaleReads). Their stale copies are the domain hardware's problem,
+// already invalidated for free by epoch entry.
+func (r *Result) markDemoted() {
+	if r.IntraDirty == nil {
+		return
+	}
 	for i, sum := range r.Summaries {
-		in := r.DirtyAtEntry[i]
-		r.Invalidate[i] = make([]ArraySections, r.NumPE)
-		for p := 0; p < r.NumPE; p++ {
-			inv := ArraySections{}
-			for name, rd := range sum.MayRead[p] {
+		in := r.IntraDirty[i]
+		for _, ra := range sum.Refs {
+			if ra.IsWrite || r.StaleReads[ra.Ref.ID] {
+				continue
+			}
+			name := ra.Ref.Array.Name
+			for p := 0; p < r.NumPE; p++ {
+				if ra.PerPE[p].IsEmpty() {
+					continue
+				}
 				dirty, ok := in[p][name]
 				if !ok || dirty.IsEmpty() {
 					continue
 				}
-				is := dirty.Intersect(rd)
-				if !is.IsEmpty() {
-					inv[name] = is
+				if dirty.Overlaps(ra.PerPE[p]) {
+					r.DemotedIntra[ra.Ref.ID] = true
+					if _, ok := r.DemotedWhy[ra.Ref.ID]; !ok {
+						r.DemotedWhy[ra.Ref.ID] = fmt.Sprintf(
+							"PE %d's read section of %s is dirtied only by PEs of its own coherence domain %d at entry to epoch %d — hardware keeps the copy coherent, demoted to non-stale",
+							p, name, r.opts.Domains[p], i)
+					}
+					break
 				}
 			}
-			r.Invalidate[i][p] = inv
 		}
+	}
+}
+
+// buildInvalidate computes per-node per-PE invalidation regions: the
+// software set from the cross-domain dirty state and, with domains, the
+// modeled hardware set from the intra-domain state.
+func (r *Result) buildInvalidate() {
+	build := func(state [][]ArraySections) [][]ArraySections {
+		out := make([][]ArraySections, len(r.Summaries))
+		for i, sum := range r.Summaries {
+			in := state[i]
+			out[i] = make([]ArraySections, r.NumPE)
+			for p := 0; p < r.NumPE; p++ {
+				inv := ArraySections{}
+				for name, rd := range sum.MayRead[p] {
+					dirty, ok := in[p][name]
+					if !ok || dirty.IsEmpty() {
+						continue
+					}
+					is := dirty.Intersect(rd)
+					if !is.IsEmpty() {
+						inv[name] = is
+					}
+				}
+				out[i][p] = inv
+			}
+		}
+		return out
+	}
+	r.Invalidate = build(r.DirtyAtEntry)
+	if r.IntraDirty != nil {
+		r.HWInvalidate = build(r.IntraDirty)
 	}
 }
 

@@ -54,6 +54,16 @@ type Stats struct {
 	NetContended  int64 // messages that waited at least one cycle
 	NetDrops      int64 // prefetches dropped by congestion timeout
 
+	// Coherence-domain accounting (machine profiles with multi-PE domains
+	// or a batched coherence cost). All zero on the t3d profile, so its
+	// reports never change shape. Near words moved between endpoints
+	// sharing a hardware-coherent domain; far words crossed a domain
+	// boundary; hw-invalidations counts cached lines the modeled domain
+	// fabric dropped at epoch entry (free, unlike InvalidatedLines).
+	DomainNearWords       int64
+	DomainFarWords        int64
+	DomainHWInvalidations int64
+
 	// Hardware coherence arena accounting (internal/coherence). All zero
 	// outside the HWDIR modes — in particular CCDP runs book zero coherence
 	// messages, the arena's headline comparison. CohMessages counts every
@@ -106,6 +116,9 @@ func (s *Stats) Merge(o *Stats) {
 	s.NetWaitCycles += o.NetWaitCycles
 	s.NetContended += o.NetContended
 	s.NetDrops += o.NetDrops
+	s.DomainNearWords += o.DomainNearWords
+	s.DomainFarWords += o.DomainFarWords
+	s.DomainHWInvalidations += o.DomainHWInvalidations
 	s.CohMessages += o.CohMessages
 	s.CohInvSent += o.CohInvSent
 	s.CohInvRecv += o.CohInvRecv
@@ -137,6 +150,10 @@ func (s *Stats) String() string {
 	if s.NetMessages > 0 || s.NetDrops > 0 {
 		fmt.Fprintf(&b, "\nnetwork: msgs=%d contended=%d wait=%d congestion-drops=%d",
 			s.NetMessages, s.NetContended, s.NetWaitCycles, s.NetDrops)
+	}
+	if s.DomainNearWords > 0 || s.DomainFarWords > 0 || s.DomainHWInvalidations > 0 {
+		fmt.Fprintf(&b, "\ndomain: near-words=%d far-words=%d hw-invalidated=%d",
+			s.DomainNearWords, s.DomainFarWords, s.DomainHWInvalidations)
 	}
 	if s.CohMessages > 0 || s.DirStorageBits > 0 {
 		fmt.Fprintf(&b, "\ncoherence: msgs=%d inv-sent=%d inv-recv=%d writebacks=%d broadcasts=%d dir-evictions=%d dir-bits=%d",
