@@ -18,7 +18,14 @@
 //	          [-ablation vpg|mbp|nonstale] [-details]
 //	          [-fault-rate 0.01] [-fault-kinds all] [-fault-seed 1]
 //	          [-faultsweep] [-fault-rates 0.001,0.01,0.05] [-fault-trials 3]
+//	          [-server http://host:port] [-server-priority N]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// With -server the sweep is served by a persistent sweepd process (see
+// cmd/sweepd): repeated sweeps hit its content-addressed result memo and
+// shared compile cache, while stdout stays byte-identical to the
+// in-process path because the results are rendered locally by the same
+// report code.
 package main
 
 import (
@@ -26,12 +33,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/driver"
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/sweepd"
 	"repro/internal/workloads"
 )
 
@@ -52,6 +61,8 @@ func main() {
 	ablation := flag.String("ablation", "", "run an ablation instead: vpg, mbp or nonstale")
 	sweep := flag.String("sweep", "", "run an architectural parameter sweep instead: remote, cache, queue or line")
 	jobs := flag.Int("jobs", 0, "concurrent sweep points (0 = GOMAXPROCS); output is identical at any setting")
+	server := flag.String("server", "", "serve the sweep from a persistent sweepd at this base URL instead of running in-process (output is byte-identical)")
+	serverPriority := flag.Int("server-priority", 0, "job priority for -server submissions (higher runs first)")
 	faultSweep := flag.Bool("faultsweep", false, "run the fault-injection sweep ablation instead")
 	faultRates := flag.String("fault-rates", "0.001,0.01,0.05", "fault rates for -faultsweep")
 	faultTrials := flag.Int("fault-trials", 3, "trials (distinct seeds) per rate for -faultsweep")
@@ -86,6 +97,33 @@ func main() {
 	}
 	if _, err := machine.ProfileParams(*profile, 1); err != nil {
 		driver.Fatal(tool, err)
+	}
+
+	if *server != "" {
+		if *faultSweep || *arena || *ablation != "" || *sweep != "" {
+			driver.Fatal(tool, fmt.Errorf(
+				"-server serves plain sweeps only; -arena, -ablation, -sweep and -faultsweep run in-process"))
+		}
+		specs, err := driver.Apps(*apps, *scale)
+		if err != nil {
+			driver.Fatal(tool, err)
+		}
+		js := make([]sweepd.JobSpec, len(specs))
+		for i, s := range specs {
+			js[i] = sweepd.JobSpec{
+				App: s.Name, Scale: *scale, PEs: peCounts,
+				Profile: *profile, DomainSize: *domainSize,
+				Topology: tf.String(), PDES: pdf.String(),
+				FaultRate: *ff.Rate, FaultKinds: *ff.Kinds, FaultSeed: *ff.Seed,
+			}
+		}
+		client := &sweepd.Client{Base: strings.TrimRight(*server, "/"), Priority: *serverPriority}
+		results, err := runServed(os.Stdout, client, js, *details)
+		if err != nil {
+			driver.Fatal(tool, err)
+		}
+		renderResults(os.Stdout, results, *csv, *table)
+		return
 	}
 
 	if *faultSweep {
@@ -138,19 +176,7 @@ func main() {
 		driver.Fatal(tool, err)
 	}
 
-	if *csv {
-		fmt.Print(report.CSV(results))
-		return
-	}
-	switch *table {
-	case "1":
-		fmt.Println(report.Table1(results))
-	case "2":
-		fmt.Println(report.Table2(results))
-	default:
-		fmt.Println(report.Table1(results))
-		fmt.Println(report.Table2(results))
-	}
+	renderResults(os.Stdout, results, *csv, *table)
 }
 
 // runArenas runs the coherence arena for every application on the worker

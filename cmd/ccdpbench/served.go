@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/sweepd"
+)
+
+// runServed is the -server client mode: the sweep runs on a persistent
+// sweepd process (one job per application, carrying the full flag
+// configuration) and the results are rendered locally by exactly the
+// report code the in-process path uses — so stdout is byte-for-byte
+// identical to running the same sweep without -server, while repeated
+// sweeps are served from the server's content-addressed memo without
+// touching the simulator.
+func runServed(w io.Writer, client *sweepd.Client, specs []sweepd.JobSpec, details bool) ([]*harness.AppResult, error) {
+	results, sum, err := client.Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "served sweep: rows=%d memo_hits=%d\n", sum.Rows, sum.MemoHits)
+	if details {
+		for _, ar := range results {
+			fmt.Fprintln(w, report.Details(ar))
+		}
+	}
+	return results, nil
+}
+
+// renderResults is the shared stdout tail of the in-process and served
+// sweep paths: CSV or the paper's tables.
+func renderResults(w io.Writer, results []*harness.AppResult, csv bool, table string) {
+	if csv {
+		fmt.Fprint(w, report.CSV(results))
+		return
+	}
+	switch table {
+	case "1":
+		fmt.Fprintln(w, report.Table1(results))
+	case "2":
+		fmt.Fprintln(w, report.Table2(results))
+	default:
+		fmt.Fprintln(w, report.Table1(results))
+		fmt.Fprintln(w, report.Table2(results))
+	}
+}

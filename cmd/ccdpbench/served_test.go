@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/harness"
+	"repro/internal/sweepd"
+)
+
+// The -server client mode must print byte-for-byte what the in-process
+// path prints — details blocks, tables and CSV alike — because the server
+// transports harness results losslessly and the rendering code is shared.
+func TestServedStdoutByteIdenticalToInProcess(t *testing.T) {
+	srv := sweepd.NewServer(sweepd.Options{})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	apps := "MXM,VPENTA"
+	peCounts := []int{1, 2, 4}
+	specs, err := driver.Apps(apps, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := make([]sweepd.JobSpec, len(specs))
+	for i, s := range specs {
+		js[i] = sweepd.JobSpec{App: s.Name, Scale: "small", PEs: peCounts}
+	}
+	client := &sweepd.Client{Base: hs.URL}
+
+	for _, mode := range []struct {
+		name  string
+		csv   bool
+		table string
+	}{
+		{"csv", true, ""},
+		{"tables", false, "all"},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			var local bytes.Buffer
+			results, err := runApps(io.Discard, specs,
+				harness.Config{PECounts: peCounts}, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			renderResults(&local, results, mode.csv, mode.table)
+
+			var served bytes.Buffer
+			got, err := runServed(io.Discard, client, js, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			renderResults(&served, got, mode.csv, mode.table)
+
+			if local.String() != served.String() {
+				t.Errorf("served stdout differs from in-process:\n--- local ---\n%s--- served ---\n%s",
+					local.String(), served.String())
+			}
+		})
+	}
+}

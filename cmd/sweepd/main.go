@@ -1,0 +1,78 @@
+// Command sweepd runs the persistent simulation service: an HTTP/JSON
+// server that keeps compiled programs, their engine pools and finished
+// sweep results warm across requests, so repeated and overlapping sweeps
+// are served from the content-addressed memo instead of re-simulated.
+//
+// Endpoints:
+//
+//	POST /v1/sweep   batch of sweep points; NDJSON rows stream back in
+//	                 canonical request order
+//	GET  /v1/stats   memo / compile-cache / queue counters as JSON
+//	GET  /healthz    liveness probe
+//
+// A fleet of sweepd processes shards large requests: give the front
+// process -forward with the peers' base URLs and it splits any request
+// larger than -shard-size into contiguous shards, spreads them round-robin
+// across itself and the peers, and merges the streams back into canonical
+// order (forwarded shards are marked no_forward, so workers never
+// re-shard).
+//
+// Usage:
+//
+//	sweepd [-addr 127.0.0.1:8077] [-memo-entries N] [-compile-entries N]
+//	       [-sweep-workers N] [-forward URL1,URL2] [-shard-size N]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/sweepd"
+)
+
+const tool = "sweepd"
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	memoEntries := flag.Int("memo-entries", 0, "result-memo capacity in entries (0 = default)")
+	compileEntries := flag.Int("compile-entries", 0, "compiled-program cache capacity in entries (0 = default)")
+	workers := flag.Int("sweep-workers", 0, "concurrent job workers (0 = GOMAXPROCS); extra workers share the process-wide parallel budget")
+	forward := flag.String("forward", "", "comma-separated peer sweepd base URLs to shard large requests across")
+	shardSize := flag.Int("shard-size", 64, "sweep points per forwarded shard")
+	pf := driver.RegisterProf(flag.CommandLine)
+	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		driver.Fatal(tool, err)
+	}
+	defer stopProf()
+
+	var peers []string
+	if *forward != "" {
+		for _, p := range strings.Split(*forward, ",") {
+			p = strings.TrimRight(strings.TrimSpace(p), "/")
+			if p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	srv := sweepd.NewServer(sweepd.Options{
+		MemoEntries:    *memoEntries,
+		CompileEntries: *compileEntries,
+		Workers:        *workers,
+		Peers:          peers,
+		ShardSize:      *shardSize,
+	})
+	defer srv.Close()
+
+	fmt.Fprintf(os.Stderr, "%s: listening on %s\n", tool, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		driver.Fatal(tool, err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/coherence/prefetch"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/noc"
 	"repro/internal/prof"
@@ -153,14 +154,23 @@ func RegisterFault(fs *flag.FlagSet) *FaultFlags {
 // Plan assembles the fault.Plan the flags describe (a zero Plan when the
 // rate is 0).
 func (f *FaultFlags) Plan() (fault.Plan, error) {
-	if *f.Rate == 0 {
+	return FaultPlan(*f.Rate, *f.Kinds, *f.Seed)
+}
+
+// FaultPlan is the flag-free core of FaultFlags.Plan: it assembles a fault
+// plan from raw values (a zero Plan when the rate is 0), returning an
+// error — never exiting — on a malformed rate or kind list, so services
+// can map bad job specs to HTTP 400s while the CLIs wrap the same errors
+// in Fatal.
+func FaultPlan(rate float64, kinds string, seed int64) (fault.Plan, error) {
+	if rate == 0 {
 		return fault.Plan{}, nil
 	}
-	ks, err := fault.ParseKinds(*f.Kinds)
+	ks, err := fault.ParseKinds(kinds)
 	if err != nil {
 		return fault.Plan{}, err
 	}
-	plan := fault.Plan{Seed: *f.Seed, Rate: *f.Rate, Kinds: ks}
+	plan := fault.Plan{Seed: seed, Rate: rate, Kinds: ks}
 	return plan, plan.Validate()
 }
 
@@ -200,6 +210,10 @@ func (t *TopologyFlag) Config() (noc.Config, error) {
 	return noc.Parse(*t.s)
 }
 
+// String returns the raw flag value, for forwarding to the sweep service
+// (the server re-parses it through the same noc.Parse).
+func (t *TopologyFlag) String() string { return *t.s }
+
 // PDESFlag is the torus parallel-execution-scheme flag (-pdes). The mode
 // never changes simulation results — only how parallel torus epochs commit
 // their link reservations, i.e. wall-clock scaling.
@@ -216,6 +230,45 @@ func RegisterPDES(fs *flag.FlagSet) *PDESFlag {
 // Mode parses the flag into a PDES mode.
 func (p *PDESFlag) Mode() (noc.PDESMode, error) {
 	return noc.ParsePDES(*p.s)
+}
+
+// String returns the raw flag value, for forwarding to the sweep service
+// (the server re-parses it through the same noc.ParsePDES).
+func (p *PDESFlag) String() string { return *p.s }
+
+// SweepConfig resolves the raw values of one benchmark-sweep
+// configuration — everything but the PE counts — into a harness.Config.
+// It is the single resolution path shared by the ccdpbench CLI and the
+// sweep service, so a job submitted over HTTP runs under exactly the
+// configuration the same flags would produce in-process; every failure is
+// an error return (the service's HTTP 400), never an exit.
+func SweepConfig(profile string, domainSize int, topology, pdes string,
+	faultRate float64, faultKinds string, faultSeed int64) (harness.Config, error) {
+	topo, err := noc.Parse(topology)
+	if err != nil {
+		return harness.Config{}, err
+	}
+	pm, err := noc.ParsePDES(pdes)
+	if err != nil {
+		return harness.Config{}, err
+	}
+	if _, err := machine.ProfileParams(profile, 1); err != nil {
+		return harness.Config{}, err
+	}
+	if domainSize < 0 {
+		return harness.Config{}, fmt.Errorf("negative domain size %d", domainSize)
+	}
+	plan, err := FaultPlan(faultRate, faultKinds, faultSeed)
+	if err != nil {
+		return harness.Config{}, err
+	}
+	return harness.Config{
+		Profile:    profile,
+		DomainSize: domainSize,
+		Topology:   topo,
+		PDES:       pm,
+		Fault:      plan,
+	}, nil
 }
 
 // ProfileUsage renders the -machine-profile flag's usage string from the
@@ -252,22 +305,33 @@ func RegisterMachine(fs *flag.FlagSet, defaultPEs int) *MachineFlags {
 // the named machine profile. An unknown profile name is an error that
 // lists the valid profiles.
 func (m *MachineFlags) Params() (machine.Params, error) {
-	topo, err := m.Topo.Config()
+	return Machine(*m.Profile, *m.PEs, *m.DomainSize, *m.Topo.s, *m.PDES.s)
+}
+
+// Machine is the flag-free core of MachineFlags.Params: it resolves raw
+// machine-configuration values (profile name, PE count, domain-size
+// override, topology and pdes strings) into a validated Params. Every
+// failure — unknown profile, bad topology syntax, unknown pdes scheme —
+// comes back as an error naming the valid choices, never an exit, so the
+// sweep service can answer bad job specs with HTTP 400s while the CLIs
+// route the same errors through Fatal.
+func Machine(profile string, pes, domainSize int, topology, pdes string) (machine.Params, error) {
+	topo, err := noc.Parse(topology)
 	if err != nil {
 		return machine.Params{}, err
 	}
-	pdes, err := m.PDES.Mode()
+	pm, err := noc.ParsePDES(pdes)
 	if err != nil {
 		return machine.Params{}, err
 	}
-	mp, err := machine.ProfileParams(*m.Profile, *m.PEs)
+	mp, err := machine.ProfileParams(profile, pes)
 	if err != nil {
 		return machine.Params{}, err
 	}
-	if *m.DomainSize > 0 {
-		mp.DomainSize = *m.DomainSize
+	if domainSize > 0 {
+		mp.DomainSize = domainSize
 	}
 	mp.Topology = topo
-	mp.PDES = pdes
+	mp.PDES = pm
 	return mp, nil
 }

@@ -152,3 +152,75 @@ func TestFatalExitsNonZero(t *testing.T) {
 		t.Errorf("exit code = %d", code)
 	}
 }
+
+// The sweep service resolves job specs through the flag-free cores below;
+// every malformed value must come back as an error return (the service's
+// HTTP 400), never an exit or panic.
+func TestSweepConfigErrorReturns(t *testing.T) {
+	cfg, err := SweepConfig("cxl-pcc", 2, "torus", "conservative", 0.25, "drop,late", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Profile != "cxl-pcc" || cfg.DomainSize != 2 ||
+		cfg.Topology.Kind != noc.KindTorus || cfg.PDES != noc.PDESConservative {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if !cfg.Fault.Enabled() || cfg.Fault.Seed != 9 || len(cfg.Fault.Kinds) != 2 {
+		t.Errorf("fault plan = %+v", cfg.Fault)
+	}
+
+	// The zero-value spec is the default machine: t3d, flat, fault-free.
+	cfg, err = SweepConfig("", 0, "", "", 0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.Kind != noc.KindFlat || cfg.Fault.Enabled() {
+		t.Errorf("default cfg = %+v", cfg)
+	}
+
+	bad := []struct {
+		name       string
+		profile    string
+		domain     int
+		topo, pdes string
+		rate       float64
+		kinds      string
+		wantInMsg  string
+	}{
+		{"unknown profile", "t4e", 0, "", "", 0, "", "valid profiles"},
+		{"bad topology", "", 0, "5x", "", 0, "", "topology"},
+		{"unknown pdes", "", 0, "", "warp", 0, "", "pdes"},
+		{"negative domain", "", -2, "", "", 0, "", "domain"},
+		{"bad fault kind", "", 0, "", "", 0.1, "gremlins", "unknown kind"},
+		{"rate out of range", "", 0, "", "", 1.5, "all", "rate"},
+	}
+	for _, tc := range bad {
+		_, err := SweepConfig(tc.profile, tc.domain, tc.topo, tc.pdes, tc.rate, tc.kinds, 1)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantInMsg) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantInMsg)
+		}
+	}
+}
+
+func TestMachineErrorReturns(t *testing.T) {
+	mp, err := Machine("pim", 8, 0, "2x2x2", "adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.NumPE != 8 || mp.Profile != "pim" || mp.Topology.X != 2 || mp.PDES != noc.PDESAdaptive {
+		t.Errorf("params = %+v", mp)
+	}
+	for _, tc := range []struct{ profile, topo, pdes string }{
+		{"warpdrive", "", ""},
+		{"", "hypercube", ""},
+		{"", "", "psychic"},
+	} {
+		if _, err := Machine(tc.profile, 8, 0, tc.topo, tc.pdes); err == nil {
+			t.Errorf("Machine(%q,%q,%q) accepted", tc.profile, tc.topo, tc.pdes)
+		}
+	}
+}

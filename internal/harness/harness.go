@@ -90,6 +90,14 @@ type Config struct {
 	// (optimistic speculation by default). Results are bit-identical across
 	// modes; only wall-clock scaling differs.
 	PDES noc.PDESMode
+	// Compile overrides how configurations are lowered (nil = core.Compile
+	// on every run). The sweep service injects its shared compiled-program
+	// cache here, so concurrent jobs that agree on (workload, mode,
+	// machine) reuse one core.Compiled — and with it the per-Compiled
+	// engine pool — across requests. Any override must return a Compiled
+	// equivalent to core.Compile's for the same inputs; the harness relies
+	// on nothing else.
+	Compile func(s *workloads.Spec, mode core.Mode, mp machine.Params) (*core.Compiled, error)
 }
 
 // RunApp sweeps one application. Every parallel run's check arrays are
@@ -115,7 +123,7 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 		return mp
 	}
 
-	seq, err := runOne(s, core.ModeSeq, mk(1), fault.Plan{})
+	seq, err := runOne(s, core.ModeSeq, mk(1), fault.Plan{}, cfg.Compile)
 	if err != nil {
 		return nil, fmt.Errorf("%s SEQ: %w", s.Name, err)
 	}
@@ -186,8 +194,14 @@ func RunApp(s *workloads.Spec, cfg Config) (*AppResult, error) {
 	return ar, nil
 }
 
-func runOne(s *workloads.Spec, mode core.Mode, mp machine.Params, plan fault.Plan) (*exec.Result, error) {
-	c, err := core.Compile(s.Prog, mode, mp)
+func runOne(s *workloads.Spec, mode core.Mode, mp machine.Params, plan fault.Plan,
+	compile func(*workloads.Spec, core.Mode, machine.Params) (*core.Compiled, error)) (*exec.Result, error) {
+	if compile == nil {
+		compile = func(s *workloads.Spec, mode core.Mode, mp machine.Params) (*core.Compiled, error) {
+			return core.Compile(s.Prog, mode, mp)
+		}
+	}
+	c, err := compile(s, mode, mp)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +227,7 @@ func runVerified(s *workloads.Spec, mode core.Mode, mp machine.Params, golden ma
 	var firstErr error
 	for attempt := 0; ; attempt++ {
 		plan := cfg.Fault.Reseed(attempt) // attempt 0 keeps the seed
-		r, err := runOne(s, mode, mp, plan)
+		r, err := runOne(s, mode, mp, plan, cfg.Compile)
 		if err == nil {
 			err = verify(golden, r)
 		}
@@ -344,7 +358,7 @@ func RunArena(s *workloads.Spec, cfg ArenaConfig) (*ArenaResult, error) {
 		return mp
 	}
 
-	seq, err := runOne(s, core.ModeSeq, machine.MustProfileParams(cfg.Profile, 1), fault.Plan{})
+	seq, err := runOne(s, core.ModeSeq, machine.MustProfileParams(cfg.Profile, 1), fault.Plan{}, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%s SEQ: %w", s.Name, err)
 	}

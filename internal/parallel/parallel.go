@@ -51,7 +51,6 @@ func ForEach(n, jobs int, f func(i int), emit func(i int)) {
 		inline()
 		return
 	}
-	defer ReleaseWorkers(granted)
 	jobs = granted
 
 	var mu sync.Mutex
@@ -63,6 +62,12 @@ func ForEach(n, jobs int, f func(i int), emit func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker returns its own budget token the moment it runs
+			// out of items — not when the whole ForEach finishes — so a
+			// nested fan-out (a sweep worker's own ForEach, the engine's
+			// flat epochs) or a concurrent sweep can reuse the token while
+			// the slowest items here are still running.
+			defer ReleaseWorkers(1)
 			for i := range next {
 				f(i)
 				mu.Lock()

@@ -3,6 +3,7 @@ package report
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/harness"
@@ -181,6 +182,17 @@ func ArenaCSV(results []*harness.ArenaResult) string {
 // the CCDP run's prefetch-word, invalidation and domain-traffic columns;
 // t3d CSVs never change shape.
 func CSV(results []*harness.AppResult) string {
+	var b strings.Builder
+	WriteCSV(&b, results)
+	return b.String()
+}
+
+// WriteCSV is CSV writing directly to w — the form the benchmark drivers
+// and the sweep service's clients stream through, so a served sweep's CSV
+// is rendered by exactly the code path an in-process sweep uses. The
+// column shape (net columns, domain columns) depends on the full result
+// set, so rows cannot be emitted before every result is in.
+func WriteCSV(w io.Writer, results []*harness.AppResult) {
 	netted, domained := false, false
 	for _, ar := range results {
 		if ar.Profile != "" && ar.Profile != "t3d" {
@@ -192,20 +204,19 @@ func CSV(results []*harness.AppResult) string {
 			}
 		}
 	}
-	var b strings.Builder
-	b.WriteString("app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct," +
+	io.WriteString(w, "app,pes,seq_cycles,base_cycles,ccdp_cycles,base_speedup,ccdp_speedup,improvement_pct,"+
 		"drops,late,demotions,oracle_violations,attempts")
 	if netted {
-		b.WriteString(",mean_hops,max_hops,max_link_util,net_wait,net_contended,net_drops")
+		io.WriteString(w, ",mean_hops,max_hops,max_link_util,net_wait,net_contended,net_drops")
 	}
 	if domained {
-		b.WriteString(",pf_words,invalidated,domain_near_words,domain_far_words,domain_hw_inv")
+		io.WriteString(w, ",pf_words,invalidated,domain_near_words,domain_far_words,domain_hw_inv")
 	}
-	b.WriteString("\n")
+	io.WriteString(w, "\n")
 	for _, ar := range results {
 		for _, r := range ar.Rows {
 			s := &r.CCDPStats
-			fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d",
+			fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d",
 				ar.Name, r.PEs, ar.SeqCycles, r.BaseCycles, r.CCDPCycles,
 				r.BaseSpeedup, r.CCDPSpeedup, r.Improvement,
 				s.FaultDrops+r.BaseStats.FaultDrops,
@@ -214,17 +225,16 @@ func CSV(results []*harness.AppResult) string {
 				s.OracleViolations+r.BaseStats.OracleViolations,
 				r.CCDPAttempts)
 			if netted {
-				fmt.Fprintf(&b, ",%.4f,%d,%.4f,%d,%d,%d",
+				fmt.Fprintf(w, ",%.4f,%d,%.4f,%d,%d,%d",
 					r.CCDPNet.MeanHopsOrZero(), r.CCDPNet.MaxHopsOrZero(),
 					r.CCDPNet.MaxLinkUtil(), s.NetWaitCycles, s.NetContended, s.NetDrops)
 			}
 			if domained {
-				fmt.Fprintf(&b, ",%d,%d,%d,%d,%d",
+				fmt.Fprintf(w, ",%d,%d,%d,%d,%d",
 					s.PrefetchIssued+s.VectorWords, s.InvalidatedLines,
 					s.DomainNearWords, s.DomainFarWords, s.DomainHWInvalidations)
 			}
-			b.WriteString("\n")
+			io.WriteString(w, "\n")
 		}
 	}
-	return b.String()
 }

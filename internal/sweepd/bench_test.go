@@ -1,0 +1,44 @@
+package sweepd
+
+import (
+	"testing"
+)
+
+// BenchmarkMemoHit is the served-point fast path: key lookup + payload
+// fetch for an already-memoized job. CI gates on allocs/op — the hit path
+// must stay allocation-free, or a million-point warm sweep stops being
+// cheap.
+func BenchmarkMemoHit(b *testing.B) {
+	m := NewMemo(0)
+	j, err := (&JobSpec{App: "MXM", Scale: "small"}).Resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, leader := m.GetOrStart(j.Key)
+	if !leader {
+		b.Fatal("fresh memo claims the key exists")
+	}
+	m.Complete(e, []byte(`{"Name":"MXM"}`), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Peek(j.Key); !ok {
+			b.Fatal("memo lost the entry")
+		}
+	}
+}
+
+// BenchmarkResolveKey prices the request-side cost of a memoized point:
+// resolving the spec (workload lookup, config validation) and hashing the
+// canonical encoding. This runs once per point per request, so it bounds
+// how fast a fully-warm million-point sweep can be admitted.
+func BenchmarkResolveKey(b *testing.B) {
+	js := &JobSpec{App: "MXM", Scale: "small", PEs: []int{1, 2, 4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := js.Resolve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

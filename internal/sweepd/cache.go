@@ -1,0 +1,133 @@
+package sweepd
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// compileKey identifies one compiled program. It must carry the FULL
+// machine parameters, not just the axes the lowering inspects: the
+// Compiled's Machine is consumed by exec at run time (latencies, topology,
+// domain sizes), so two jobs may share a Compiled only when they agree on
+// every parameter. machine.Params is comparable by construction — scalars,
+// strings and a noc.Config of ints — which is what lets the whole key be a
+// plain map key.
+type compileKey struct {
+	App   string
+	Scale string
+	Mode  core.Mode
+	MP    machine.Params
+}
+
+// compileEntry is one compiled program, possibly still being compiled.
+// Waiters block on done; after it closes, exactly one of c/err is set and
+// both are immutable.
+type compileEntry struct {
+	key  compileKey
+	done chan struct{}
+	c    *core.Compiled
+	err  error
+	elem *list.Element // LRU position; nil while compiling
+}
+
+// CompileCache is the shared compiled-program cache: concurrent jobs that
+// agree on (workload, scale, mode, machine parameters) reuse one
+// core.Compiled — and, because the engine pool hangs off the Compiled's
+// memo, one engine pool — so a sweep pays each distinct compilation once
+// per process instead of once per request. Single-flight: a second request
+// for a program mid-compile waits for the first compile instead of
+// repeating it.
+//
+// Eviction only drops the cache's reference; jobs still running on an
+// evicted Compiled keep theirs, and the next request recompiles.
+type CompileCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[compileKey]*compileEntry
+	lru     *list.List // completed entries, most recently used at front
+
+	hits, misses, evictions int64
+}
+
+// NewCompileCache builds a cache bounded to max completed entries (≤ 0
+// means the default of 256 — comfortably above a four-app, seven-PE,
+// three-mode paper sweep's 4×7×2+4 distinct programs).
+func NewCompileCache(max int) *CompileCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &CompileCache{max: max, entries: make(map[compileKey]*compileEntry), lru: list.New()}
+}
+
+// CompileFor returns a harness.Config.Compile hook bound to one workload's
+// registry coordinates. The hook's (mode, machine) arguments complete the
+// cache key at call time; the app/scale pair must be bound here because
+// the hook only ever sees the workloads.Spec, whose Name does not encode
+// the problem scale.
+func (cc *CompileCache) CompileFor(app, scale string) func(*workloads.Spec, core.Mode, machine.Params) (*core.Compiled, error) {
+	return func(s *workloads.Spec, mode core.Mode, mp machine.Params) (*core.Compiled, error) {
+		return cc.compile(compileKey{App: app, Scale: scale, Mode: mode, MP: mp}, s)
+	}
+}
+
+func (cc *CompileCache) compile(k compileKey, s *workloads.Spec) (*core.Compiled, error) {
+	cc.mu.Lock()
+	if e, ok := cc.entries[k]; ok {
+		if e.elem != nil {
+			cc.lru.MoveToFront(e.elem)
+		}
+		cc.hits++
+		cc.mu.Unlock()
+		<-e.done
+		return e.c, e.err
+	}
+	e := &compileEntry{key: k, done: make(chan struct{})}
+	cc.entries[k] = e
+	cc.misses++
+	cc.mu.Unlock()
+
+	// Compile outside the lock — core.Compile clones the source program, so
+	// concurrent compiles of different keys never contend.
+	e.c, e.err = core.Compile(s.Prog, k.Mode, k.MP)
+
+	cc.mu.Lock()
+	if e.err != nil {
+		// Failed compiles are not kept: the error still reaches every
+		// current waiter through the entry, but the next request retries.
+		delete(cc.entries, k)
+	} else {
+		e.elem = cc.lru.PushFront(e)
+		for cc.lru.Len() > cc.max {
+			old := cc.lru.Back()
+			cc.lru.Remove(old)
+			delete(cc.entries, old.Value.(*compileEntry).key)
+			cc.evictions++
+		}
+	}
+	cc.mu.Unlock()
+	close(e.done)
+	return e.c, e.err
+}
+
+// CompileStats is the compile cache's observability snapshot.
+type CompileStats struct {
+	Entries    int   `json:"entries"`
+	MaxEntries int   `json:"max_entries"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// Stats snapshots the counters.
+func (cc *CompileCache) Stats() CompileStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return CompileStats{
+		Entries: cc.lru.Len(), MaxEntries: cc.max,
+		Hits: cc.hits, Misses: cc.misses, Evictions: cc.evictions,
+	}
+}

@@ -1,0 +1,99 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/harness"
+)
+
+// Client is the sweep-service client: it submits a batch of points and
+// decodes the NDJSON stream back into harness results — the same structs
+// an in-process sweep produces, rendered by the same report code, so a
+// served sweep's output is byte-identical to a local one.
+type Client struct {
+	// Base is the server's base URL (e.g. http://127.0.0.1:8077).
+	Base string
+	// Priority is attached to every submitted batch.
+	Priority int
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// SweepSummary reports what serving a batch cost.
+type SweepSummary struct {
+	Rows     int
+	MemoHits int
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Sweep submits the specs and returns their results in request order. Any
+// row-level failure (a job the simulator rejected, an unserved shard)
+// fails the whole sweep, mirroring the in-process driver's first-error
+// exit.
+func (c *Client) Sweep(specs []JobSpec) ([]*harness.AppResult, SweepSummary, error) {
+	var sum SweepSummary
+	body, err := json.Marshal(SweepRequest{Jobs: specs, Priority: c.Priority})
+	if err != nil {
+		return nil, sum, err
+	}
+	resp, err := c.httpc().Post(c.Base+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, sum, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		return nil, sum, fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg.Bytes()))
+	}
+	dec := json.NewDecoder(resp.Body)
+	results := make([]*harness.AppResult, 0, len(specs))
+	for dec.More() {
+		var row SweepRow
+		if err := dec.Decode(&row); err != nil {
+			return nil, sum, fmt.Errorf("decoding response: %w", err)
+		}
+		if row.Index != sum.Rows {
+			return nil, sum, fmt.Errorf("row %d arrived out of order (expected %d)", row.Index, sum.Rows)
+		}
+		sum.Rows++
+		if row.Memo {
+			sum.MemoHits++
+		}
+		if row.Error != "" {
+			return nil, sum, fmt.Errorf("job %d: %s", row.Index, row.Error)
+		}
+		var ar harness.AppResult
+		if err := json.Unmarshal(row.Result, &ar); err != nil {
+			return nil, sum, fmt.Errorf("job %d: decoding result: %w", row.Index, err)
+		}
+		results = append(results, &ar)
+	}
+	if sum.Rows != len(specs) {
+		return nil, sum, fmt.Errorf("server returned %d rows for %d jobs", sum.Rows, len(specs))
+	}
+	return results, sum, nil
+}
+
+// Stats fetches the server's /v1/stats document.
+func (c *Client) Stats() (ServerStats, error) {
+	var st ServerStats
+	resp, err := c.httpc().Get(c.Base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("server: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
